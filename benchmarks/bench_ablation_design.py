@@ -1,0 +1,245 @@
+"""Ablations of PapyrusKV's design choices (beyond the paper's figures).
+
+The paper motivates several mechanisms without isolating them; these
+ablations quantify each one in the model:
+
+* **bloom filters** — §2.4: "the bloom filter increases the probability
+  of a successful lookup".  Ablation: disable bloom consultation and
+  measure gets for *absent* keys across a deep SSTable stack.
+* **compaction** — §2.5: compaction bounds the SSTable count.
+  Ablation: compare get cost with compaction on vs. off after heavy
+  overwriting.
+* **flushing-queue depth** — §2.4: the bounded queue trades put
+  latency against memory footprint.  Ablation: sweep the queue depth
+  and measure put-phase back-pressure stalls.
+* **local cache** — Figure 3's local cache tier.  Ablation: repeat
+  gets with the cache on vs. off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import KB, MB, Report, run_once
+from repro.config import Options, SSTABLE
+from repro.core.env import Papyrus
+from repro.mpi.launcher import spmd_run
+from repro.simtime.profiles import SUMMITDEV
+from repro.workloads.generators import KeyGenerator, rank_seed, value_of_size
+
+
+def _base_opts(**kw):
+    base = dict(
+        memtable_capacity=64 * KB,
+        remote_memtable_capacity=64 * KB,
+        compaction_interval=0,
+        cache_local_enabled=False,
+    )
+    base.update(kw)
+    return Options(**base)
+
+
+def _single_rank(fn):
+    return spmd_run(1, fn, system=SUMMITDEV, timeout=300)[0]
+
+
+def test_ablation_bloom_filters(benchmark):
+    """Absent-key gets: bloom filters must skip nearly every table."""
+
+    def run():
+        results = {}
+        for bloom in (True, False):
+            def app(ctx, b=bloom):
+                env = Papyrus(ctx)
+                db = env.open("abl-bloom", _base_opts(bloom_enabled=b))
+                gen = KeyGenerator(16, rank_seed(21, 0))
+                for k in gen.keys(400):  # ~14 SSTables of ~28 keys
+                    db.put(k, value_of_size(2 * KB))
+                db.barrier(SSTABLE)
+                t0 = ctx.clock.now
+                miss_gen = KeyGenerator(16, rank_seed(99, 7))
+                for k in miss_gen.keys(50):
+                    db.get_or_none(k)  # absent
+                elapsed = ctx.clock.now - t0
+                db.close()
+                env.finalize()
+                return elapsed
+
+            results[bloom] = _single_rank(app)
+        rep = Report(
+            "ablation-bloom — 50 absent-key gets over a deep SSTable "
+            "stack (virtual seconds)",
+            ["bloom", "time s", "speedup"],
+        )
+        rep.add("on", results[True], results[False] / results[True])
+        rep.add("off", results[False], 1.0)
+        rep.emit()
+        return results
+
+    results = run_once(benchmark, run)
+    # bloom-gated misses must be at least 5x cheaper
+    assert results[False] > 5 * results[True]
+
+
+def test_ablation_compaction(benchmark):
+    """Heavy overwriting: compaction keeps the read path shallow."""
+
+    def run():
+        results = {}
+        for interval in (4, 0):  # 0 disables compaction
+            def app(ctx, iv=interval):
+                env = Papyrus(ctx)
+                # MemTable smaller than one overwrite round, so every
+                # round spills at least one SSTable
+                db = env.open(
+                    "abl-comp",
+                    _base_opts(compaction_interval=iv,
+                               memtable_capacity=32 * KB),
+                )
+                keys = KeyGenerator(16, rank_seed(22, 0)).keys(40)
+                for round_ in range(12):  # overwrite everything 12x
+                    for k in keys:
+                        db.put(k, value_of_size(1 * KB, fill=round_ + 1))
+                db.barrier(SSTABLE)
+                tables = len(db.ssids)
+                t0 = ctx.clock.now
+                for k in keys:
+                    db.get(k)
+                elapsed = ctx.clock.now - t0
+                db.close()
+                env.finalize()
+                return tables, elapsed
+
+            results[interval] = _single_rank(app)
+        rep = Report(
+            "ablation-compaction — gets after 12x overwrite (virtual s)",
+            ["compaction", "sstables", "get time s"],
+        )
+        rep.add("every 4 SSIDs", *results[4])
+        rep.add("off", *results[0])
+        rep.emit()
+        return results
+
+    results = run_once(benchmark, run)
+    tables_on, time_on = results[4]
+    tables_off, time_off = results[0]
+    assert tables_on < tables_off  # compaction bounds the table count
+    assert time_on <= time_off * 1.05  # and the read path stays cheap
+
+
+def test_ablation_flush_queue_depth(benchmark):
+    """A deeper flushing queue absorbs put bursts; depth 1 stalls."""
+
+    def run():
+        results = {}
+        for depth in (1, 2, 8):
+            def app(ctx, d=depth):
+                env = Papyrus(ctx)
+                db = env.open("abl-queue", _base_opts(flush_queue_capacity=d))
+                gen = KeyGenerator(16, rank_seed(23, 0))
+                t0 = ctx.clock.now
+                for k in gen.keys(600):  # ~20 MemTable rotations
+                    db.put(k, value_of_size(2 * KB))
+                elapsed = ctx.clock.now - t0
+                db.close()
+                env.finalize()
+                return elapsed
+
+            results[depth] = _single_rank(app)
+        rep = Report(
+            "ablation-queue — put burst vs flushing-queue depth "
+            "(virtual seconds)",
+            ["depth", "put time s"],
+        )
+        for d, t in sorted(results.items()):
+            rep.add(d, t)
+        rep.emit()
+        return results
+
+    results = run_once(benchmark, run)
+    # deeper queues overlap more flushing with the put burst
+    assert results[8] <= results[1]
+
+
+def test_ablation_async_migration(benchmark):
+    """§5.2's attribution, isolated: relaxed-mode batched asynchronous
+    migration makes PapyrusKV's graph *construction* faster than a
+    synchronous (sequential-consistency) build of the same graph."""
+    from repro.apps.meraculous import run_meraculous
+    from repro.config import RELAXED, SEQUENTIAL
+    from repro.mpi.launcher import spmd_run
+    from repro.simtime.profiles import CORI
+
+    def run():
+        results = {}
+        for mode, label in ((RELAXED, "relaxed"), (SEQUENTIAL, "sequential")):
+            def app(ctx, m=mode):
+                return run_meraculous(
+                    ctx, "papyrus", genome_length=5000, k=15,
+                    options=Options(
+                        memtable_capacity=256 * KB,
+                        remote_memtable_capacity=16 * KB,
+                        consistency=m,
+                        compaction_interval=0,
+                    ),
+                )
+
+            res = spmd_run(4, app, system=CORI, timeout=300)
+            assert res[0].verified is True
+            results[label] = max(r.construction_time for r in res)
+        rep = Report(
+            "ablation-migration — de Bruijn construction, asynchronous "
+            "(relaxed) vs synchronous (sequential) migration (virtual s)",
+            ["migration", "construction s", "speedup"],
+        )
+        rep.add("async (relaxed)", results["relaxed"],
+                results["sequential"] / results["relaxed"])
+        rep.add("sync (sequential)", results["sequential"], 1.0)
+        rep.emit()
+        return results
+
+    results = run_once(benchmark, run)
+    assert results["relaxed"] < results["sequential"]
+
+
+def test_ablation_local_cache(benchmark):
+    """Repeat gets: the local cache removes the SSTable I/O."""
+
+    def run():
+        results = {}
+        for cache in (True, False):
+            def app(ctx, c=cache):
+                env = Papyrus(ctx)
+                db = env.open(
+                    "abl-cache",
+                    _base_opts(cache_local_enabled=c,
+                               cache_local_capacity=8 * MB),
+                )
+                keys = KeyGenerator(16, rank_seed(24, 0)).keys(60)
+                for k in keys:
+                    db.put(k, value_of_size(4 * KB))
+                db.barrier(SSTABLE)
+                for k in keys:
+                    db.get(k)  # warm pass
+                t0 = ctx.clock.now
+                for _ in range(3):
+                    for k in keys:
+                        db.get(k)  # measured repeat passes
+                elapsed = ctx.clock.now - t0
+                db.close()
+                env.finalize()
+                return elapsed
+
+            results[cache] = _single_rank(app)
+        rep = Report(
+            "ablation-cache — repeated gets with/without the local cache "
+            "(virtual seconds)",
+            ["local cache", "time s", "speedup"],
+        )
+        rep.add("on", results[True], results[False] / results[True])
+        rep.add("off", results[False], 1.0)
+        rep.emit()
+        return results
+
+    results = run_once(benchmark, run)
+    assert results[True] < results[False] / 3

@@ -1,0 +1,71 @@
+"""Figure 10: checkpoint, restart, and restart with redistribution.
+
+Paper setup: three coupled applications — populate + checkpoint to
+Lustre; restart as-is; restart with forced redistribution — reporting
+total times and bandwidths over a rank sweep.
+
+Shapes under test:
+
+* checkpoint/restart bandwidth grows with rank count (parallel I/O);
+* restart with redistribution is slower than plain restart (it pays the
+  parallel put path on top of the Lustre reads).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import KB, MB, Report, run_once
+from repro.config import Options, SEQUENTIAL
+from repro.mpi.launcher import spmd_run
+from repro.simtime.profiles import SUMMITDEV
+from repro.workloads import cr_app
+
+# the paper's redistribution cost is dominated by re-putting 10K pairs
+# per rank through the synchronous put path on top of the snapshot
+# reads; keep the op count high (and values small) so the scaled run
+# stays in the same regime
+RANK_SWEEP = [2, 4, 8]
+ITERS = 1500
+VALLEN = 8 * KB
+
+_OPTS = Options(
+    memtable_capacity=4 * MB,
+    remote_memtable_capacity=1 * MB,
+    consistency=SEQUENTIAL,
+    compaction_interval=0,
+)
+
+
+def test_fig10_checkpoint_restart(benchmark):
+    def run():
+        rep = Report(
+            "fig10 — checkpoint / restart / restart+RD "
+            f"({VALLEN // KB}KB values, {ITERS} pairs/rank)",
+            ["ranks", "ckpt s", "restart s", "restart+RD s",
+             "ckpt MB/s", "restart MB/s"],
+        )
+        series = {}
+        for n in RANK_SWEEP:
+            def app(ctx):
+                return cr_app(ctx, 16, VALLEN, ITERS, _OPTS)
+
+            res = spmd_run(n, app, system=SUMMITDEV, timeout=600)
+            ckpt = max(r.checkpoint_time for r in res)
+            rst = max(r.restart_time for r in res)
+            rd = max(r.restart_rd_time for r in res)
+            nbytes = n * ITERS * (16 + VALLEN)
+            series[n] = (ckpt, rst, rd,
+                         nbytes / ckpt / MB, nbytes / rst / MB)
+            rep.add(n, *series[n])
+        rep.emit()
+        return series
+
+    series = run_once(benchmark, run)
+
+    for n in RANK_SWEEP:
+        ckpt, rst, rd, _, _ = series[n]
+        # redistribution pays put-path work on top of the snapshot reads
+        assert rd > rst
+    # parallel I/O: aggregate checkpoint bandwidth grows with ranks
+    assert series[RANK_SWEEP[-1]][3] > series[RANK_SWEEP[0]][3]

@@ -1,0 +1,133 @@
+"""Figure 11: PapyrusKV vs. MDHIM on Summitdev.
+
+Paper setup: the Figure 9 workload at a 50/50 update/read ratio, 16 B
+keys, 8 B and 128 KB values, on node-local NVMe (N) and Lustre (L),
+comparing PapyrusKV (PKV) against MDHIM over LevelDB.
+
+Shapes under test:
+
+* 8 B values: both systems run in memory; PKV ≥ MDHIM (MDHIM pays the
+  duplicated buffer hand-off between its two layers);
+* 128 KB values: SSTables are in play; PKV-N beats MDHIM-N (storage
+  group sharing + single framework) and both beat their Lustre runs;
+* PKV's advantage persists across the rank sweep (scalability).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.harness import KB, MB, Report, fmt_size, run_once
+from repro.baselines import MDHIM
+from repro.config import Options, SEQUENTIAL
+from repro.core.env import Papyrus
+from repro.mpi.launcher import spmd_run
+from repro.simtime.profiles import SUMMITDEV
+from repro.workloads.generators import KeyGenerator, rank_seed, value_of_size
+
+RANK_SWEEP = [2, 4, 8]
+ITERS = 100
+VALUE_SIZES = [8, 64 * KB]  # paper: 8B and 128KB (scaled)
+
+_PKV_OPTS = Options(
+    memtable_capacity=512 * KB,
+    remote_memtable_capacity=256 * KB,
+    consistency=SEQUENTIAL,  # MDHIM ops are synchronous: like-for-like
+    compaction_interval=0,
+)
+
+
+def _mixed_phase(ctx, put, get, keys, value, iters, seed):
+    rng = random.Random(rank_seed(seed, ctx.world_rank))
+    t0 = ctx.clock.now
+    for _ in range(iters):
+        k = keys[rng.randrange(len(keys))]
+        if rng.randrange(100) < 50:
+            put(k, value)
+        else:
+            get(k)
+    return ctx.clock.now - t0
+
+
+def _pkv_app(vallen, repository):
+    def app(ctx):
+        env = Papyrus(ctx, repository=repository)
+        db = env.open("fig11", _PKV_OPTS)
+        gen = KeyGenerator(16, rank_seed(11, ctx.world_rank))
+        keys = gen.keys(ITERS)
+        value = value_of_size(vallen)
+        for k in keys:
+            db.put(k, value)
+        db.barrier()
+        t = _mixed_phase(ctx, db.put, db.get, keys, value, ITERS, 12)
+        db.close()
+        env.finalize()
+        return t
+
+    return app
+
+
+def _mdhim_app(vallen, repository):
+    def app(ctx):
+        kv = MDHIM(ctx, "fig11m", repository=repository,
+                   memtable_capacity=512 * KB)
+        gen = KeyGenerator(16, rank_seed(11, ctx.world_rank))
+        keys = gen.keys(ITERS)
+        value = value_of_size(vallen)
+        for k in keys:
+            kv.put(k, value)
+        kv.barrier()
+        t = _mixed_phase(ctx, kv.put, kv.get, keys, value, ITERS, 12)
+        kv.close()
+        return t
+
+    return app
+
+
+def test_fig11_pkv_vs_mdhim(benchmark):
+    def run():
+        rep = Report(
+            "fig11 — PapyrusKV (PKV) vs MDHIM, 50/50 update/read (KRPS)",
+            ["ranks", "value", "PKV-N", "MDHIM-N", "PKV-L", "MDHIM-L"],
+        )
+        series = {}
+        for vallen in VALUE_SIZES:
+            for n in RANK_SWEEP:
+                row = []
+                for factory, repo in (
+                    (_pkv_app, "nvm"), (_mdhim_app, "nvm"),
+                    (_pkv_app, "lustre"), (_mdhim_app, "lustre"),
+                ):
+                    times = spmd_run(
+                        n, factory(vallen, repo),
+                        system=SUMMITDEV, timeout=600,
+                    )
+                    row.append(n * ITERS / max(times) / 1e3)
+                rep.add(n, fmt_size(vallen), *row)
+                series[(vallen, n)] = row
+        rep.emit()
+        return series
+
+    series = run_once(benchmark, run)
+
+    for n in RANK_SWEEP:
+        pkv_n, mdhim_n, pkv_l, mdhim_l = series[(8, n)]
+        # 8B: everything in memory; storage makes little difference...
+        assert pkv_n == pytest.approx(pkv_l, rel=0.4)
+        assert mdhim_n == pytest.approx(mdhim_l, rel=0.4)
+        # ...and PKV's single framework beats the layered MDHIM
+        assert pkv_n > mdhim_n
+
+    ratios = []
+    for n in RANK_SWEEP:
+        pkv_n, mdhim_n, pkv_l, mdhim_l = series[(64 * KB, n)]
+        # large values hit the storage: NVMe beats Lustre for both
+        assert pkv_n > pkv_l
+        assert mdhim_n > mdhim_l
+        # PKV-N stays at or ahead of MDHIM-N (within jitter per point)
+        assert pkv_n > 0.93 * mdhim_n
+        ratios.append(pkv_n / mdhim_n)
+    # and wins on aggregate across the sweep
+    assert sum(ratios) / len(ratios) > 1.0

@@ -1,0 +1,83 @@
+"""Figure 7: put throughput, relaxed vs. sequential consistency.
+
+Paper setup: 16 B keys / 128 KB values, rank sweep from 1 to multiples
+of a node, measuring put (Rel, Seq) and put+barrier (Rel+B, Seq+B)
+aggregate throughput.
+
+Shapes under test:
+
+* Rel put throughput beats Seq at every rank count (relaxed puts touch
+  memory only; sequential remote puts migrate synchronously);
+* the Rel advantage appears only once there *are* remote puts (>1 rank);
+* with the trailing barrier included, Seq+B catches up to Rel+B — the
+  relaxed mode's deferred migration lands in its barrier.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import KB, MB, Report, run_once
+from repro.config import Options, RELAXED, SEQUENTIAL
+from repro.mpi.launcher import spmd_run
+from repro.simtime.profiles import SUMMITDEV
+from repro.workloads import basic_app
+
+RANK_SWEEP = [1, 2, 4, 8, 16]
+ITERS = 40
+VALLEN = 128 * KB
+
+
+# the paper's 1 GB MemTable threshold ~ its 1.25 GB/rank workload; keep
+# the same proportion so relaxed puts stage in memory and the deferred
+# migration lands in the barrier (where the congestion belongs)
+def _opts(consistency):
+    return Options(
+        memtable_capacity=64 * MB,
+        remote_memtable_capacity=64 * MB,
+        consistency=consistency,
+        compaction_interval=0,
+    )
+
+
+def _run(nranks, consistency):
+    def app(ctx):
+        return basic_app(ctx, 16, VALLEN, ITERS, _opts(consistency))
+
+    res = spmd_run(nranks, app, system=SUMMITDEV, timeout=300)
+    total = nranks * ITERS
+    put_t = max(r.put_time for r in res)
+    both_t = max(r.put_time + r.barrier_time for r in res)
+    return total / put_t / 1e3, total / both_t / 1e3
+
+
+def test_fig7_relaxed_vs_sequential(benchmark):
+    def run():
+        rep = Report(
+            "fig7 — put throughput, relaxed vs sequential (KRPS, "
+            f"{VALLEN // KB}KB values)",
+            ["ranks", "Rel", "Seq", "Rel+B", "Seq+B"],
+        )
+        series = {}
+        for n in RANK_SWEEP:
+            rel, rel_b = _run(n, RELAXED)
+            seq, seq_b = _run(n, SEQUENTIAL)
+            rep.add(n, rel, seq, rel_b, seq_b)
+            series[n] = (rel, seq, rel_b, seq_b)
+        rep.emit()
+        return series
+
+    series = run_once(benchmark, run)
+
+    for n in RANK_SWEEP:
+        rel, seq, rel_b, seq_b = series[n]
+        if n == 1:
+            # no remote puts: the two modes coincide
+            assert rel == pytest.approx(seq, rel=0.3)
+        else:
+            # the paper's headline: relaxed puts outrun sequential
+            assert rel > seq
+            # with the barrier folded in, sequential is competitive
+            # (paper: "the sequential mode shows slightly higher
+            # throughput than the relaxed mode")
+            assert seq_b > 0.5 * rel_b

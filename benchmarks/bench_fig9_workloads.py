@@ -1,0 +1,70 @@
+"""Figure 9: various read/update workloads (and the +P protection run).
+
+Paper setup: init phase, then a mixed phase with read/update ratios
+50/50, 95/5, 100/0, and 100/0 with PAPYRUSKV_RDONLY protection enabling
+the remote cache; sequential consistency throughout.
+
+Shapes under test:
+
+* on Summitdev (fast NVMe gets) throughput improves as the read ratio
+  rises;
+* 100/0+P beats 100/0 — the remote cache eliminates communication and
+  file I/O on repeat gets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import KB, MB, Report, run_once
+from repro.config import Options
+from repro.mpi.launcher import spmd_run
+from repro.simtime.profiles import SUMMITDEV
+from repro.workloads import workload_app
+
+RANK_SWEEP = [2, 4, 8]
+ITERS = 80
+VALLEN = 16 * KB
+
+_OPTS = Options(
+    memtable_capacity=8 * MB,
+    remote_memtable_capacity=1 * MB,
+    compaction_interval=0,
+)
+
+MIXES = [("50/50", 50, False), ("95/5", 5, False),
+         ("100/0", 0, False), ("100/0+P", 0, True)]
+
+
+def test_fig9_workload_mixes(benchmark):
+    def run():
+        rep = Report(
+            "fig9 — read/update workload mixes (KRPS, sequential "
+            "consistency)",
+            ["ranks"] + [m[0] for m in MIXES],
+        )
+        series = {}
+        for n in RANK_SWEEP:
+            row = []
+            for label, update_pct, protect in MIXES:
+                def app(ctx, u=update_pct, p=protect):
+                    return workload_app(
+                        ctx, 16, VALLEN, ITERS, u, _OPTS,
+                        protect_readonly=p,
+                    )
+
+                res = spmd_run(n, app, system=SUMMITDEV, timeout=300)
+                krps = n * ITERS / max(r.mixed_time for r in res) / 1e3
+                row.append(krps)
+                series[(n, label)] = krps
+            rep.add(n, *row)
+        rep.emit()
+        return series
+
+    series = run_once(benchmark, run)
+
+    for n in RANK_SWEEP:
+        # Summitdev shape: more reads, more throughput
+        assert series[(n, "100/0")] >= series[(n, "50/50")] * 0.8
+        # the protected run's remote cache pays off
+        assert series[(n, "100/0+P")] > series[(n, "100/0")]

@@ -1,0 +1,82 @@
+"""Run-to-run stability of the virtual-time model.
+
+Every figure's assertions ride on the model being reproducible: thread
+scheduling may reorder real execution, but virtual-time results should
+cluster tightly.  This bench repeats a representative workload and
+reports mean, stdev, and a 95% confidence interval, asserting the
+coefficient of variation stays under 5% — the noise floor the figure
+benches' tolerances are calibrated against.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+from scipy import stats as scipy_stats
+
+from benchmarks.harness import KB, MB, Report, run_once
+from repro.config import Options
+from repro.core.env import Papyrus
+from repro.mpi.launcher import spmd_run
+from repro.simtime.profiles import SUMMITDEV
+from repro.workloads.generators import KeyGenerator, rank_seed, value_of_size
+
+REPEATS = 6
+RANKS = 4
+ITERS = 80
+
+
+def _one_run() -> float:
+    """Virtual seconds for a put+barrier+get cycle (max across ranks)."""
+    opts = Options(
+        memtable_capacity=1 * MB,
+        remote_memtable_capacity=256 * KB,
+        compaction_interval=4,
+    )
+
+    def app(ctx):
+        env = Papyrus(ctx)
+        db = env.open("stab", opts)
+        gen = KeyGenerator(16, rank_seed(55, ctx.world_rank))
+        keys = gen.keys(ITERS)
+        value = value_of_size(8 * KB)
+        db.coll_comm.barrier()
+        t0 = ctx.clock.now
+        for k in keys:
+            db.put(k, value)
+        db.barrier(level=1)
+        for k in keys:
+            db.get(k)
+        elapsed = ctx.clock.now - t0
+        db.close()
+        env.finalize()
+        return elapsed
+
+    return max(spmd_run(RANKS, app, system=SUMMITDEV, timeout=300))
+
+
+def test_virtual_time_stability(benchmark):
+    def run():
+        samples = [_one_run() for _ in range(REPEATS)]
+        mean = statistics.mean(samples)
+        stdev = statistics.stdev(samples)
+        cv = stdev / mean
+        # 95% CI via Student's t
+        sem = stdev / (len(samples) ** 0.5)
+        t_crit = scipy_stats.t.ppf(0.975, len(samples) - 1)
+        ci = t_crit * sem
+        rep = Report(
+            f"stability — {REPEATS} repeats of put+barrier+get "
+            f"({RANKS} ranks, {ITERS} x 8KB per rank; virtual seconds)",
+            ["mean s", "stdev s", "CV %", "95% CI ±s"],
+        )
+        rep.add(mean, stdev, cv * 100, ci)
+        rep.emit()
+        return {"mean": mean, "cv": cv, "ci": ci, "samples": samples}
+
+    result = run_once(benchmark, run)
+    # determinism claim: virtual time varies < 5% across repeats even
+    # though thread interleaving differs every run
+    assert result["cv"] < 0.05, f"CV {result['cv']:.3%} exceeds 5%"
+    assert result["ci"] < 0.1 * result["mean"]

@@ -1,0 +1,27 @@
+"""Table 2: the target HPC systems.
+
+Prints the modelled column of Table 2 for each platform profile and
+sanity-checks the parameters the evaluation depends on.
+"""
+
+from __future__ import annotations
+
+from benchmarks.harness import Report, run_once
+from repro.simtime.profiles import all_systems
+
+
+def test_table2_system_profiles(benchmark):
+    def run():
+        rep = Report(
+            "table2 — target HPC systems (modelled parameters)",
+            ["system", "site", "nvm-arch", "ranks/node", "nodes",
+             "nvm-device", "interconnect"],
+        )
+        for name, s in sorted(all_systems().items()):
+            rep.add(name, s.site, s.nvm_arch, s.ranks_per_node,
+                    s.compute_nodes, s.nvm.name, s.network.name)
+        rep.emit()
+        return {"systems": len(all_systems())}
+
+    result = run_once(benchmark, run)
+    assert result["systems"] == 3

@@ -1,0 +1,59 @@
+"""YCSB core workloads on PapyrusKV (extension benchmark).
+
+Not a paper figure — the standard KVS workload suite, run against the
+Summitdev model to characterize the store under Zipfian skew,
+read-modify-write cycles, and insert churn.  Sanity shapes: the
+read-only workload (C) is the fastest; the update-heavy (A) and RMW (F)
+workloads are slower; all complete with the advertised mixes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import KB, MB, Report, run_once
+from repro.config import Options
+from repro.mpi.launcher import spmd_run
+from repro.simtime.profiles import SUMMITDEV
+from repro.workloads.ycsb import CORE_WORKLOADS, run_ycsb
+
+RANKS = 4
+RECORDS = 80
+OPS = 120
+
+_OPTS = Options(
+    memtable_capacity=4 * MB,
+    remote_memtable_capacity=1 * MB,
+    compaction_interval=0,
+)
+
+
+def test_ycsb_core_suite(benchmark):
+    def run():
+        rep = Report(
+            f"ycsb — core workloads on Summitdev ({RANKS} ranks, "
+            f"{RECORDS} records + {OPS} ops per rank, KRPS)",
+            ["workload", "mix", "KRPS"],
+        )
+        series = {}
+        for name, w in sorted(CORE_WORKLOADS.items()):
+            def app(ctx, wl=w):
+                return run_ycsb(ctx, wl, RECORDS, OPS, 1 * KB, _OPTS)
+
+            res = spmd_run(RANKS, app, system=SUMMITDEV, timeout=600)
+            krps = RANKS * OPS / max(r.run_time for r in res) / 1e3
+            mix = (f"{w.read_pct}r/{w.update_pct}u/"
+                   f"{w.insert_pct}i/{w.rmw_pct}rmw")
+            rep.add(name, mix, krps)
+            series[name] = krps
+        rep.emit()
+        return series
+
+    series = run_once(benchmark, run)
+    # every workload completes with sane throughput
+    assert all(v > 0 for v in series.values())
+    # F does a read PLUS a write per RMW op — strictly more work than
+    # any single-op mix, so it must be the slowest (modulo jitter)
+    assert series["F"] <= min(series[w] for w in "ABCD") * 1.1
+    # C is read-only: it must not trail the read-mostly B by much
+    assert series["C"] >= series["B"] * 0.8

@@ -1,0 +1,12 @@
+"""Benchmark-suite configuration."""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    """Keep figure order stable: table2 first, then fig6..fig13."""
+    def key(item):
+        name = item.module.__name__
+        return (0 if "table" in name else 1, name)
+
+    items.sort(key=key)

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Dynamic consistency control and protection attributes (paper §3).
+
+Shows the application-tunable knobs that distinguish PapyrusKV from a
+fixed-policy store:
+
+* a write burst under **relaxed** consistency (memory-speed staging,
+  batched asynchronous migration) vs. **sequential** (synchronous
+  remote puts, but every put is immediately globally visible);
+* a producer/consumer hand-off ordered with **signals** under
+  sequential consistency;
+* a read-only analysis phase under ``PAPYRUSKV_RDONLY`` protection,
+  where the remote cache eliminates repeat communication.
+
+Run with::
+
+    python examples/consistency_tuning.py
+"""
+
+from repro import (
+    Options,
+    Papyrus,
+    RDONLY,
+    RDWR,
+    RELAXED,
+    SEQUENTIAL,
+    spmd_run,
+)
+
+N = 4
+ITERS = 150
+OPTS = Options(memtable_capacity=1 << 20, remote_memtable_capacity=1 << 14)
+
+
+def app(ctx):
+    me = ctx.world_rank
+    out = {}
+    with Papyrus(ctx) as env:
+        db = env.open("tunable", OPTS)
+
+        # --- phase 1: relaxed write burst -----------------------------
+        t0 = ctx.clock.now
+        for i in range(ITERS):
+            db.put(f"burst/{me}/{i}".encode(), b"x" * 512)
+        out["relaxed_put_s"] = ctx.clock.now - t0
+        db.barrier()
+
+        # --- phase 2: the same burst under sequential consistency -----
+        db.set_consistency(SEQUENTIAL)
+        t0 = ctx.clock.now
+        for i in range(ITERS):
+            db.put(f"sync/{me}/{i}".encode(), b"x" * 512)
+        out["sequential_put_s"] = ctx.clock.now - t0
+
+        # --- signals order a producer/consumer hand-off ----------------
+        if me == 0:
+            db.put(b"handoff", b"ready")
+            env.signal_notify(1, list(range(1, ctx.nranks)))
+        else:
+            env.signal_wait(1, [0])
+            assert db.get(b"handoff") == b"ready"  # guaranteed visible
+
+        db.set_consistency(RELAXED)
+        db.barrier()
+
+        # --- phase 3: read-only analysis with the remote cache --------
+        other = (me + 1) % ctx.nranks
+        keys = [f"burst/{other}/{i}".encode() for i in range(0, ITERS, 3)]
+        db.protect(RDONLY)
+        t0 = ctx.clock.now
+        for k in keys:
+            db.get(k)  # first pass: fetched from the owner
+        out["rdonly_cold_s"] = ctx.clock.now - t0
+        t0 = ctx.clock.now
+        for k in keys:
+            db.get(k)  # second pass: remote cache hits
+        out["rdonly_warm_s"] = ctx.clock.now - t0
+        out["remote_cache_hits"] = db.remote_cache.hits
+        db.protect(RDWR)
+
+        db.close()
+    return out
+
+
+def main():
+    results = spmd_run(N, app)
+    r = results[0]
+    ms = lambda s: f"{s * 1e3:9.4f} ms"
+    print(f"{ITERS} puts/rank, {N} ranks (virtual time, rank 0):\n")
+    print(f"  relaxed put burst:       {ms(r['relaxed_put_s'])}")
+    print(f"  sequential put burst:    {ms(r['sequential_put_s'])}"
+          f"   ({r['sequential_put_s'] / r['relaxed_put_s']:.1f}x slower)")
+    print(f"  read-only phase, cold:   {ms(r['rdonly_cold_s'])}")
+    print(f"  read-only phase, warm:   {ms(r['rdonly_warm_s'])}"
+          f"   ({r['rdonly_cold_s'] / max(r['rdonly_warm_s'], 1e-12):.1f}x "
+          f"faster via remote cache, {r['remote_cache_hits']} hits)")
+    print("\nThe same database switched consistency modes and protection")
+    print("attributes dynamically, mid-run — no reopen required.")
+
+
+if __name__ == "__main__":
+    main()

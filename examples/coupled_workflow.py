@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Zero-copy workflow between coupled applications (paper §4.1, Fig. 5a).
+
+A producer application writes a dataset and exits; a consumer
+application in the *same job* opens the database by name and reads it —
+no data movement happens in between, because the SSTables are retained
+on the node-local NVM and the new database is composed from them
+directly.
+
+Run with::
+
+    python examples/coupled_workflow.py
+"""
+
+from repro import Options, Papyrus, SSTABLE, spmd_run
+from repro.nvm.storage import Machine
+from repro.simtime.profiles import SUMMITDEV
+
+NRANKS = 4
+OPTS = Options(memtable_capacity=1 << 16)
+
+
+def producer(ctx):
+    """Application 1: simulate a sweep and store its outputs."""
+    with Papyrus(ctx) as env:
+        db = env.open("simulation-output", OPTS)
+        for step in range(50):
+            key = f"step{step:04d}/rank{ctx.world_rank}".encode()
+            db.put(key, f"field-data-{step}-{ctx.world_rank}".encode() * 4)
+        db.barrier(SSTABLE)  # everything durably on NVM
+        n_tables = len(db.ssids)
+        db.close()
+        return n_tables
+
+
+def consumer(ctx):
+    """Application 2: opens the same database — zero copies."""
+    with Papyrus(ctx) as env:
+        t0 = ctx.clock.now
+        db = env.open("simulation-output", OPTS)  # composed from SSTables
+        open_cost = ctx.clock.now - t0
+        total = 0
+        for step in range(0, 50, 7):
+            for rank in range(ctx.nranks):
+                value = db.get(f"step{step:04d}/rank{rank}".encode())
+                assert value.startswith(b"field-data-")
+                total += len(value)
+        db.close()
+        return (open_cost, total)
+
+
+def main():
+    # one Machine = one job's NVM contents, shared by both applications
+    machine = Machine(SUMMITDEV, NRANKS)
+    try:
+        tables = spmd_run(NRANKS, producer, machine=machine)
+        print(f"producer done: {sum(tables)} SSTables retained on NVM")
+        results = spmd_run(NRANKS, consumer, machine=machine)
+        for rank, (open_cost, nbytes) in enumerate(results):
+            print(
+                f"consumer rank {rank}: reopened in {open_cost * 1e6:.1f} "
+                f"virtual µs (zero-copy), read {nbytes} bytes"
+            )
+        print("\nThe consumer never copied data: papyruskv_open composed")
+        print("the database from the SSTables the producer left on NVM.")
+    finally:
+        machine.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Meraculous-style de novo assembly on PapyrusKV (paper §5.2, Fig. 12-13).
+
+Builds a de Bruijn graph over a distributed k-mer hash table stored in
+PapyrusKV (with the application's own hash function installed for
+thread-data affinity), traverses it into contigs, verifies the assembly
+against a serial reference, and compares against the UPC-style DSM
+baseline.
+
+Run with::
+
+    python examples/genome_assembly.py
+"""
+
+from repro import Options, spmd_run
+from repro.apps.meraculous import run_meraculous
+from repro.simtime.profiles import CORI
+
+NRANKS = 4
+GENOME = 10_000
+K = 17
+
+OPTS = Options(
+    memtable_capacity=1 << 18,
+    remote_memtable_capacity=1 << 14,
+)
+
+
+def main():
+    print(f"assembling a synthetic {GENOME} bp genome, k={K}, "
+          f"{NRANKS} ranks on the Cori model\n")
+    rows = []
+    for backend in ("papyrus", "upc"):
+        def app(ctx, b=backend):
+            return run_meraculous(
+                ctx, backend=b, genome_length=GENOME, k=K,
+                options=OPTS if b == "papyrus" else None,
+            )
+
+        res = spmd_run(NRANKS, app, system=CORI, timeout=300)
+        contigs = sum(r.n_contigs for r in res)
+        constr = max(r.construction_time for r in res)
+        trav = max(r.traversal_time for r in res)
+        rows.append((backend, contigs, constr, trav, res[0].verified))
+
+    print("backend   contigs  construct(s)  traverse(s)  verified")
+    for backend, contigs, constr, trav, ok in rows:
+        print(f"{backend:8s} {contigs:8d}  {constr:12.5f} {trav:12.5f}  {ok}")
+
+    pkv = rows[0][2] + rows[0][3]
+    upc = rows[1][2] + rows[1][3]
+    print(f"\nPapyrusKV/UPC total-time ratio: {pkv / upc:.2f}x "
+          f"(paper: UPC faster, 1.5x at 512 threads)")
+    print("both assemblies verified against the serial reference — the")
+    print("PapyrusKV port needs no application-specific DHT code, just")
+    print("put/get with a custom hash function.")
+
+
+if __name__ == "__main__":
+    main()

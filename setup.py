@@ -1,0 +1,20 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools 65 without the ``wheel``
+package, which breaks PEP-517 editable installs; this shim lets
+``pip install -e .`` fall back to the classic develop-mode path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "PapyrusKV (SC'17) reproduction: a parallel embedded key-value "
+        "store for distributed NVM architectures"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,73 @@
+"""repro — a Python reproduction of PapyrusKV (SC'17).
+
+PapyrusKV is a parallel embedded key-value store for distributed HPC
+architectures with node-local or dedicated NVM (Kim, Lee, Vetter,
+SC'17).  This package implements the full system on a simulated
+substrate: a threaded SPMD "MPI" runtime with virtual-time performance
+modelling of the paper's three evaluation platforms.
+
+Quickstart::
+
+    from repro import Options, Papyrus, spmd_run
+
+    def app(ctx):
+        with Papyrus(ctx) as env:
+            db = env.open("mydb")
+            db.put(b"k", b"v")
+            db.barrier()
+            assert db.get(b"k") == b"v"
+            db.close()
+
+    spmd_run(4, app)
+"""
+
+from repro import config
+from repro.config import (
+    MEMTABLE,
+    Options,
+    RDONLY,
+    RDWR,
+    RELAXED,
+    SEQUENTIAL,
+    SSTABLE,
+    WRONLY,
+)
+from repro.core.db import Database, GetResult
+from repro.core.env import Papyrus
+from repro.core.events import Event
+from repro.errors import (
+    ErrorCode,
+    KeyNotFoundError,
+    PapyrusError,
+    ProtectionError,
+)
+from repro.mpi.launcher import RankContext, spmd_run
+from repro.simtime.profiles import CORI, STAMPEDE, SUMMITDEV, system_by_name
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CORI",
+    "Database",
+    "ErrorCode",
+    "Event",
+    "GetResult",
+    "KeyNotFoundError",
+    "MEMTABLE",
+    "Options",
+    "Papyrus",
+    "PapyrusError",
+    "ProtectionError",
+    "RDONLY",
+    "RDWR",
+    "RELAXED",
+    "RankContext",
+    "SEQUENTIAL",
+    "SSTABLE",
+    "STAMPEDE",
+    "SUMMITDEV",
+    "WRONLY",
+    "config",
+    "spmd_run",
+    "system_by_name",
+]

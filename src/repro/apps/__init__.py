@@ -1,0 +1,1 @@
+"""Applications built on PapyrusKV (paper §5.2, "A real HPC application")."""

@@ -1,0 +1,37 @@
+"""Meraculous: parallel de novo genome assembly (Figure 13).
+
+Meraculous' core is a de Bruijn graph "implemented as a distributed
+hash table with an overlapping substring of length k (a k-mer) as key
+and a two-letter code [ACGT][ACGT] as value" (paper Figure 12).  This
+package reimplements the graph construction and traversal phases over a
+generic distributed-hash-table interface with two backends:
+
+* :class:`~repro.apps.meraculous.dht.PapyrusDHT` — PapyrusKV, using the
+  same custom hash function for thread-data affinity as the UPC code;
+* :class:`~repro.apps.meraculous.dht.UpcDHT` — a UPC-like DSM baseline
+  with one-sided (RDMA-cost) remote access and no handler involvement.
+
+The human chr14 dataset is unavailable offline; :mod:`.genome`
+synthesizes a genome and its UFX (k-mer + extensions) set with the same
+structure, and the traversal's contigs are checked to reassemble the
+genome exactly, so correctness is verified end to end.
+"""
+
+from repro.apps.meraculous.debruijn import build_graph, traverse
+from repro.apps.meraculous.dht import PapyrusDHT, UpcDHT
+from repro.apps.meraculous.driver import MeraculousResult, run_meraculous
+from repro.apps.meraculous.genome import synthesize_genome, ufx_from_genome
+from repro.apps.meraculous.kmer import kmer_hash, kmers_of
+
+__all__ = [
+    "MeraculousResult",
+    "PapyrusDHT",
+    "UpcDHT",
+    "build_graph",
+    "kmer_hash",
+    "kmers_of",
+    "run_meraculous",
+    "synthesize_genome",
+    "traverse",
+    "ufx_from_genome",
+]

@@ -1,0 +1,78 @@
+"""K-mer utilities: extraction, encoding, and the shared hash function.
+
+"A hash function is used to define the affinities between UPC threads
+and hash table entries ... The PapyrusKV runtime calls the same hash
+function in the UPC application" (paper §5.2) — :func:`kmer_hash` is
+that shared function, passed to PapyrusKV as the custom hash.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+ALPHABET = b"ACGT"
+#: extension codes: a concrete base, or F (fork / multiple extensions),
+#: or X (no extension / sequence boundary) — following Meraculous' UFX
+FORK = ord("F")
+TERM = ord("X")
+
+_CODE = {65: 0, 67: 1, 71: 2, 84: 3}  # A C G T
+
+
+def is_valid_base(b: int) -> bool:
+    """True for the byte values of A, C, G, T."""
+    return b in _CODE
+
+
+def kmers_of(seq: bytes, k: int) -> Iterator[bytes]:
+    """All overlapping k-mers of ``seq`` in order."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    for i in range(len(seq) - k + 1):
+        yield seq[i:i + k]
+
+
+def encode_kmer(kmer: bytes) -> int:
+    """2-bit pack a k-mer into an integer (canonical storage form)."""
+    v = 0
+    for b in kmer:
+        try:
+            v = (v << 2) | _CODE[b]
+        except KeyError:
+            raise ValueError(f"invalid base {chr(b)!r} in k-mer") from None
+    return v
+
+
+def decode_kmer(v: int, k: int) -> bytes:
+    """Inverse of :func:`encode_kmer` for a known k."""
+    out = bytearray(k)
+    for i in range(k - 1, -1, -1):
+        out[i] = ALPHABET[v & 3]
+        v >>= 2
+    return bytes(out)
+
+
+def kmer_hash(kmer: bytes) -> int:
+    """The hash shared between the UPC code and PapyrusKV (FNV over the
+    2-bit encoding, mixed).  Deterministic and platform-independent."""
+    h = 0xCBF29CE484222325
+    for b in kmer:
+        h ^= b
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    # final avalanche (splitmix-style) for better low-bit behaviour
+    h ^= h >> 31
+    h = (h * 0x7FB5D329728EA185) & 0xFFFFFFFFFFFFFFFF
+    h ^= h >> 27
+    return h
+
+
+def extension_code(left: int, right: int) -> bytes:
+    """The two-letter [ACGT|F|X][ACGT|F|X] UFX value."""
+    return bytes([left, right])
+
+
+def split_extension(code: bytes) -> tuple:
+    """Unpack a two-letter UFX code into (left, right) byte values."""
+    if len(code) != 2:
+        raise ValueError(f"bad extension code {code!r}")
+    return code[0], code[1]

@@ -1,0 +1,15 @@
+"""A checkpointed distributed stencil solver on PapyrusKV.
+
+The paper's introduction motivates KVS use in HPC for "coupling
+applications or storing intermediate results"; this application is the
+minimal honest instance: a 1-D heat-diffusion solver whose ranks
+exchange halo cells *through the key-value store* (sequential
+consistency + signals give neighbour ordering without MPI point-to-
+point), checkpoint the field mid-run, and restart bit-exactly — even on
+a different rank count, courtesy of restart-with-redistribution.
+"""
+
+from repro.apps.stencil.solver import serial_solve, split_domain
+from repro.apps.stencil.driver import StencilResult, run_stencil
+
+__all__ = ["StencilResult", "run_stencil", "serial_solve", "split_domain"]

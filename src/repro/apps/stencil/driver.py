@@ -1,0 +1,212 @@
+"""Distributed stencil driver: halo exchange through PapyrusKV.
+
+Per time step each rank publishes its slab's edge cells under
+``halo/<step>/<rank>/<side>`` (sequential consistency makes the put
+globally visible on return), signals its neighbours, waits for theirs,
+and reads their edges.  Old halos are deleted every few steps —
+tombstone churn through the same LSM machinery as any delete.
+
+Optionally the field itself is checkpointed mid-run
+(``field/<rank>/<i>`` records), and :func:`resume_stencil` restarts
+from the snapshot — on any rank count — and continues to the same
+final answer.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro import config
+from repro.config import Options
+from repro.core.env import Papyrus
+from repro.mpi.launcher import RankContext
+from repro.apps.stencil.solver import initial_field, split_domain, step
+
+_F = struct.Struct("<d")
+
+
+def _pack(x: float) -> bytes:
+    return _F.pack(float(x))
+
+
+def _unpack(b: bytes) -> float:
+    return _F.unpack(b)[0]
+
+
+@dataclass
+class StencilResult:
+    """Per-rank outcome of a stencil run."""
+
+    rank: int
+    start: int
+    stop: int
+    field: np.ndarray  # this rank's interior slab after the final step
+    steps_done: int
+    halo_puts: int
+    halo_gets: int
+    virtual_time: float
+
+
+def _halo_key(step_no: int, rank: int, side: str) -> bytes:
+    return f"halo/{step_no:06d}/{rank}/{side}".encode()
+
+
+def run_stencil(
+    ctx: RankContext,
+    ncells: int = 256,
+    steps: int = 20,
+    alpha: float = 0.2,
+    seed: int = 0,
+    checkpoint_at: Optional[int] = None,
+    snapshot: str = "stencil-ckpt",
+    options: Optional[Options] = None,
+    db_name: str = "stencil",
+) -> StencilResult:
+    """One rank of the distributed solver."""
+    options = (options or Options()).with_(consistency=config.SEQUENTIAL)
+    env = Papyrus(ctx)
+    db = env.open(db_name, options)
+    me, n = ctx.world_rank, ctx.nranks
+    slabs = split_domain(ncells, n)
+    start, stop = slabs[me]
+
+    full0 = initial_field(ncells, seed)
+    u = full0[start:stop].copy()
+    left_boundary = full0[0]
+    right_boundary = full0[-1]
+
+    halo_puts = halo_gets = 0
+    t0 = ctx.clock.now
+    for s in range(steps):
+        # publish my edges (empty slabs publish nothing)
+        if len(u):
+            db.put(_halo_key(s, me, "L"), _pack(u[0]))
+            db.put(_halo_key(s, me, "R"), _pack(u[-1]))
+            halo_puts += 2
+        # sequential consistency: the puts are already at their owners;
+        # signals order us against the neighbours' reads
+        if me > 0:
+            env.signal_notify(1, [me - 1])
+        if me < n - 1:
+            env.signal_notify(2, [me + 1])
+        if me < n - 1:
+            env.signal_wait(1, [me + 1])
+        if me > 0:
+            env.signal_wait(2, [me - 1])
+
+        left = left_boundary if me == 0 else _unpack(
+            db.get(_halo_key(s, me - 1, "R"))
+        )
+        right = right_boundary if me == n - 1 else _unpack(
+            db.get(_halo_key(s, me + 1, "L"))
+        )
+        halo_gets += int(me > 0) + int(me < n - 1)
+        if len(u):
+            u = step(u, left, right, alpha)
+
+        if s % 4 == 3:  # retire old halos (tombstone churn)
+            for old in range(max(0, s - 3), s):
+                db.delete(_halo_key(old, me, "L"))
+                db.delete(_halo_key(old, me, "R"))
+
+        if checkpoint_at is not None and s == checkpoint_at:
+            for i, x in enumerate(u):
+                db.put(f"field/{me}/{start + i:06d}".encode(), _pack(x))
+            db.put(f"fieldmeta/{me}".encode(),
+                   struct.pack("<iiq", start, stop, s))
+            db.barrier()
+            db.checkpoint(snapshot).wait(ctx.clock)
+            db.coll_comm.barrier()
+
+    result = StencilResult(
+        rank=me, start=start, stop=stop, field=u, steps_done=steps,
+        halo_puts=halo_puts, halo_gets=halo_gets,
+        virtual_time=ctx.clock.now - t0,
+    )
+    db.barrier()
+    db.close()
+    env.finalize()
+    return result
+
+
+def resume_stencil(
+    ctx: RankContext,
+    snapshot: str,
+    ncells: int,
+    total_steps: int,
+    checkpointed_at: int,
+    source_nranks: int,
+    alpha: float = 0.2,
+    seed: int = 0,
+    options: Optional[Options] = None,
+    db_name: str = "stencil",
+) -> StencilResult:
+    """Restart from a snapshot and run the remaining steps.
+
+    Works with any current rank count: the checkpointed field cells are
+    keyed by global index, so after (re)distribution every rank can
+    read the cells of its *new* slab.
+    """
+    options = (options or Options()).with_(consistency=config.SEQUENTIAL)
+    env = Papyrus(ctx)
+    db, ev = env.restart(snapshot, db_name, options,
+                         force_redistribute=ctx.nranks != source_nranks)
+    ev.wait(ctx.clock)
+    db.barrier()
+
+    me, n = ctx.world_rank, ctx.nranks
+    slabs = split_domain(ncells, n)
+    start, stop = slabs[me]
+    # field cells were written as field/<source rank>/<global index>;
+    # locate each of my cells regardless of who wrote it
+    cells = []
+    src_slabs = split_domain(ncells, source_nranks)
+    for i in range(start, stop):
+        writer = next(
+            r for r, (a, b) in enumerate(src_slabs) if a <= i < b
+        )
+        cells.append(_unpack(db.get(f"field/{writer}/{i:06d}".encode())))
+    u = np.array(cells)
+
+    full0 = initial_field(ncells, seed)
+    left_boundary, right_boundary = full0[0], full0[-1]
+
+    halo_puts = halo_gets = 0
+    t0 = ctx.clock.now
+    for s in range(checkpointed_at + 1, total_steps):
+        if len(u):
+            db.put(_halo_key(s, me, "L"), _pack(u[0]))
+            db.put(_halo_key(s, me, "R"), _pack(u[-1]))
+            halo_puts += 2
+        if me > 0:
+            env.signal_notify(1, [me - 1])
+        if me < n - 1:
+            env.signal_notify(2, [me + 1])
+        if me < n - 1:
+            env.signal_wait(1, [me + 1])
+        if me > 0:
+            env.signal_wait(2, [me - 1])
+        left = left_boundary if me == 0 else _unpack(
+            db.get(_halo_key(s, me - 1, "R"))
+        )
+        right = right_boundary if me == n - 1 else _unpack(
+            db.get(_halo_key(s, me + 1, "L"))
+        )
+        halo_gets += int(me > 0) + int(me < n - 1)
+        if len(u):
+            u = step(u, left, right, alpha)
+
+    result = StencilResult(
+        rank=me, start=start, stop=stop, field=u,
+        steps_done=total_steps - checkpointed_at - 1,
+        halo_puts=halo_puts, halo_gets=halo_gets,
+        virtual_time=ctx.clock.now - t0,
+    )
+    db.barrier()
+    db.close()
+    env.finalize()
+    return result

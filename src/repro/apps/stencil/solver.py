@@ -1,0 +1,58 @@
+"""Numerics for the 1-D heat equation (explicit Euler).
+
+``u_t = alpha * u_xx`` on a fixed-boundary grid; the serial solver is
+the ground truth the distributed run must match bit-for-bit (identical
+operation order per cell makes float equality achievable).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+def initial_field(ncells: int, seed: int = 0) -> np.ndarray:
+    """A deterministic initial condition: a hot bump plus noise."""
+    rng = np.random.default_rng(seed)
+    x = np.linspace(0.0, 1.0, ncells)
+    field = np.exp(-((x - 0.5) ** 2) / 0.02) + 0.01 * rng.random(ncells)
+    field[0] = field[-1] = 0.0  # Dirichlet boundaries
+    return field
+
+
+def step(u: np.ndarray, left: float, right: float, alpha: float) -> np.ndarray:
+    """One explicit Euler step of a local slab with halo values."""
+    padded = np.empty(len(u) + 2, dtype=u.dtype)
+    padded[0] = left
+    padded[1:-1] = u
+    padded[-1] = right
+    return u + alpha * (padded[:-2] - 2.0 * u + padded[2:])
+
+
+def serial_solve(ncells: int, steps: int, alpha: float = 0.2,
+                 seed: int = 0) -> np.ndarray:
+    """Reference solution on one rank."""
+    u = initial_field(ncells, seed)
+    for _ in range(steps):
+        interior = step(u[1:-1], u[0], u[-1], alpha)
+        u = np.concatenate(([u[0]], interior, [u[-1]]))
+    return u
+
+
+def split_domain(ncells: int, nranks: int) -> List[Tuple[int, int]]:
+    """Contiguous (start, stop) slabs of the interior cells per rank.
+
+    The two Dirichlet boundary cells stay global; the interior
+    ``ncells - 2`` cells are split as evenly as possible.
+    """
+    interior = ncells - 2
+    base = interior // nranks
+    extra = interior % nranks
+    out: List[Tuple[int, int]] = []
+    start = 1
+    for r in range(nranks):
+        size = base + (1 if r < extra else 0)
+        out.append((start, start + size))
+        start += size
+    return out

@@ -1,0 +1,14 @@
+"""Comparator systems from the paper's evaluation.
+
+* :mod:`repro.baselines.minikv` — a LevelDB-like single-node LSM store
+  (the local data store MDHIM runs on);
+* :mod:`repro.baselines.mdhim` — an MDHIM-like parallel embedded KVS: a
+  communication/distribution layer stacked on per-rank MiniKV instances,
+  with the duplicated memory structures and extra copies between the two
+  layers that Figure 11 attributes MDHIM's overhead to.
+"""
+
+from repro.baselines.mdhim import MDHIM
+from repro.baselines.minikv import MiniKV
+
+__all__ = ["MDHIM", "MiniKV"]

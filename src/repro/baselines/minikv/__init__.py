@@ -1,0 +1,14 @@
+"""MiniKV: a LevelDB-like single-node LSM key-value store.
+
+Follows LevelDB's design rather than PapyrusKV's: a write-ahead
+MemTable flushed to level-0 table files, leveled compaction into a
+sorted, non-overlapping level 1, and single-file block-based tables
+(data blocks + index block + footer) instead of PapyrusKV's three-file
+SSTables.  Used as the local data store under the MDHIM baseline,
+exactly as the paper's evaluation uses LevelDB.
+"""
+
+from repro.baselines.minikv.store import MiniKV
+from repro.baselines.minikv.table import Table, TableBuilder
+
+__all__ = ["MiniKV", "Table", "TableBuilder"]

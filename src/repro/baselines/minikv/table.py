@@ -1,0 +1,188 @@
+"""MiniKV's block-based table file format (LevelDB-style).
+
+One ``.ldb`` file per table::
+
+    [data block 0][data block 1]...[index block][footer]
+
+Each data block holds consecutive sorted records; the index block maps
+each block's last key to its (offset, length); the fixed-size footer
+locates the index block.  Unlike PapyrusKV's SSTables there is no
+separate bloom-filter file and no per-record index — a lookup reads the
+index block, then the whole candidate data block, mirroring LevelDB's
+coarser I/O granularity.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_left
+from typing import Iterator, List, Optional, Tuple
+
+from repro.nvm.posixfs import PosixStore
+
+_FOOTER = struct.Struct("<QQI")
+FOOTER_MAGIC = 0x4C444231  # "LDB1"
+_REC = struct.Struct("<IIB")
+DEFAULT_BLOCK_SIZE = 4096
+
+#: (key, value, tombstone)
+Item = Tuple[bytes, bytes, bool]
+
+
+def _encode_item(key: bytes, value: bytes, tombstone: bool) -> bytes:
+    return _REC.pack(len(key), len(value), 1 if tombstone else 0) + key + value
+
+
+def decode_block(blob: bytes) -> Iterator[Item]:
+    """Yield the (key, value, tombstone) items of one data block."""
+    pos = 0
+    end = len(blob)
+    while pos < end:
+        keylen, vallen, flags = _REC.unpack_from(blob, pos)
+        pos += _REC.size
+        key = bytes(blob[pos:pos + keylen])
+        pos += keylen
+        value = bytes(blob[pos:pos + vallen])
+        pos += vallen
+        yield key, value, bool(flags)
+
+
+class TableBuilder:
+    """Accumulates sorted items into blocks and writes one table file."""
+
+    def __init__(self, block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+        self.block_size = block_size
+        self._blocks: List[bytes] = []
+        self._last_keys: List[bytes] = []
+        self._current = bytearray()
+        self._current_last: Optional[bytes] = None
+        self._prev_key: Optional[bytes] = None
+        self.count = 0
+
+    def add(self, key: bytes, value: bytes, tombstone: bool = False) -> None:
+        """Append one item; keys must arrive strictly sorted."""
+        if self._prev_key is not None and key <= self._prev_key:
+            raise ValueError("items must be strictly sorted by key")
+        self._prev_key = key
+        self._current += _encode_item(key, value, tombstone)
+        self._current_last = key
+        self.count += 1
+        if len(self._current) >= self.block_size:
+            self._finish_block()
+
+    def _finish_block(self) -> None:
+        if not self._current:
+            return
+        self._blocks.append(bytes(self._current))
+        self._last_keys.append(self._current_last or b"")
+        self._current = bytearray()
+        self._current_last = None
+
+    def finish(self) -> bytes:
+        """Serialize the complete table file."""
+        self._finish_block()
+        out = bytearray()
+        index = bytearray()
+        index += struct.pack("<I", len(self._blocks))
+        for block, last_key in zip(self._blocks, self._last_keys):
+            offset = len(out)
+            out += block
+            index += struct.pack("<QQI", offset, len(block), len(last_key))
+            index += last_key
+        index_offset = len(out)
+        out += index
+        out += _FOOTER.pack(index_offset, len(index), FOOTER_MAGIC)
+        return bytes(out)
+
+
+class Table:
+    """Reader for one table file."""
+
+    def __init__(self, store: PosixStore, path: str) -> None:
+        self.store = store
+        self.path = path
+        self._index: Optional[List[Tuple[bytes, int, int]]] = None
+        #: (smallest, largest) key range, filled on index load
+        self._range: Optional[Tuple[bytes, bytes]] = None
+
+    def _load_index(self, t: float) -> Tuple[List[Tuple[bytes, int, int]], float]:
+        if self._index is not None:
+            return self._index, t
+        size = self.store.size(self.path)
+        footer_blob, t = self.store.read(
+            self.path, t, size - _FOOTER.size, _FOOTER.size
+        )
+        index_offset, index_len, magic = _FOOTER.unpack(footer_blob)
+        if magic != FOOTER_MAGIC:
+            raise ValueError(f"bad table footer magic {magic:#x}")
+        blob, t = self.store.read(self.path, t, index_offset, index_len)
+        (nblocks,) = struct.unpack_from("<I", blob, 0)
+        pos = 4
+        index: List[Tuple[bytes, int, int]] = []
+        for _ in range(nblocks):
+            offset, length, klen = struct.unpack_from("<QQI", blob, pos)
+            pos += 20
+            last_key = bytes(blob[pos:pos + klen])
+            pos += klen
+            index.append((last_key, offset, length))
+        self._index = index
+        return index, t
+
+    def get(self, key: bytes, t: float) -> Tuple[Optional[Item], float]:
+        """Find ``key``: index-block lookup, then one data-block read."""
+        index, t = self._load_index(t)
+        if not index:
+            return None, t
+        keys = [e[0] for e in index]
+        bi = bisect_left(keys, key)
+        if bi >= len(index):
+            return None, t
+        _, offset, length = index[bi]
+        block, t = self.store.read(self.path, t, offset, length)
+        for k, v, tomb in decode_block(block):
+            if k == key:
+                return (k, v, tomb), t
+            if k > key:
+                break
+        return None, t
+
+    def scan(self, t: float) -> Tuple[List[Item], float]:
+        """Read every item in key order (compaction input)."""
+        index, t = self._load_index(t)
+        items: List[Item] = []
+        for _, offset, length in index:
+            block, t = self.store.read(self.path, t, offset, length)
+            items.extend(decode_block(block))
+        return items, t
+
+    def key_range(self, t: float) -> Tuple[Tuple[bytes, bytes], float]:
+        """(smallest, largest) key in the table."""
+        if self._range is not None:
+            return self._range, t
+        index, t = self._load_index(t)
+        if not index:
+            self._range = (b"", b"")
+            return self._range, t
+        first_block, t = self.store.read(
+            self.path, t, index[0][1], index[0][2]
+        )
+        smallest = next(decode_block(first_block))[0]
+        largest = index[-1][0]
+        self._range = (smallest, largest)
+        return self._range, t
+
+    def delete(self, t: float) -> float:
+        """Remove the table file; returns the virtual completion time."""
+        return self.store.delete(self.path, t)
+
+
+def write_table(store: PosixStore, path: str, items: List[Item],
+                t: float, block_size: int = DEFAULT_BLOCK_SIZE
+                ) -> Tuple[int, float]:
+    """Build and write one table; returns (nbytes, completion time)."""
+    builder = TableBuilder(block_size)
+    for key, value, tombstone in items:
+        builder.add(key, value, tombstone)
+    blob = builder.finish()
+    t = store.write(path, blob, t)
+    return len(blob), t

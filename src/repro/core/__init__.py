@@ -1,0 +1,14 @@
+"""PapyrusKV core: the paper's primary contribution.
+
+The public entry points are :class:`~repro.core.env.Papyrus` (the
+per-rank execution environment, ``papyruskv_init``/``finalize``),
+:class:`~repro.core.db.Database` (the object API), and
+:mod:`repro.core.api` (the C-style functional API returning error codes).
+"""
+
+from repro.core.db import Database, GetResult
+from repro.core.env import Papyrus
+from repro.core.events import Event
+from repro.core.memtable import Entry, MemTable
+
+__all__ = ["Database", "Entry", "Event", "GetResult", "MemTable", "Papyrus"]

@@ -1,0 +1,188 @@
+"""Persistence: checkpoint, restart, restart-with-redistribution, destroy.
+
+"A collective function ``papyruskv_checkpoint()`` generates a snapshot
+image of the database ... the compaction thread in each rank starts to
+transfer the SSTables from NVM to the target parallel file system"
+(paper §4.2).  Checkpoint and restart are asynchronous: they return an
+:class:`~repro.core.events.Event` whose completion time lies on the
+background compaction timeline, so the application overlaps them with
+useful work until ``papyruskv_wait``.
+"""
+
+from __future__ import annotations
+
+import json
+import posixpath
+from typing import List, Optional, Tuple
+
+from repro import config
+from repro.core.events import Event
+from repro.errors import InvalidOptionError, StorageError
+from repro.sstable.reader import SSTableReader, list_ssids
+
+
+def _snapshot_dir(path: str, db_name: str) -> str:
+    """Snapshot directory (relative to the Lustre store root)."""
+    clean = path.strip("/").replace("..", "_")
+    return posixpath.join("ckpt", clean, f"db_{db_name}")
+
+
+def checkpoint(db, path: str) -> Event:
+    """Collective asynchronous snapshot of ``db`` to the parallel FS."""
+    db._check_open()
+    # 1. global SSTable-level barrier: the snapshot image now exists on NVM
+    db.barrier(config.SSTABLE)
+    lustre = db.ctx.machine.lustre_store()
+    snap = _snapshot_dir(path, db.name)
+    rank_src = db.rank_dir
+    rank_dst = posixpath.join(snap, f"rank{db.rank}")
+    ssids = list(db.ssids)
+
+    # 2. background transfer NVM -> Lustre on the compaction timeline,
+    # staged out as one bulk streaming copy per rank
+    def job(start: float) -> float:
+        paths = []
+        for ssid in ssids:
+            paths.extend(SSTableReader(db.store, rank_src, ssid).file_paths())
+        blobs, t = db.store.bulk_read(paths, start)
+        out = {
+            posixpath.join(rank_dst, posixpath.basename(rel)): data
+            for rel, data in blobs.items()
+        }
+        t = lustre.bulk_write(out, t)
+        if db.rank == 0:
+            manifest = {
+                "name": db.name,
+                "nranks": db.nranks,
+                "path": path,
+            }
+            t = lustre.write(
+                posixpath.join(snap, "manifest.json"),
+                json.dumps(manifest).encode(), t,
+            )
+        return t
+
+    end = db.compaction_worker.schedule(db.clock.now, job)
+    return Event(f"checkpoint:{db.name}:{path}").complete_at(end)
+
+
+def read_manifest(machine, path: str, name: str) -> dict:
+    """Load a snapshot manifest from the parallel FS."""
+    lustre = machine.lustre_store()
+    rel = posixpath.join(_snapshot_dir(path, name), "manifest.json")
+    if not lustre.exists(rel):
+        raise StorageError(f"no snapshot manifest at {rel}")
+    blob, _ = lustre.read(rel, 0.0)
+    return json.loads(blob.decode())
+
+
+def restart(env, path: str, name: str,
+            options=None, force_redistribute: bool = False
+            ) -> Tuple["object", Event]:
+    """Collective restart of database ``name`` from a snapshot (§4.2).
+
+    Returns ``(db, event)``; the database contents are guaranteed only
+    after ``event.wait()``.  When the snapshot was taken with a
+    different rank count (or ``force_redistribute`` is set), every pair
+    is re-put through the normal distribution path — "restart with
+    redistribution".
+    """
+    manifest = read_manifest(env.ctx.machine, path, name)
+    snap_nranks = int(manifest["nranks"])
+    db = env.open(name, options)
+    redistribute = force_redistribute or snap_nranks != db.nranks
+    if redistribute:
+        end = _restart_redistribute(env, db, path, name, snap_nranks)
+    else:
+        end = _restart_copy(env, db, path, name)
+    event = Event(f"restart:{name}:{path}").complete_at(end)
+    event.on_wait(lambda: _refresh(db))
+    return db, event
+
+
+def _refresh(db) -> None:
+    with db._lock:
+        db._readers.clear()
+        db._load_existing_sstables()
+
+
+def _restart_copy(env, db, path: str, name: str) -> float:
+    """Same rank count: copy SSTable files back as they are (zero reshuffle)."""
+    lustre = env.ctx.machine.lustre_store()
+    snap = _snapshot_dir(path, name)
+    rank_src = posixpath.join(snap, f"rank{db.rank}")
+    files = lustre.listdir(rank_src)
+
+    def job(start: float) -> float:
+        blobs, t = lustre.bulk_read(
+            [posixpath.join(rank_src, f) for f in files], start
+        )
+        out = {
+            posixpath.join(db.rank_dir, posixpath.basename(rel)): data
+            for rel, data in blobs.items()
+        }
+        return db.store.bulk_write(out, t)
+
+    end = db.compaction_worker.schedule(db.clock.now, job)
+    db.coll_comm.barrier()
+    return end
+
+
+def _restart_redistribute(env, db, path: str, name: str,
+                          snap_nranks: int) -> float:
+    """Different rank count: re-put every pair through the hash path.
+
+    "The compaction thread in each MPI rank reads the SSTables from the
+    parallel file system, and calls a put operation for every key-value
+    pair ... partitioned across all the MPI ranks and executed in
+    parallel" (§4.2).
+    """
+    lustre = env.ctx.machine.lustre_store()
+    snap = _snapshot_dir(path, name)
+    # partition the snapshot's rank directories across the new ranks
+    my_dirs: List[str] = [
+        posixpath.join(snap, f"rank{old}")
+        for old in range(snap_nranks)
+        if old % db.nranks == db.rank
+    ]
+    t = db.clock.now
+    for d in my_dirs:
+        for ssid in list_ssids(lustre, d):  # ascending: newest puts last win
+            reader = SSTableReader(lustre, d, ssid)
+            records, t = reader.read_all(t)
+            db.clock.advance_to(t)
+            for rec in records:
+                if rec.tombstone:
+                    db.delete(rec.key)
+                else:
+                    db.put(rec.key, rec.value)
+            t = db.clock.now
+    # the restored database must be materialized on NVM like a plain
+    # restart's copied SSTables, so redistribution includes the rebuild
+    db.barrier(config.SSTABLE)
+    return db.clock.now
+
+
+def destroy(db) -> Event:
+    """Collective removal of the database and all its NVM data (async)."""
+    db._check_open()
+    db.fence()
+    db.coll_comm.barrier()
+    from repro.core import messages as msg
+
+    db.srv_comm.send(msg.StopMsg(), db.rank, tag=0)
+    if db._handler_thread is not None:
+        db._handler_thread.join(30.0)
+    rank_dir = db.rank_dir
+
+    def job(start: float) -> float:
+        return db.store.delete_tree(rank_dir, start)
+
+    end = db.compaction_worker.schedule(db.clock.now, job)
+    db.coll_comm.barrier()
+    if db.rank == 0:
+        end = max(end, db.store.delete(f"{db.dbdir}/meta.json", end))
+    db._closed = True
+    db.coll_comm.barrier()
+    db.env._forget(db.name)
+    return Event(f"destroy:{db.name}").complete_at(end)

@@ -1,0 +1,813 @@
+"""The PapyrusKV database object.
+
+One :class:`Database` instance exists per rank per open database.  Its
+moving parts mirror Figure 2/3 of the paper:
+
+* a mutable **local MemTable** receiving local puts, rotated into the
+  flushing queue when full, flushed to SSTables by the background
+  compaction worker;
+* a mutable **remote MemTable** staging remote puts under relaxed
+  consistency, rotated into the migration queue and shipped to owner
+  ranks by the message dispatcher;
+* **local/remote caches** (LRU) gated by the protection attribute;
+* a per-rank sequence of **SSTables** searched newest-SSID-first with
+  bloom-filter skipping and (optionally) binary search;
+* a **message handler** thread serving migrations, synchronous puts and
+  remote gets for this rank's shard.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro import config
+from repro.config import Options
+from repro.errors import (
+    DatabaseClosedError,
+    InvalidModeError,
+    InvalidProtectionError,
+    KeyNotFoundError,
+    InvalidKeyError,
+    InvalidValueError,
+    ProtectionError,
+    StorageError,
+)
+from repro.core import messages as msg
+from repro.core.memtable import Entry, MemTable
+from repro.mpi.comm import ANY_SOURCE, Comm
+from repro.nvm.posixfs import PosixStore
+from repro.nvm.storage import StorageLayout
+from repro.simtime.resources import BackgroundWorker
+from repro.sstable.compaction import compact
+from repro.sstable.format import Record
+from repro.sstable.reader import SSTableReader, list_ssids
+from repro.sstable.writer import write_sstable
+from repro.util.hashing import owner_rank
+from repro.util.lru import LRUCache
+
+#: tag used on the ack comm for migration acknowledgements
+ACK_TAG = 7
+
+
+@dataclass
+class GetResult:
+    """A get outcome with provenance (which tier satisfied it)."""
+
+    value: bytes
+    tier: str  # local_mt | flushing | local_cache | sstable | remote_mt |
+    #          inflight | remote_cache | remote | shared_sstable
+
+
+@dataclass
+class DbStats:
+    """Operation counters (diagnostics and tests)."""
+
+    puts: int = 0
+    gets: int = 0
+    deletes: int = 0
+    local_puts: int = 0
+    remote_puts: int = 0
+    local_gets: int = 0
+    remote_gets: int = 0
+    flushes: int = 0
+    compactions: int = 0
+    migrations: int = 0
+    get_tiers: Dict[str, int] = field(default_factory=dict)
+
+    def hit(self, tier: str) -> None:
+        """Count a get satisfied by the named tier."""
+        self.get_tiers[tier] = self.get_tiers.get(tier, 0) + 1
+
+
+class Database:
+    """Per-rank handle to one distributed PapyrusKV database.
+
+    Construct via :meth:`repro.core.env.Papyrus.open` (collective), not
+    directly.
+    """
+
+    def __init__(
+        self,
+        env,
+        name: str,
+        options: Options,
+        srv_comm: Comm,
+        rsp_comm: Comm,
+        ack_comm: Comm,
+        coll_comm: Comm,
+        store: PosixStore,
+    ) -> None:
+        self.env = env
+        self.ctx = env.ctx
+        self.name = name
+        self.options = options
+        self.rank = self.ctx.world_rank
+        self.nranks = self.ctx.nranks
+        self.consistency = options.consistency
+        self.protection = options.protection
+        self.binary_search = options.binary_search
+        self.hash_fn = options.hash_fn
+
+        self.store = store
+        self.dbdir = f"db_{name}"
+        self.rank_dir = f"{self.dbdir}/rank{self.rank}"
+
+        group_size = options.group_size or self.ctx.machine.default_group_size
+        if options.repository == "lustre":
+            # the parallel FS is visible to everyone: one big domain
+            group_size = min(group_size, self.nranks)
+        self.layout = StorageLayout(self.nranks, group_size)
+        self.group = self.layout.group_of(self.rank)
+
+        self.srv_comm = srv_comm
+        self.rsp_comm = rsp_comm
+        self.ack_comm = ack_comm
+        self.coll_comm = coll_comm
+
+        cpu = self.ctx.system.cpu
+        self._op_cost = cpu.kv_op_s + cpu.dram_latency_s
+        self._memcpy_Bps = cpu.memcpy_Bps
+
+        self._lock = threading.RLock()
+        self.local_mt = MemTable(options.memtable_capacity, "local")
+        self.remote_mt = MemTable(options.remote_memtable_capacity, "remote")
+        #: flushing queue: (immutable MemTable, virtual flush-completion time)
+        self.flushing: List[Tuple[MemTable, float]] = []
+        #: migrated-but-unacked chunks, newest last: (seq, {key: (val, tomb)})
+        self.inflight: List[Tuple[int, Dict[bytes, Tuple[bytes, bool]]]] = []
+        self._pending_acks: set = set()
+        self._next_seq = self.rank + 1  # distinct across ranks for debugging
+
+        self.ssids: List[int] = []
+        self._next_ssid = 1
+        self._readers: Dict[int, SSTableReader] = {}
+        #: cached view of group peers' SSTable sets: owner -> (newest, ssids)
+        self._peer_readers: Dict[int, Tuple[int, List[int]]] = {}
+        #: reader objects per (owner, ssid) — SSTables are immutable, so
+        #: these stay valid until the file disappears (compaction)
+        self._peer_reader_cache: Dict[Tuple[int, int], SSTableReader] = {}
+
+        self.local_cache: Optional[LRUCache] = (
+            LRUCache(options.cache_local_capacity)
+            if options.cache_local_enabled else None
+        )
+        self.remote_cache = LRUCache(options.cache_remote_capacity)
+
+        self.compaction_worker = BackgroundWorker(f"compactor-r{self.rank}")
+        self.dispatcher_worker = BackgroundWorker(f"dispatcher-r{self.rank}")
+
+        self.stats = DbStats()
+        from repro.core.latency import LatencyTracker
+
+        self.latency = LatencyTracker()
+        self._tracer = None
+        self._closed = False
+        self._handler_thread: Optional[threading.Thread] = None
+
+        self.store.makedirs(self.rank_dir)
+        self._load_existing_sstables()
+
+    # ------------------------------------------------------------ lifecycle
+    def _load_existing_sstables(self) -> None:
+        """Zero-copy workflow: compose the DB from retained SSTables."""
+        existing = list_ssids(self.store, self.rank_dir)
+        if existing:
+            self.ssids = existing
+            self._next_ssid = existing[-1] + 1
+
+    def _start_handler(self) -> None:
+        from repro.core.handler import handler_main
+
+        t = threading.Thread(
+            target=handler_main, args=(self,),
+            name=f"pkv-handler-{self.name}-r{self.rank}", daemon=True,
+        )
+        self._handler_thread = t
+        t.start()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise DatabaseClosedError(f"database {self.name!r} is closed")
+
+    @property
+    def clock(self):
+        return self.ctx.clock
+
+    def attach_tracer(self, tracer) -> None:
+        """Record operation spans into ``tracer`` (see repro.tools.trace)."""
+        self._tracer = tracer
+
+    def _trace(self, name: str, lane: str, t_start: float,
+               t_end: float) -> None:
+        if self._tracer is not None:
+            self._tracer.record(name, self.rank, lane, t_start, t_end)
+
+    # ------------------------------------------------------------ op charges
+    def _charge_op(self, nbytes: int) -> None:
+        self.clock.advance(self._op_cost + nbytes / self._memcpy_Bps)
+
+    def _validate_kv(self, key: bytes, value: Optional[bytes]) -> None:
+        if not isinstance(key, (bytes, bytearray)) or len(key) == 0:
+            raise InvalidKeyError("key must be a non-empty byte string")
+        if value is not None and not isinstance(value, (bytes, bytearray)):
+            raise InvalidValueError("value must be a byte string")
+
+    def owner_of(self, key: bytes) -> int:
+        """The rank owning ``key`` (hash % nranks, custom hash honoured)."""
+        return owner_rank(bytes(key), self.nranks, self.hash_fn)
+
+    # ============================================================ PUT / DELETE
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or update a key-value pair (``papyruskv_put``)."""
+        self._validate_kv(key, value)
+        self._put_impl(bytes(key), bytes(value), tombstone=False)
+
+    def delete(self, key: bytes) -> None:
+        """Delete a key: a put with a tombstone bit (``papyruskv_delete``)."""
+        self._validate_kv(key, None)
+        self._put_impl(bytes(key), b"", tombstone=True)
+
+    def _put_impl(self, key: bytes, value: bytes, tombstone: bool) -> None:
+        self._check_open()
+        if self.protection == config.RDONLY:
+            raise ProtectionError("database is read-only (PAPYRUSKV_RDONLY)")
+        self.stats.puts += 1
+        if tombstone:
+            self.stats.deletes += 1
+        t_start = self.clock.now
+        self._charge_op(len(key) + len(value))
+        self._drain_acks(blocking=False)
+        owner = self.owner_of(key)
+        if owner == self.rank:
+            self.stats.local_puts += 1
+            self._local_insert(key, value, tombstone, self.clock)
+        elif self.consistency == config.SEQUENTIAL:
+            self.stats.remote_puts += 1
+            self._put_sync(owner, key, value, tombstone)
+        else:
+            self.stats.remote_puts += 1
+            self._remote_stage(owner, key, value, tombstone)
+        self.latency.observe(
+            "delete" if tombstone else "put", self.clock.now - t_start
+        )
+        self._trace("delete" if tombstone else "put", "main",
+                    t_start, self.clock.now)
+
+    def _local_insert(self, key: bytes, value: bytes, tombstone: bool,
+                      clock) -> None:
+        """Insert into the local MemTable (caller may be the handler)."""
+        with self._lock:
+            self.local_mt.put(key, value, tombstone)
+            # a stale cache entry with the same key is evicted (Fig. 2)
+            if self.local_cache is not None and self.protection != config.WRONLY:
+                self.local_cache.invalidate(key)
+            if self.local_mt.full:
+                self._rotate_local(clock)
+
+    def _rotate_local(self, clock) -> None:
+        """Freeze the full local MemTable and enqueue it for flushing."""
+        imm = self.local_mt.freeze()
+        self.local_mt = MemTable(self.options.memtable_capacity, "local")
+        self._enqueue_flush(imm, clock)
+
+    def _enqueue_flush(self, imm: MemTable, clock) -> None:
+        """Queue an immutable local MemTable; apply back-pressure if full."""
+        if len(imm) == 0:
+            return
+        # back-pressure: block (virtually) until the oldest flush finishes
+        while len(self.flushing) >= self.options.flush_queue_capacity:
+            _, end = self.flushing[0]
+            clock.advance_to(end)
+            self._retire_flushed(clock.now)
+            if self.flushing and self.flushing[0][1] > clock.now:
+                break  # defensive; should not happen
+        ssid = self._next_ssid
+        self._next_ssid += 1
+        records = imm.to_records()
+
+        def job(start: float) -> float:
+            _, end = write_sstable(
+                self.store, self.rank_dir, ssid, records, start,
+                self.options.bloom_fp_rate,
+            )
+            self._trace(f"flush ssid={ssid}", "compaction", start, end)
+            return end
+
+        end = self.compaction_worker.schedule(clock.now, job)
+        self.ssids.append(ssid)
+        self.flushing.append((imm, end))
+        self.stats.flushes += 1
+        self._retire_flushed(clock.now)
+        interval = self.options.compaction_interval
+        if interval and ssid % interval == 0 and len(self.ssids) > 1:
+            self._schedule_compaction(clock.now)
+
+    def _retire_flushed(self, now: float) -> None:
+        """Drop flushing-queue entries whose flush completed by ``now``."""
+        while self.flushing and self.flushing[0][1] <= now:
+            self.flushing.pop(0)
+
+    def _schedule_compaction(self, t_enqueue: float) -> None:
+        """Merge every on-disk SSTable of this rank into one (§2.5).
+
+        The merged table takes a *fresh* SSID (never reuses an input's):
+        group peers cache readers keyed by SSID, and a rewritten file
+        under an old SSID would pair their cached index with new data
+        silently.  A fresh SSID makes staleness detectable — deleted
+        inputs raise StorageError and the changed newest-SSID invalidates
+        peer caches.
+        """
+        inputs = list(self.ssids)
+        new_ssid = self._next_ssid
+        self._next_ssid += 1
+
+        def job(start: float) -> float:
+            _, end = compact(
+                self.store, self.rank_dir, inputs, new_ssid, start,
+                drop_tombstones=True, fp_rate=self.options.bloom_fp_rate,
+            )
+            self._trace(
+                f"compact {len(inputs)}->ssid={new_ssid}", "compaction",
+                start, end,
+            )
+            return end
+
+        self.compaction_worker.schedule(t_enqueue, job)
+        self.ssids = [new_ssid]
+        self._readers.clear()
+        self.stats.compactions += 1
+
+    # ------------------------------------------------------ remote put paths
+    def _remote_stage(self, owner: int, key: bytes, value: bytes,
+                      tombstone: bool) -> None:
+        """Relaxed mode: stage in the remote MemTable (memory only).
+
+        Migration happens *outside* the state lock: the dispatcher's
+        blocking back-pressure must never hold the lock this rank's
+        handler needs to serve other ranks (cross-rank deadlock).
+        """
+        with self._lock:
+            self.remote_mt.put(key, value, tombstone, owner)
+            imm = self._swap_remote_mt() if self.remote_mt.full else None
+        if imm is not None:
+            self._migrate(imm)
+
+    def _swap_remote_mt(self) -> MemTable:
+        """Freeze and replace the remote MemTable (call under the lock)."""
+        imm = self.remote_mt.freeze()
+        self.remote_mt = MemTable(
+            self.options.remote_memtable_capacity, "remote"
+        )
+        return imm
+
+    def _migrate(self, imm: MemTable) -> None:
+        """Ship an immutable remote MemTable to the owner ranks (§2.4).
+
+        The dispatcher sorts pairs by owner, accumulates per-rank chunks,
+        and sends one request message per owner; its time lands on the
+        dispatcher's background timeline.
+        """
+        if len(imm) == 0:
+            return
+        groups = imm.by_owner()
+        # migration-queue back-pressure: bound unacked chunks in flight
+        cap = self.options.migration_queue_capacity * max(1, len(groups))
+        while len(self._pending_acks) >= cap:
+            self._drain_acks(blocking=True, at_most=1)
+        chunk_seqs: List[Tuple[int, int]] = []  # (owner, seq)
+        with self._lock:
+            for owner in sorted(groups):
+                seq = self._next_seq
+                self._next_seq += self.nranks  # keep seqs rank-unique
+                chunk_seqs.append((owner, seq))
+                pairs = groups[owner]
+                self._pending_acks.add(seq)
+                self.inflight.append(
+                    (seq, {k: (v, tomb) for k, v, tomb in pairs})
+                )
+        self.stats.migrations += len(chunk_seqs)
+        cpu = self.ctx.system.cpu
+        sort_cost = cpu.kv_op_s * max(1, len(imm))
+
+        def job(start: float) -> float:
+            t = start + sort_cost
+            for owner, seq in chunk_seqs:
+                payload = msg.MigrateMsg(groups[owner], seq)
+                self.srv_comm.send_at(payload, owner, tag=0, t_send=t)
+                t += self.ctx.system.network.sw_overhead_s
+            self._trace(
+                f"migrate {len(chunk_seqs)} chunks", "dispatcher", start, t
+            )
+            return t
+
+        self.dispatcher_worker.schedule(self.clock.now, job)
+
+    def _drain_acks(self, blocking: bool, at_most: Optional[int] = None) -> None:
+        """Consume migration acks; blocking mode waits for them."""
+        drained = 0
+        while self._pending_acks:
+            if at_most is not None and drained >= at_most:
+                return
+            if blocking:
+                ack = self.ack_comm.recv(ANY_SOURCE, ACK_TAG)
+            else:
+                if not self.ack_comm.iprobe(ANY_SOURCE, ACK_TAG):
+                    return
+                ack = self.ack_comm.recv(ANY_SOURCE, ACK_TAG)
+            with self._lock:
+                self._pending_acks.discard(ack.seq)
+                self.inflight = [
+                    (s, d) for s, d in self.inflight if s != ack.seq
+                ]
+            drained += 1
+
+    def _put_sync(self, owner: int, key: bytes, value: bytes,
+                  tombstone: bool) -> None:
+        """Sequential mode: migrate one put synchronously (§3.1)."""
+        seq = self._next_seq
+        self._next_seq += self.nranks
+        self.srv_comm.send(
+            msg.PutSyncMsg(key, value, tombstone, seq), owner, tag=0
+        )
+        reply = self.rsp_comm.recv(source=owner, tag=seq)
+        assert isinstance(reply, msg.AckMsg) and reply.seq == seq
+
+    # ==================================================================== GET
+    def get(self, key: bytes) -> bytes:
+        """Retrieve the value for ``key`` (``papyruskv_get``).
+
+        Raises :class:`KeyNotFoundError` when absent or deleted.
+        """
+        self._validate_kv(key, None)
+        return self.get_ex(bytes(key)).value
+
+    def get_or_none(self, key: bytes) -> Optional[bytes]:
+        """Like :meth:`get` but returns None instead of raising."""
+        try:
+            return self.get(bytes(key))
+        except KeyNotFoundError:
+            return None
+
+    def get_ex(self, key: bytes) -> GetResult:
+        """Like :meth:`get` but reports which tier satisfied the lookup."""
+        self._check_open()
+        self._validate_kv(key, None)
+        if self.protection == config.WRONLY:
+            raise ProtectionError("database is write-only (PAPYRUSKV_WRONLY)")
+        self.stats.gets += 1
+        t_start = self.clock.now
+        self._charge_op(len(key))
+        self._drain_acks(blocking=False)
+        owner = self.owner_of(key)
+        if owner == self.rank:
+            self.stats.local_gets += 1
+            result = self._local_get(key)
+        else:
+            self.stats.remote_gets += 1
+            result = self._remote_get(owner, key)
+        self.latency.observe("get", self.clock.now - t_start)
+        self._trace("get", "main", t_start, self.clock.now)
+        if result is None:
+            raise KeyNotFoundError(key)
+        self.stats.hit(result.tier)
+        return result
+
+    # ---------------------------------------------------------- local lookup
+    def _search_memory_local(self, key: bytes) -> Tuple[Optional[Entry], str]:
+        """Local MemTable, then immutable ones newest-first (Fig. 3)."""
+        entry = self.local_mt.get(key)
+        if entry is not None:
+            return entry, "local_mt"
+        for imm, _end in reversed(self.flushing):
+            entry = imm.get(key)
+            if entry is not None:
+                return entry, "flushing"
+        return None, ""
+
+    def _local_get(self, key: bytes) -> Optional[GetResult]:
+        with self._lock:
+            self._retire_flushed(self.clock.now)
+            entry, tier = self._search_memory_local(key)
+            if entry is not None:
+                if entry.tombstone:
+                    return None
+                return GetResult(entry.value, tier)
+            if self.local_cache is not None and self.protection != config.WRONLY:
+                cached = self.local_cache.get(key)
+                if cached is not None:
+                    return GetResult(cached, "local_cache")
+            ssids = list(self.ssids)
+        try:
+            rec, t_end = self._search_sstables(
+                self.store, self.rank_dir, ssids, key, self.clock.now,
+                own=True,
+            )
+        except StorageError:
+            # raced a concurrent compaction (handler-triggered flush on this
+            # rank); re-read the authoritative SSID list and retry once
+            with self._lock:
+                self._readers.clear()
+                ssids = list(self.ssids)
+            rec, t_end = self._search_sstables(
+                self.store, self.rank_dir, ssids, key, self.clock.now,
+                own=True,
+            )
+        self.clock.advance_to(t_end)
+        if rec is None or rec.tombstone:
+            return None
+        with self._lock:
+            if self.local_cache is not None and self.protection != config.WRONLY:
+                self.local_cache.put(key, rec.value)
+        return GetResult(rec.value, "sstable")
+
+    def _reader(self, ssid: int) -> SSTableReader:
+        rd = self._readers.get(ssid)
+        if rd is None:
+            rd = SSTableReader(self.store, self.rank_dir, ssid)
+            self._readers[ssid] = rd
+        return rd
+
+    def _search_sstables(
+        self,
+        store: PosixStore,
+        directory: str,
+        ssids: List[int],
+        key: bytes,
+        t: float,
+        own: bool,
+    ) -> Tuple[Optional[Record], float]:
+        """Walk SSTables highest-SSID-first with bloom skipping (§2.6)."""
+        for ssid in reversed(ssids):
+            reader = (
+                self._reader(ssid) if own
+                else SSTableReader(store, directory, ssid)
+            )
+            rec, t = reader.get(
+                key, t, binary_search=self.binary_search,
+                use_bloom=self.options.bloom_enabled,
+            )
+            if rec is not None:
+                return rec, t
+        return None, t
+
+    # --------------------------------------------------------- remote lookup
+    def _search_memory_remote(self, key: bytes) -> Tuple[Optional[Entry], str]:
+        """Remote MemTable, then unacked migrated chunks newest-first."""
+        entry = self.remote_mt.get(key)
+        if entry is not None:
+            return entry, "remote_mt"
+        for _seq, chunk in reversed(self.inflight):
+            if key in chunk:
+                value, tomb = chunk[key]
+                return Entry(value, tomb), "inflight"
+        return None, ""
+
+    def _remote_get(self, owner: int, key: bytes) -> Optional[GetResult]:
+        with self._lock:
+            entry, tier = self._search_memory_remote(key)
+        if entry is not None:
+            if entry.tombstone:
+                return None
+            return GetResult(entry.value, tier)
+        remote_cache_on = self.protection == config.RDONLY
+        if remote_cache_on:
+            cached = self.remote_cache.get(key)
+            if cached is not None:
+                return GetResult(cached, "remote_cache")
+        for attempt in range(3):
+            force = attempt == 2
+            reply = self._request_get(owner, key, force)
+            if reply.status == msg.NOT_FOUND:
+                return None
+            if reply.status == msg.FOUND:
+                if reply.tombstone:
+                    return None
+                if remote_cache_on and reply.value is not None:
+                    self.remote_cache.put(key, reply.value)
+                return GetResult(reply.value or b"", "remote")
+            # NOT_IN_MEMORY: same storage group — read the owner's
+            # SSTables directly from the shared NVM (§2.7)
+            try:
+                rec, t_end = self._shared_sstable_get(owner, key, reply)
+            except StorageError:
+                # raced a compaction; drop every cached view of this
+                # owner's tables and retry
+                self._peer_readers.pop(owner, None)
+                for k in [k for k in self._peer_reader_cache if k[0] == owner]:
+                    self._peer_reader_cache.pop(k, None)
+                continue
+            self.clock.advance_to(t_end)
+            if rec is None:
+                return None
+            if rec.tombstone:
+                return None
+            if remote_cache_on:
+                self.remote_cache.put(key, rec.value)
+            return GetResult(rec.value, "shared_sstable")
+        return None
+
+    def _request_get(self, owner: int, key: bytes, force: bool) -> msg.GetReply:
+        seq = self._next_seq
+        self._next_seq += self.nranks
+        self.srv_comm.send(
+            msg.GetMsg(key, self.group, seq, force_data=force), owner, tag=0
+        )
+        reply = self.rsp_comm.recv(source=owner, tag=seq)
+        assert isinstance(reply, msg.GetReply)
+        return reply
+
+    def _shared_sstable_get(
+        self, owner: int, key: bytes, reply: msg.GetReply
+    ) -> Tuple[Optional[Record], float]:
+        owner_dir = reply.owner_dir or f"{self.dbdir}/rank{owner}"
+        cached = self._peer_readers.get(owner)
+        if cached is None or cached[0] != reply.newest_ssid:
+            # a new SSTable appeared at the owner: re-list, but keep
+            # reader objects for SSIDs we already know — the files are
+            # immutable, so their loaded blooms/indexes stay valid
+            ssids = list_ssids(self.store, owner_dir)
+            self._peer_readers[owner] = (reply.newest_ssid, ssids)
+        else:
+            ssids = cached[1]
+        t = self.clock.now
+        for ssid in reversed(ssids):
+            reader = self._peer_reader_cache.get((owner, ssid))
+            if reader is None:
+                reader = SSTableReader(self.store, owner_dir, ssid)
+                self._peer_reader_cache[(owner, ssid)] = reader
+            rec, t = reader.get(
+                key, t, binary_search=self.binary_search,
+                use_bloom=self.options.bloom_enabled,
+            )
+            if rec is not None:
+                return rec, t
+        return None, t
+
+    def shares_storage_with(self, other_rank: int) -> bool:
+        """True when ``other_rank`` can read this rank's SSTable files."""
+        return (
+            self.layout.group_of(other_rank) == self.group
+            and (
+                self.options.repository == "lustre"
+                or self.ctx.machine.shares_nvm(self.rank, other_rank)
+            )
+        )
+
+    # ==================================================== CONSISTENCY CONTROL
+    def fence(self) -> None:
+        """Migrate the remote MemTable immediately (``papyruskv_fence``)."""
+        self._check_open()
+        with self._lock:
+            imm = self._swap_remote_mt() if len(self.remote_mt) else None
+        if imm is not None:
+            self._migrate(imm)
+        self._drain_acks(blocking=True)
+
+    def barrier(self, level: int = config.MEMTABLE) -> None:
+        """Collective fence (+ SSTable flush at ``SSTABLE`` level)."""
+        self._check_open()
+        self.fence()
+        self.coll_comm.barrier()  # all migrations sent & acked everywhere
+        if level == config.SSTABLE:
+            self.flush_sstables()
+        self.coll_comm.barrier()
+
+    def flush_sstables(self) -> None:
+        """Flush the local MemTable (+ queue) fully to SSTables, blocking."""
+        with self._lock:
+            if len(self.local_mt):
+                self._rotate_local(self.clock)
+            # wait for the compaction worker to drain
+            self.clock.advance_to(self.compaction_worker.available)
+            self._retire_flushed(self.clock.now)
+
+    def set_consistency(self, mode: int) -> None:
+        """Collective: switch relaxed ↔ sequential (``papyruskv_consistency``)."""
+        self._check_open()
+        if mode not in (config.RELAXED, config.SEQUENTIAL):
+            raise InvalidModeError(f"unknown consistency mode {mode}")
+        # entering sequential requires the relaxed backlog to be visible
+        self.fence()
+        self.coll_comm.barrier()
+        self.consistency = mode
+
+    def protect(self, prot: int) -> None:
+        """Collective: set the protection attribute (``papyruskv_protect``)."""
+        self._check_open()
+        if prot not in (config.RDWR, config.WRONLY, config.RDONLY):
+            raise InvalidProtectionError(f"unknown protection {prot}")
+        self.fence()
+        self.coll_comm.barrier()
+        with self._lock:
+            if prot == config.WRONLY and self.local_cache is not None:
+                # invalidate all entries and disable the cache (§3.2)
+                self.local_cache.clear()
+            if prot != config.RDONLY:
+                # leaving read-only: remote cache contents become unsafe
+                self.remote_cache.clear()
+            self.protection = prot
+        self.coll_comm.barrier()
+
+    # =================================================================== SCAN
+    def scan_local(self, start: Optional[bytes] = None,
+                   end: Optional[bytes] = None) -> List[Tuple[bytes, bytes]]:
+        """Sorted live pairs of this rank's shard within ``[start, end)``.
+
+        Extension beyond the paper's Table 1 — an LSM merge over the
+        MemTable tiers and SSTables.  See :mod:`repro.core.scan`.
+        """
+        self._check_open()
+        if self.protection == config.WRONLY:
+            raise ProtectionError("database is write-only (PAPYRUSKV_WRONLY)")
+        from repro.core.scan import local_scan
+
+        return local_scan(self, start, end)
+
+    def scan_collect(self, start: Optional[bytes] = None,
+                     end: Optional[bytes] = None) -> List[Tuple[bytes, bytes]]:
+        """Collective: globally sorted live pairs across all ranks.
+
+        Every rank scans its own shard and the results are allgathered
+        and merged; all ranks receive the same list.  Call a barrier (or
+        use sequential consistency) first if writes are in flight.
+        """
+        mine = self.scan_local(start, end)
+        chunks = self.coll_comm.allgather(mine)
+        merged: List[Tuple[bytes, bytes]] = []
+        for chunk in chunks:
+            merged.extend(chunk)
+        merged.sort(key=lambda kv: kv[0])
+        return merged
+
+    def count_local(self) -> int:
+        """Number of live keys in this rank's shard."""
+        from repro.core.scan import count_live
+
+        return count_live(self)
+
+    # ============================================================ PERSISTENCE
+    def snapshot_file_list(self) -> List[str]:
+        """Relative paths of this rank's SSTable files (post-flush)."""
+        out: List[str] = []
+        for ssid in self.ssids:
+            reader = SSTableReader(self.store, self.rank_dir, ssid)
+            out.extend(reader.file_paths())
+        return out
+
+    def checkpoint(self, path: str):
+        """Asynchronous snapshot to the parallel FS (``papyruskv_checkpoint``)."""
+        from repro.core.checkpoint import checkpoint
+
+        return checkpoint(self, path)
+
+    def destroy(self):
+        """Remove the database and all its data from NVM (async)."""
+        from repro.core.checkpoint import destroy
+
+        return destroy(self)
+
+    # ================================================================== CLOSE
+    def close(self) -> None:
+        """Collective close: quiesce, flush, stop the handler."""
+        if self._closed:
+            return
+        self.fence()
+        self.coll_comm.barrier()
+        self.flush_sstables()
+        self.coll_comm.barrier()  # nobody issues remote ops past this point
+        # stop my handler (self-send so it wakes from its recv)
+        self.srv_comm.send(msg.StopMsg(), self.rank, tag=0)
+        if self._handler_thread is not None:
+            self._handler_thread.join(30.0)
+        self._closed = True
+        self.coll_comm.barrier()
+        self.env._forget(self.name)
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._closed = True  # failing rank: skip collective close
+            return
+        if not self._closed:
+            self.close()
+
+    # ---------------------------------------------------------------- helpers
+    def write_meta(self) -> None:
+        """Persist database metadata (rank 0 only, on create)."""
+        meta = {"name": self.name, "nranks": self.nranks}
+        self.store.write(
+            f"{self.dbdir}/meta.json", json.dumps(meta).encode(), self.clock.now
+        )
+
+    def read_meta(self) -> Optional[dict]:
+        """Load the database metadata file, or None if absent."""
+        if not self.store.exists(f"{self.dbdir}/meta.json"):
+            return None
+        blob, t = self.store.read(f"{self.dbdir}/meta.json", self.clock.now)
+        self.clock.advance_to(t)
+        return json.loads(blob.decode())

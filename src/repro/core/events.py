@@ -1,0 +1,53 @@
+"""Asynchronous completion events (``papyruskv_event_t``).
+
+``papyruskv_checkpoint``/``restart``/``destroy`` return an event handle
+that ``papyruskv_wait`` blocks on.  In the virtual-time model the
+asynchronous work has a known completion timestamp on a background
+timeline; waiting advances the caller's clock to that timestamp (or is
+a no-op if the caller's timeline already passed it — the overlap the
+paper's asynchrony buys).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.simtime.clock import VirtualClock
+
+
+class Event:
+    """Completion handle for an asynchronous PapyrusKV operation."""
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self._done_time: Optional[float] = None
+        self._callback: Optional[Callable[[], None]] = None
+
+    def complete_at(self, t: float) -> "Event":
+        """Record the virtual completion time; returns self for chaining."""
+        self._done_time = t
+        return self
+
+    def on_wait(self, fn: Callable[[], None]) -> "Event":
+        """Register work to run when the event is first waited on."""
+        self._callback = fn
+        return self
+
+    @property
+    def completed(self) -> bool:
+        return self._done_time is not None
+
+    @property
+    def done_time(self) -> float:
+        if self._done_time is None:
+            raise RuntimeError(f"event {self.label!r} has no completion time")
+        return self._done_time
+
+    def wait(self, clock: VirtualClock) -> float:
+        """Block (virtually) until completion; returns the clock time."""
+        if self._callback is not None:
+            cb, self._callback = self._callback, None
+            cb()
+        if self._done_time is None:
+            raise RuntimeError(f"event {self.label!r} never completed")
+        return clock.advance_to(self._done_time)

@@ -1,0 +1,171 @@
+"""The message handler thread.
+
+"In each target rank, the message handler thread receives the request
+messages from the source rank" (paper §2.4).  One handler runs per rank
+per open database, on its own virtual timeline: a request arriving at
+time *a* begins service at ``max(a, handler-busy-until)``, which gives
+handler queueing exactly the server semantics the real thread has.
+
+The handler serves three request kinds:
+
+* ``MigrateMsg`` — bulk-inserts migrated pairs into the local MemTable
+  and acks the source's dispatcher;
+* ``PutSyncMsg`` — a single synchronous put (sequential consistency);
+* ``GetMsg`` — a local lookup on behalf of a remote rank, honouring the
+  storage-group shortcut (§2.7): if the requester shares this rank's
+  NVM and the pair is not in memory, reply NOT_IN_MEMORY so the
+  requester reads the SSTables itself.
+"""
+
+from __future__ import annotations
+
+from repro.core import messages as msg
+from repro.core.db import ACK_TAG, Database
+from repro.mpi.comm import ANY_SOURCE, ANY_TAG, AbortedError
+from repro.mpi.launcher import RankContext, bind_context
+from repro.simtime.clock import VirtualClock
+from repro.util.queues import QueueClosed
+
+
+def handler_main(db: Database) -> None:
+    """Entry point of the per-database handler thread."""
+    main_ctx = db.ctx
+    hclock = VirtualClock(
+        start=main_ctx.clock.now, label=f"handler-{db.name}-r{db.rank}"
+    )
+    hctx = RankContext(
+        world_rank=main_ctx.world_rank,
+        nranks=main_ctx.nranks,
+        clock=hclock,
+        comm=main_ctx.comm,
+        system=main_ctx.system,
+        machine=main_ctx.machine,
+    )
+    bind_context(hctx)
+    cpu = main_ctx.system.cpu
+    try:
+        while True:
+            status: dict = {}
+            try:
+                m = db.srv_comm.recv(ANY_SOURCE, ANY_TAG, status=status)
+            except (AbortedError, QueueClosed):
+                return
+            source = status["source"]
+            if isinstance(m, msg.StopMsg):
+                return
+            hclock.advance(cpu.kv_op_s)  # request decode
+            t_service = hclock.now
+            if isinstance(m, msg.MigrateMsg):
+                _serve_migrate(db, m, source, hclock, cpu)
+                db._trace(f"serve migrate({len(m.pairs)})", "handler",
+                          t_service, hclock.now)
+            elif isinstance(m, msg.PutSyncMsg):
+                _serve_put_sync(db, m, source, hclock, cpu)
+                db._trace("serve put_sync", "handler", t_service,
+                          hclock.now)
+            elif isinstance(m, msg.GetMsg):
+                _serve_get(db, m, source, hclock, cpu)
+                db._trace("serve get", "handler", t_service, hclock.now)
+            else:  # pragma: no cover - protocol error
+                raise TypeError(f"handler got unexpected message {m!r}")
+    except AbortedError:  # run torn down mid-service
+        return
+    except BaseException:
+        # a dying handler would otherwise hang every rank that sends
+        # this shard a request — abort the run loudly instead
+        import traceback
+
+        traceback.print_exc()
+        db.srv_comm.abort_world()
+        # swallowed after aborting: the blocked main ranks surface the
+        # failure as AbortedError/RankFailure with this traceback on
+        # stderr; re-raising here would only trip the thread-exception
+        # hook a second time
+    finally:
+        bind_context(None)
+
+
+def _serve_migrate(db: Database, m: msg.MigrateMsg, source: int,
+                   hclock: VirtualClock, cpu) -> None:
+    """Extract pairs and insert them into the local MemTable (§2.4)."""
+    for key, value, tombstone in m.pairs:
+        hclock.advance(cpu.kv_op_s + len(key + value) / cpu.memcpy_Bps)
+        db._local_insert(key, value, tombstone, hclock)
+    db.ack_comm.send(msg.AckMsg(m.seq), source, tag=ACK_TAG)
+
+
+def _serve_put_sync(db: Database, m: msg.PutSyncMsg, source: int,
+                    hclock: VirtualClock, cpu) -> None:
+    hclock.advance(cpu.kv_op_s + len(m.key + m.value) / cpu.memcpy_Bps)
+    db._local_insert(m.key, m.value, m.tombstone, hclock)
+    db.rsp_comm.send(msg.AckMsg(m.seq), source, tag=m.seq)
+
+
+def _serve_get(db: Database, m: msg.GetMsg, source: int,
+               hclock: VirtualClock, cpu) -> None:
+    key = m.key
+    hclock.advance(cpu.kv_op_s)
+    with db._lock:
+        db._retire_flushed(hclock.now)
+        entry, _tier = db._search_memory_local(key)
+        if entry is None and db.local_cache is not None:
+            cached = db.local_cache.peek(key)
+            if cached is not None:
+                entry_value = cached
+                db.rsp_comm.send(
+                    msg.GetReply(msg.FOUND, m.seq, entry_value, False),
+                    source, tag=m.seq,
+                )
+                return
+        newest = db.ssids[-1] if db.ssids else 0
+        ssids = list(db.ssids)
+    if entry is not None:
+        db.rsp_comm.send(
+            msg.GetReply(msg.FOUND, m.seq, entry.value, entry.tombstone),
+            source, tag=m.seq,
+        )
+        return
+    # not in memory: same storage group -> let the requester read the
+    # shared SSTables itself (saves the value transfer, §2.7)
+    if (
+        not m.force_data
+        and m.requester_group == db.group
+        and db.shares_storage_with(source)
+    ):
+        db.rsp_comm.send(
+            msg.GetReply(
+                msg.NOT_IN_MEMORY, m.seq,
+                owner_dir=db.rank_dir, newest_ssid=newest,
+            ),
+            source, tag=m.seq,
+        )
+        return
+    # different group (or forced): do the full local get, including my
+    # SSTables, and ship the value back over the network
+    from repro.errors import StorageError
+
+    try:
+        rec, t_end = db._search_sstables(
+            db.store, db.rank_dir, ssids, key, hclock.now, own=True
+        )
+    except StorageError:
+        # raced a compaction on this rank; retry on the fresh SSID list
+        with db._lock:
+            db._readers.clear()
+            ssids = list(db.ssids)
+        rec, t_end = db._search_sstables(
+            db.store, db.rank_dir, ssids, key, hclock.now, own=True
+        )
+    hclock.advance_to(t_end)
+    if rec is None:
+        db.rsp_comm.send(
+            msg.GetReply(msg.NOT_FOUND, m.seq), source, tag=m.seq
+        )
+        return
+    with db._lock:
+        if db.local_cache is not None and not rec.tombstone:
+            db.local_cache.put(key, rec.value)
+    db.rsp_comm.send(
+        msg.GetReply(msg.FOUND, m.seq, rec.value, rec.tombstone),
+        source, tag=m.seq,
+    )

@@ -1,0 +1,125 @@
+"""MemTables: the in-memory tier of the LSM tree.
+
+"A database consists of four types of MemTables (local MemTable,
+immutable local MemTable, remote MemTable, and immutable remote
+MemTable)" (paper §2.3).  A MemTable is a red-black tree indexed by key;
+entries carry a tombstone flag, and remote-MemTable entries additionally
+carry the owner rank number (§2.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.sstable.format import Record
+from repro.util.rbtree import RedBlackTree
+
+
+@dataclass(frozen=True)
+class Entry:
+    """One MemTable entry."""
+
+    value: bytes
+    tombstone: bool = False
+    #: owner rank (only meaningful in remote MemTables)
+    owner: int = -1
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.value)
+
+
+class MemTable:
+    """A size-bounded sorted write buffer.
+
+    ``put`` replaces any existing entry with the same key ("PapyrusKV
+    deletes the old one before it inserts the new one").  When
+    ``size_bytes`` reaches ``capacity`` the owner runtime freezes the
+    table and rotates in a fresh one.
+    """
+
+    __slots__ = ("capacity", "_tree", "_bytes", "_frozen", "kind")
+
+    def __init__(self, capacity: int, kind: str = "local") -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.kind = kind
+        self._tree = RedBlackTree()
+        self._bytes = 0
+        self._frozen = False
+
+    # ------------------------------------------------------------ properties
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    @property
+    def size_bytes(self) -> int:
+        return self._bytes
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    @property
+    def full(self) -> bool:
+        return self._bytes >= self.capacity
+
+    # -------------------------------------------------------------- mutation
+    def put(self, key: bytes, value: bytes, tombstone: bool = False,
+            owner: int = -1) -> None:
+        """Insert or replace; a tombstone is a put with an empty value."""
+        if self._frozen:
+            raise RuntimeError("cannot write a frozen (immutable) MemTable")
+        if tombstone:
+            value = b""
+        old: Optional[Entry] = self._tree.get(key)
+        if old is not None:
+            self._bytes -= len(key) + old.nbytes
+        self._tree.insert(key, Entry(value, tombstone, owner))
+        self._bytes += len(key) + len(value)
+
+    def delete_entry(self, key: bytes) -> bool:
+        """Physically remove an entry (used by redistribution plumbing)."""
+        if self._frozen:
+            raise RuntimeError("cannot write a frozen (immutable) MemTable")
+        old: Optional[Entry] = self._tree.get(key)
+        if old is None:
+            return False
+        self._tree.delete(key)
+        self._bytes -= len(key) + old.nbytes
+        return True
+
+    def freeze(self) -> "MemTable":
+        """Mark immutable (local MemTable -> immutable local MemTable)."""
+        self._frozen = True
+        return self
+
+    # --------------------------------------------------------------- lookups
+    def get(self, key: bytes) -> Optional[Entry]:
+        """The entry for ``key`` (tombstones included), or None."""
+        return self._tree.get(key)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._tree
+
+    # -------------------------------------------------------------- iteration
+    def items(self) -> Iterator[tuple]:
+        """(key, Entry) pairs in ascending key order."""
+        return self._tree.items()
+
+    def to_records(self) -> List[Record]:
+        """Sorted records for an SSTable flush (tombstones included)."""
+        return [
+            Record(k, e.value, e.tombstone) for k, e in self._tree.items()
+        ]
+
+    def by_owner(self) -> dict:
+        """Group entries per owner rank (migration batching, §2.4)."""
+        groups: dict = {}
+        for key, entry in self._tree.items():
+            groups.setdefault(entry.owner, []).append(
+                (key, entry.value, entry.tombstone)
+            )
+        return groups

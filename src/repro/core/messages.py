@@ -1,0 +1,111 @@
+"""Wire protocol between PapyrusKV runtimes (dispatcher ↔ handler).
+
+Three private communicators per database keep runtime traffic invisible
+to the application (paper §2.4):
+
+* ``srv``  — requests to the owner rank's message handler;
+* ``rsp``  — synchronous responses (remote get results, PUT_SYNC acks);
+* ``ack``  — asynchronous migration acknowledgements, drained at
+  fence/barrier/close time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+# message types on the srv comm
+MIGRATE = 1       # bulk key-value chunk from a remote MemTable
+PUT_SYNC = 2      # single synchronous put/delete (sequential consistency)
+GET = 3           # remote get request
+STOP = 4          # handler shutdown
+CHECKPOINT_MARK = 5  # reserved for future coordinated snapshot protocols
+
+# GET reply status
+FOUND = 0
+NOT_FOUND = 1
+NOT_IN_MEMORY = 2  # same storage group: read my SSTables yourself
+
+#: (key, value, tombstone)
+Pair = Tuple[bytes, bytes, bool]
+
+
+@dataclass
+class MigrateMsg:
+    """A chunk of key-value pairs for one owner rank."""
+
+    pairs: List[Pair]
+    #: sequence number used to ack back to the source
+    seq: int
+
+    def wire_nbytes(self) -> int:
+        """Wire size: header plus every pair's key/value/flags."""
+        return 16 + sum(len(k) + len(v) + 9 for k, v, _ in self.pairs)
+
+
+@dataclass
+class PutSyncMsg:
+    """One put/delete migrated synchronously (sequential consistency)."""
+
+    key: bytes
+    value: bytes
+    tombstone: bool
+    seq: int
+
+    def wire_nbytes(self) -> int:
+        """Wire size of one synchronous put."""
+        return 16 + len(self.key) + len(self.value) + 9
+
+
+@dataclass
+class GetMsg:
+    """Remote get request."""
+
+    key: bytes
+    requester_group: int
+    seq: int
+    #: force the owner to return value bytes even within a storage group
+    #: (fallback when a shared-SSTable read raced a compaction)
+    force_data: bool = False
+
+    def wire_nbytes(self) -> int:
+        """Wire size of a get request (key + routing metadata)."""
+        return 24 + len(self.key)
+
+
+@dataclass
+class GetReply:
+    """Remote get response."""
+
+    status: int
+    seq: int
+    value: Optional[bytes] = None
+    tombstone: bool = False
+    #: on NOT_IN_MEMORY: where the requester should look
+    owner_dir: Optional[str] = None
+    #: newest flushed SSID at reply time (diagnostic)
+    newest_ssid: int = 0
+
+    def wire_nbytes(self) -> int:
+        """Wire size of a get reply (value bytes dominate)."""
+        return 24 + (len(self.value) if self.value else 0)
+
+
+@dataclass
+class AckMsg:
+    """Migration acknowledgement (ack comm)."""
+
+    seq: int
+
+    def wire_nbytes(self) -> int:
+        """Wire size of an acknowledgement."""
+        return 16
+
+
+@dataclass
+class StopMsg:
+    """Shut the handler thread down (database close)."""
+
+    def wire_nbytes(self) -> int:
+        """Wire size of the shutdown sentinel."""
+        return 8

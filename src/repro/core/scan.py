@@ -1,0 +1,100 @@
+"""Range scans over a rank's shard (extension beyond the paper's API).
+
+PapyrusKV's Table 1 has no iterator, but an LSM store gets one almost
+for free: MemTables iterate in key order and SSTables are key-sorted,
+so a scan is a k-way merge with newest-tier-wins semantics.  The scan
+covers the *local shard* — the keys this rank owns — which is the
+natural unit in an SPMD program (a global scan is an allgather of local
+scans, see :func:`repro.core.db.Database.scan_collect`).
+
+Tombstones shadow older tiers and are skipped in the output.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, List, Optional, Tuple
+
+from repro.sstable.format import Record
+
+
+def merge_scan(
+    tiers: List[List[Tuple[bytes, bytes, bool]]],
+    start: Optional[bytes] = None,
+    end: Optional[bytes] = None,
+) -> Iterator[Tuple[bytes, bytes]]:
+    """Merge sorted (key, value, tombstone) runs; ``tiers[0]`` is newest.
+
+    Yields live (key, value) pairs with ``start <= key < end``.
+    """
+    heap: List[Tuple[bytes, int, int]] = []
+    for ti, run in enumerate(tiers):
+        if run:
+            heapq.heappush(heap, (run[0][0], ti, 0))
+    last_key: Optional[bytes] = None
+    while heap:
+        key, ti, pos = heapq.heappop(heap)
+        item = tiers[ti][pos]
+        if pos + 1 < len(tiers[ti]):
+            heapq.heappush(heap, (tiers[ti][pos + 1][0], ti, pos + 1))
+        if key == last_key:
+            continue  # an older tier's version of an emitted/shadowed key
+        last_key = key
+        if start is not None and key < start:
+            continue
+        if end is not None and key >= end:
+            # sorted merge: nothing further can be in range
+            return
+        _, value, tombstone = item
+        if not tombstone:
+            yield key, value
+
+
+def _in_range(key: bytes, start: Optional[bytes], end: Optional[bytes]) -> bool:
+    if start is not None and key < start:
+        return False
+    if end is not None and key >= end:
+        return False
+    return True
+
+
+def local_scan(db, start: Optional[bytes] = None,
+               end: Optional[bytes] = None) -> List[Tuple[bytes, bytes]]:
+    """Sorted live pairs of this rank's shard within [start, end).
+
+    Charges the caller's clock for the SSTable reads (sequential whole-
+    table reads, the natural scan access pattern).
+    """
+    with db._lock:
+        db._retire_flushed(db.clock.now)
+        tiers: List[List[Tuple[bytes, bytes, bool]]] = []
+        tiers.append([
+            (k, e.value, e.tombstone) for k, e in db.local_mt.items()
+            if _in_range(k, start, end)
+        ])
+        for imm, _end_t in reversed(db.flushing):  # newest first
+            tiers.append([
+                (k, e.value, e.tombstone) for k, e in imm.items()
+                if _in_range(k, start, end)
+            ])
+        ssids = list(db.ssids)
+    t = db.clock.now
+    for ssid in reversed(ssids):  # newest first
+        reader = db._reader(ssid)
+        records, t = reader.read_all(t)
+        tiers.append([
+            (r.key, r.value, r.tombstone) for r in records
+            if _in_range(r.key, start, end)
+        ])
+    db.clock.advance_to(t)
+    return list(merge_scan(tiers, start, end))
+
+
+def count_live(db) -> int:
+    """Number of live keys in this rank's shard (scan-based)."""
+    return len(local_scan(db))
+
+
+def as_records(pairs: List[Tuple[bytes, bytes]]) -> List[Record]:
+    """Convert scan output into SSTable records (re-export helpers)."""
+    return [Record(k, v) for k, v in pairs]

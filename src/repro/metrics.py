@@ -1,0 +1,113 @@
+"""Run observability: roll up counters from every layer.
+
+The simulator keeps counters everywhere — device resources
+(ops/bytes/busy time), background workers, caches, per-database
+operation statistics.  :func:`database_metrics` and
+:func:`machine_metrics` roll them into plain dicts; :func:`format_report`
+renders the operator-facing summary.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.simtime.resources import StripedResource, TimedResource
+
+
+def _device_metrics(dev) -> Dict[str, Any]:
+    if isinstance(dev, StripedResource):
+        return {
+            "kind": "striped",
+            "stripes": dev.nstripes,
+            "ops": dev.ops,
+            "bytes": dev.bytes_moved,
+            "busy_s": sum(s.busy_time for s in dev.stripes),
+        }
+    assert isinstance(dev, TimedResource)
+    return {
+        "kind": "device",
+        "ops": dev.ops,
+        "bytes": dev.bytes_moved,
+        "busy_s": dev.busy_time,
+    }
+
+
+def database_metrics(db) -> Dict[str, Any]:
+    """Counters for one rank's view of a database."""
+    stats = db.stats
+    out: Dict[str, Any] = {
+        "name": db.name,
+        "rank": db.rank,
+        "puts": stats.puts,
+        "gets": stats.gets,
+        "deletes": stats.deletes,
+        "local_puts": stats.local_puts,
+        "remote_puts": stats.remote_puts,
+        "local_gets": stats.local_gets,
+        "remote_gets": stats.remote_gets,
+        "flushes": stats.flushes,
+        "compactions": stats.compactions,
+        "migrations": stats.migrations,
+        "get_tiers": dict(stats.get_tiers),
+        "sstables": len(db.ssids),
+        "memtable_bytes": db.local_mt.size_bytes,
+        "remote_memtable_bytes": db.remote_mt.size_bytes,
+        "compaction_busy_s": db.compaction_worker.busy_time,
+        "dispatcher_busy_s": db.dispatcher_worker.busy_time,
+    }
+    if db.local_cache is not None:
+        out["local_cache"] = {
+            "entries": len(db.local_cache),
+            "bytes": db.local_cache.size_bytes,
+            "hits": db.local_cache.hits,
+            "misses": db.local_cache.misses,
+            "evictions": db.local_cache.evictions,
+        }
+    out["remote_cache"] = {
+        "entries": len(db.remote_cache),
+        "bytes": db.remote_cache.size_bytes,
+        "hits": db.remote_cache.hits,
+        "misses": db.remote_cache.misses,
+    }
+    out["latency"] = db.latency.summary()
+    return out
+
+
+def machine_metrics(machine) -> Dict[str, Any]:
+    """Device-level counters for the whole machine."""
+    out: Dict[str, Any] = {"nvm": {}, "lustre": {}}
+    for i, (w, r) in enumerate(zip(machine._nvm_write, machine._nvm_read)):
+        out["nvm"][f"domain{i}"] = {
+            "write": _device_metrics(w),
+            "read": _device_metrics(r),
+        }
+    out["lustre"] = {
+        "write": _device_metrics(machine._lustre_write),
+        "read": _device_metrics(machine._lustre_read),
+    }
+    return out
+
+
+def format_report(db_metrics: Dict[str, Any]) -> str:
+    """Human-readable one-database report."""
+    m = db_metrics
+    lines = [
+        f"database {m['name']!r} rank {m['rank']}:",
+        f"  ops: {m['puts']} puts ({m['remote_puts']} remote), "
+        f"{m['gets']} gets ({m['remote_gets']} remote), "
+        f"{m['deletes']} deletes",
+        f"  lsm: {m['flushes']} flushes, {m['compactions']} compactions, "
+        f"{m['migrations']} migrations, {m['sstables']} live SSTables",
+        f"  background: compaction {m['compaction_busy_s'] * 1e3:.3f} ms, "
+        f"dispatcher {m['dispatcher_busy_s'] * 1e3:.3f} ms (virtual)",
+    ]
+    if m.get("get_tiers"):
+        tiers = ", ".join(f"{k}={v}" for k, v in sorted(m["get_tiers"].items()))
+        lines.append(f"  get tiers: {tiers}")
+    if "local_cache" in m:
+        c = m["local_cache"]
+        lines.append(
+            f"  local cache: {c['entries']} entries, "
+            f"{c['hits']}/{c['hits'] + c['misses']} hits"
+        )
+    return "\n".join(lines)

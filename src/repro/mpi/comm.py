@@ -1,0 +1,548 @@
+"""Simulated MPI communicators.
+
+Point-to-point messages traverse per-``(communicator, destination)``
+mailboxes; matching follows MPI rules (source+tag, non-overtaking per
+source).  Collectives rendezvous on a reusable barrier and synchronize
+the participants' virtual clocks.
+
+Distinct communicators have distinct mailbox spaces, so PapyrusKV's
+internal dispatcher/handler traffic can never match an application
+receive — the property real MPI guarantees via communicator contexts.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.mpi.message import Envelope, payload_nbytes
+from repro.simtime.clock import VirtualClock
+from repro.simtime.profiles import NetworkProfile
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: intra-node messages go through shared memory: cheap and fast
+_SHM_LATENCY_S = 3e-7
+_SHM_BANDWIDTH_BPS = 8.0 * (1 << 30)
+
+
+class AbortedError(RuntimeError):
+    """The SPMD run was aborted because another rank failed."""
+
+
+class _Mailbox:
+    """Incoming-message store for one (comm, rank)."""
+
+    def __init__(self, abort_event: threading.Event) -> None:
+        self._items: List[Envelope] = []
+        self._cond = threading.Condition()
+        self._abort = abort_event
+
+    def wake_all(self) -> None:
+        with self._cond:
+            self._cond.notify_all()
+
+    def deliver(self, env: Envelope) -> None:
+        with self._cond:
+            self._items.append(env)
+            self._cond.notify_all()
+
+    def _match_index(self, source: int, tag: int) -> Optional[int]:
+        for i, env in enumerate(self._items):
+            if (source == ANY_SOURCE or env.source == source) and (
+                tag == ANY_TAG or env.tag == tag
+            ):
+                return i
+        return None
+
+    def take(self, source: int, tag: int, timeout: Optional[float]) -> Envelope:
+        with self._cond:
+            while True:
+                if self._abort.is_set():
+                    raise AbortedError("SPMD run aborted")
+                idx = self._match_index(source, tag)
+                if idx is not None:
+                    return self._items.pop(idx)
+                if not self._cond.wait(timeout):
+                    raise TimeoutError(
+                        f"recv timed out waiting for source={source} tag={tag}"
+                    )
+
+    def poll(self, source: int, tag: int) -> Optional[Envelope]:
+        with self._cond:
+            idx = self._match_index(source, tag)
+            return self._items.pop(idx) if idx is not None else None
+
+    def peek(self, source: int, tag: int) -> bool:
+        with self._cond:
+            return self._match_index(source, tag) is not None
+
+
+class _CollectiveState:
+    """Per-communicator rendezvous state for collectives."""
+
+    def __init__(self, size: int) -> None:
+        self.barrier = threading.Barrier(size)
+        self.lock = threading.Lock()
+        self.slots: Dict[int, Any] = {}
+        self.scratch: Any = None
+
+
+class World:
+    """Shared state of one SPMD run: mailboxes, clocks, topology.
+
+    Each node owns two timed resources: an egress NIC (inter-node
+    traffic) and a shared-memory bus (intra-node traffic).  Bulk
+    transfers queue on them, so the congestion the paper attributes to
+    relaxed-mode migration bursts emerges from the model.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        network: NetworkProfile,
+        node_of_rank: Callable[[int], int],
+    ) -> None:
+        from repro.simtime.resources import TimedResource
+
+        self.size = size
+        self.network = network
+        self.node_of_rank = node_of_rank
+        self.clocks: List[VirtualClock] = [
+            VirtualClock(label=f"rank{r}") for r in range(size)
+        ]
+        nnodes = max(node_of_rank(r) for r in range(size)) + 1
+        self._nics = [
+            TimedResource(f"nic{n}", 0.0, network.bandwidth_Bps)
+            for n in range(nnodes)
+        ]
+        self._shm_buses = [
+            TimedResource(f"shm{n}", 0.0, _SHM_BANDWIDTH_BPS)
+            for n in range(nnodes)
+        ]
+        self._next_comm_id = 0
+        self._comm_lock = threading.Lock()
+        self._mailboxes: Dict[Tuple[int, int], _Mailbox] = {}
+        self._mbx_lock = threading.Lock()
+        self.abort_event = threading.Event()
+        self._coll_states: List[_CollectiveState] = []
+
+    def register_coll(self, coll: "_CollectiveState") -> "_CollectiveState":
+        """Track a collective state so abort() can break its barrier."""
+        with self._comm_lock:
+            self._coll_states.append(coll)
+        return coll
+
+    def abort(self) -> None:
+        """Wake every blocked rank with an error (failed-rank teardown)."""
+        self.abort_event.set()
+        with self._comm_lock:
+            colls = list(self._coll_states)
+        for coll in colls:
+            coll.barrier.abort()
+        with self._mbx_lock:
+            boxes = list(self._mailboxes.values())
+        for box in boxes:
+            box.wake_all()
+
+    def new_comm_id(self) -> int:
+        """Allocate a fresh communicator context id."""
+        with self._comm_lock:
+            cid = self._next_comm_id
+            self._next_comm_id += 1
+            return cid
+
+    def mailbox(self, comm_id: int, world_rank: int) -> _Mailbox:
+        """The (lazily created) inbox of one rank on one communicator."""
+        key = (comm_id, world_rank)
+        with self._mbx_lock:
+            box = self._mailboxes.get(key)
+            if box is None:
+                box = self._mailboxes[key] = _Mailbox(self.abort_event)
+            return box
+
+    def transfer_cost(self, src: int, dst: int, nbytes: int) -> float:
+        """Uncontended latency + transfer time between world ranks."""
+        if self.node_of_rank(src) == self.node_of_rank(dst):
+            return _SHM_LATENCY_S + nbytes / _SHM_BANDWIDTH_BPS
+        net = self.network
+        return net.latency_s + nbytes / net.bandwidth_Bps
+
+    def transfer_complete(self, src: int, dst: int, t_send: float,
+                          nbytes: int) -> float:
+        """Arrival time of one message, queueing on the shared fabric.
+
+        Intra-node messages reserve the source node's memory bus;
+        inter-node messages reserve its egress NIC.  Concurrent bulk
+        sends from one node therefore serialize at fabric bandwidth —
+        the congestion effect the paper observes for relaxed-mode
+        migration bursts (§5.2, Figure 7).
+        """
+        src_node = self.node_of_rank(src)
+        if src_node == self.node_of_rank(dst):
+            end = self._shm_buses[src_node].access(t_send, nbytes)
+            return end + _SHM_LATENCY_S
+        end = self._nics[src_node].access(t_send, nbytes)
+        return end + self.network.latency_s
+
+
+class Request:
+    """Handle for a nonblocking operation."""
+
+    def __init__(self, fn: Callable[[], Any]) -> None:
+        self._fn = fn
+        self._done = False
+        self._result: Any = None
+
+    def wait(self, timeout: Optional[float] = None) -> Any:
+        """Complete the operation, blocking if necessary."""
+        if not self._done:
+            self._result = self._fn()
+            self._done = True
+        return self._result
+
+    def test(self) -> Tuple[bool, Any]:
+        """Nonblocking completion check (only meaningful for irecv)."""
+        if self._done:
+            return True, self._result
+        probe = getattr(self._fn, "poll", None)
+        if probe is not None:
+            result = probe()
+            if result is not None:
+                self._result = result
+                self._done = True
+                return True, result
+            return False, None
+        # isend: completes immediately (buffered send)
+        return True, self.wait()
+
+
+class Comm:
+    """A communicator over a subset of world ranks."""
+
+    def __init__(self, world: World, group: Sequence[int], comm_id: int,
+                 coll: _CollectiveState) -> None:
+        self._world = world
+        self._group = list(group)
+        self._comm_id = comm_id
+        self._coll = coll
+        self._rank_of_world = {wr: i for i, wr in enumerate(self._group)}
+
+    # ----------------------------------------------------------- construction
+    @classmethod
+    def world_comm(cls, world: World) -> List["Comm"]:
+        """Create the COMM_WORLD-equivalent for every rank."""
+        cid = world.new_comm_id()
+        coll = world.register_coll(_CollectiveState(world.size))
+        group = list(range(world.size))
+        return [cls(world, group, cid, coll) for _ in group]
+
+    # -------------------------------------------------------------- properties
+    @property
+    def size(self) -> int:
+        return len(self._group)
+
+    @property
+    def rank(self) -> int:
+        return self._rank_of_world[self._my_world_rank()]
+
+    def _my_world_rank(self) -> int:
+        from repro.mpi.launcher import current_rank_context
+
+        return current_rank_context().world_rank
+
+    def _my_clock(self) -> VirtualClock:
+        """The calling *thread's* clock.
+
+        PapyrusKV's handler threads share their rank's mailboxes but run
+        on their own timelines, exactly like the paper's service threads.
+        """
+        from repro.mpi.launcher import current_rank_context
+
+        return current_rank_context().clock
+
+    def world_rank_of(self, comm_rank: int) -> int:
+        """Translate a communicator rank to its world rank."""
+        return self._group[comm_rank]
+
+    # ------------------------------------------------------------------- p2p
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Buffered send: deposits the message and returns immediately."""
+        if not 0 <= dest < self.size:
+            raise ValueError(f"invalid destination rank {dest}")
+        clock = self._my_clock()
+        clock.advance(self._world.network.sw_overhead_s)
+        src_w = self._my_world_rank()
+        dst_w = self._group[dest]
+        nbytes = payload_nbytes(obj)
+        arrival = self._world.transfer_complete(src_w, dst_w, clock.now, nbytes)
+        env = Envelope(self.rank, dest, tag, obj, arrival, nbytes)
+        self._world.mailbox(self._comm_id, dst_w).deliver(env)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking send (buffered: completes immediately)."""
+        self.send(obj, dest, tag)
+        return Request(lambda: None)
+
+    def send_at(self, obj: Any, dest: int, tag: int, t_send: float) -> float:
+        """Send with an explicit virtual send time (background timelines).
+
+        Used by the message dispatcher, whose work is charged to a
+        background worker rather than the caller's clock.  Returns the
+        message's arrival time at the destination.
+        """
+        if not 0 <= dest < self.size:
+            raise ValueError(f"invalid destination rank {dest}")
+        src_w = self._my_world_rank()
+        dst_w = self._group[dest]
+        nbytes = payload_nbytes(obj)
+        arrival = self._world.transfer_complete(
+            src_w, dst_w, t_send + self._world.network.sw_overhead_s, nbytes
+        )
+        env = Envelope(self.rank, dest, tag, obj, arrival, nbytes)
+        self._world.mailbox(self._comm_id, dst_w).deliver(env)
+        return arrival
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: Optional[float] = None,
+        status: Optional[dict] = None,
+    ) -> Any:
+        """Blocking receive; advances the clock to the message arrival."""
+        clock = self._my_clock()
+        box = self._world.mailbox(self._comm_id, self._my_world_rank())
+        env = box.take(source, tag, timeout)
+        clock.advance(self._world.network.sw_overhead_s)
+        clock.advance_to(env.arrival)
+        if status is not None:
+            status["source"] = env.source
+            status["tag"] = env.tag
+            status["nbytes"] = env.nbytes
+            status["arrival"] = env.arrival
+        return env.payload
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Nonblocking receive; complete with ``Request.wait``/``test``."""
+        box = self._world.mailbox(self._comm_id, self._my_world_rank())
+        clock = self._my_clock()
+
+        def blocking() -> Any:
+            env = box.take(source, tag, None)
+            clock.advance_to(env.arrival)
+            return env.payload
+
+        def poll() -> Optional[Any]:
+            env = box.poll(source, tag)
+            if env is None:
+                return None
+            clock.advance_to(env.arrival)
+            return env.payload
+
+        blocking.poll = poll  # type: ignore[attr-defined]
+        return Request(blocking)
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """True if a matching message is already deliverable."""
+        box = self._world.mailbox(self._comm_id, self._my_world_rank())
+        return box.peek(source, tag)
+
+    def sendrecv(self, obj: Any, dest: int, source: int,
+                 sendtag: int = 0, recvtag: int = ANY_TAG) -> Any:
+        """Combined send+receive (deadlock-free exchange)."""
+        self.send(obj, dest, sendtag)
+        return self.recv(source, recvtag)
+
+    # ------------------------------------------------------------ collectives
+    def _tree_cost(self, nbytes: int) -> float:
+        net = self._world.network
+        steps = max(1, math.ceil(math.log2(max(2, self.size))))
+        return steps * (net.latency_s + net.sw_overhead_s) + (
+            nbytes / net.bandwidth_Bps
+        )
+
+    def _sync_clocks(self, extra: float) -> float:
+        """Align all group clocks to max + extra; returns the new time."""
+        coll = self._coll
+        me = self.rank
+        clock = self._my_clock()
+        with coll.lock:
+            coll.slots[("t", me)] = clock.now
+        coll.barrier.wait()
+        t_max = max(coll.slots[("t", r)] for r in range(self.size))
+        t_new = t_max + extra
+        clock.advance_to(t_new)
+        coll.barrier.wait()  # everyone read before slots are reused
+        if me == 0:
+            with coll.lock:
+                for r in range(self.size):
+                    coll.slots.pop(("t", r), None)
+        coll.barrier.wait()
+        return t_new
+
+    def barrier(self) -> float:
+        """Collective barrier; returns the synchronized virtual time."""
+        return self._sync_clocks(self._tree_cost(0))
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root`` to every group member."""
+        coll = self._coll
+        me = self.rank
+        if me == root:
+            with coll.lock:
+                coll.scratch = obj
+        coll.barrier.wait()
+        data = coll.scratch
+        self._sync_clocks(self._tree_cost(payload_nbytes(data)))
+        return data
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        """Gather one value per rank at ``root`` (None elsewhere)."""
+        coll = self._coll
+        me = self.rank
+        with coll.lock:
+            coll.slots[("g", me)] = obj
+        coll.barrier.wait()
+        result = None
+        total = sum(
+            payload_nbytes(coll.slots[("g", r)]) for r in range(self.size)
+        )
+        if me == root:
+            result = [coll.slots[("g", r)] for r in range(self.size)]
+        self._sync_clocks(self._tree_cost(total))
+        if me == root:
+            with coll.lock:
+                for r in range(self.size):
+                    coll.slots.pop(("g", r), None)
+        coll.barrier.wait()
+        return result
+
+    def allgather(self, obj: Any) -> List[Any]:
+        """Gather one value per rank, delivered to every rank."""
+        coll = self._coll
+        me = self.rank
+        with coll.lock:
+            coll.slots[("ag", me)] = obj
+        coll.barrier.wait()
+        result = [coll.slots[("ag", r)] for r in range(self.size)]
+        total = sum(payload_nbytes(x) for x in result)
+        self._sync_clocks(self._tree_cost(total))
+        if me == 0:
+            with coll.lock:
+                for r in range(self.size):
+                    coll.slots.pop(("ag", r), None)
+        coll.barrier.wait()
+        return result
+
+    def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
+        """Distribute one element of ``objs`` (at root) to each rank."""
+        coll = self._coll
+        me = self.rank
+        if me == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError("scatter requires size elements at root")
+            with coll.lock:
+                for r in range(self.size):
+                    coll.slots[("s", r)] = objs[r]
+        coll.barrier.wait()
+        mine = coll.slots[("s", me)]
+        self._sync_clocks(self._tree_cost(payload_nbytes(mine)))
+        coll.barrier.wait()
+        if me == root:
+            with coll.lock:
+                for r in range(self.size):
+                    coll.slots.pop(("s", r), None)
+        coll.barrier.wait()
+        return mine
+
+    def alltoall(self, objs: Sequence[Any]) -> List[Any]:
+        """Personalized exchange: rank i receives objs[i] from everyone."""
+        if len(objs) != self.size:
+            raise ValueError("alltoall requires size elements")
+        coll = self._coll
+        me = self.rank
+        with coll.lock:
+            for r in range(self.size):
+                coll.slots[("a2a", me, r)] = objs[r]
+        coll.barrier.wait()
+        result = [coll.slots[("a2a", r, me)] for r in range(self.size)]
+        recv_bytes = sum(payload_nbytes(x) for x in result)
+        send_bytes = sum(payload_nbytes(x) for x in objs)
+        self._sync_clocks(self._tree_cost(max(recv_bytes, send_bytes)))
+        coll.barrier.wait()
+        if me == 0:
+            with coll.lock:
+                for key in [k for k in coll.slots if k[0] == "a2a"]:
+                    coll.slots.pop(key, None)
+        coll.barrier.wait()
+        return result
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any]) -> Any:
+        """Reduce one value per rank with ``op``; all ranks get the result."""
+        values = self.allgather(obj)
+        acc = values[0]
+        for v in values[1:]:
+            acc = op(acc, v)
+        return acc
+
+    def abort_world(self) -> None:
+        """Abort the whole SPMD run (service-thread crash escalation)."""
+        self._world.abort()
+
+    # ------------------------------------------------------- comm management
+    def dup(self) -> "Comm":
+        """Collective duplicate with a fresh mailbox space.
+
+        Every member receives an equivalent communicator object whose
+        traffic is isolated from the parent's.
+        """
+        coll = self._coll
+        me = self.rank
+        if me == 0:
+            cid = self._world.new_comm_id()
+            with coll.lock:
+                coll.scratch = (
+                    cid,
+                    self._world.register_coll(_CollectiveState(self.size)),
+                )
+        coll.barrier.wait()
+        cid, new_coll = coll.scratch
+        coll.barrier.wait()
+        return Comm(self._world, self._group, cid, new_coll)
+
+    def split(self, color: int, key: int = 0) -> "Comm":
+        """Collective split into disjoint sub-communicators by color."""
+        coll = self._coll
+        me = self.rank
+        with coll.lock:
+            coll.slots[("sp", me)] = (color, key, self._group[me])
+        coll.barrier.wait()
+        triples = [coll.slots[("sp", r)] for r in range(self.size)]
+        mine = [
+            (k, wr) for (c, k, wr) in triples if c == color
+        ]
+        mine.sort()
+        group = [wr for _, wr in mine]
+        if me == 0:
+            colors = sorted({c for c, _, _ in triples})
+            comm_ids = {c: self._world.new_comm_id() for c in colors}
+            colls = {
+                c: self._world.register_coll(
+                    _CollectiveState(sum(1 for cc, _, _ in triples if cc == c))
+                )
+                for c in colors
+            }
+            with coll.lock:
+                coll.scratch = (comm_ids, colls)
+        coll.barrier.wait()
+        comm_ids, colls = coll.scratch
+        coll.barrier.wait()
+        if me == 0:
+            with coll.lock:
+                for r in range(self.size):
+                    coll.slots.pop(("sp", r), None)
+        coll.barrier.wait()
+        return Comm(self._world, group, comm_ids[color], colls[color])

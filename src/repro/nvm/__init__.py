@@ -1,0 +1,20 @@
+"""Simulated distributed NVM storage.
+
+Models the two architectures the paper distinguishes (§2.7):
+
+* **local NVM architecture** (Summitdev, Stampede): one NVMe/SSD per
+  compute node, private to that node's ranks; all ranks of a node form a
+  storage group.
+* **dedicated NVM architecture** (Cori): burst-buffer nodes behind the
+  interconnect, striped, visible to every rank; all ranks form one
+  storage group.
+
+SSTables are written to real files under a per-run repository directory,
+so the POSIX code path is exercised; access *costs* are charged to the
+timed device resources.
+"""
+
+from repro.nvm.posixfs import PosixStore
+from repro.nvm.storage import Machine, StorageLayout
+
+__all__ = ["Machine", "PosixStore", "StorageLayout"]

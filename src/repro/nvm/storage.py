@@ -1,0 +1,180 @@
+"""The machine: NVM devices, parallel file system, storage groups.
+
+A :class:`Machine` instantiates the storage fabric of one SPMD run from
+a :class:`~repro.simtime.profiles.SystemProfile`:
+
+* local NVM architecture — one :class:`TimedResource` NVMe/SSD per
+  compute node, with a per-node directory; the default storage group is
+  the node;
+* dedicated NVM architecture — one :class:`StripedResource` burst
+  buffer shared machine-wide (one directory), the default storage group
+  spans all ranks;
+* a global Lustre :class:`StripedResource` standing in for the parallel
+  file system used by checkpoint/restart.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import threading
+from typing import Dict, List, Optional
+
+from repro.nvm.posixfs import PosixStore
+from repro.simtime.profiles import DeviceProfile, SystemProfile
+from repro.simtime.resources import StripedResource, TimedResource
+
+
+def _make_device(profile: DeviceProfile, name: str, write: bool):
+    """Build the timed resource for one device profile."""
+    lat = profile.write_latency_s if write else profile.read_latency_s
+    bw = profile.write_bandwidth_Bps if write else profile.read_bandwidth_Bps
+    if profile.nstripes > 1:
+        return StripedResource(name, profile.nstripes, lat, bw)
+    return TimedResource(name, lat, bw)
+
+
+class StorageLayout:
+    """Maps ranks to storage groups.
+
+    The paper's artifact exposes ``PAPYRUSKV_GROUP_SIZE``; group ``g`` of
+    rank ``r`` is ``r // group_size``.  ``group_size=1`` disables SSTable
+    sharing (the "Default" configuration of Figure 8).
+    """
+
+    def __init__(self, nranks: int, group_size: int) -> None:
+        if group_size <= 0:
+            raise ValueError("group_size must be positive")
+        self.nranks = nranks
+        self.group_size = min(group_size, nranks)
+
+    def group_of(self, rank: int) -> int:
+        """Storage group id of ``rank``."""
+        return rank // self.group_size
+
+    def ranks_in_group(self, group: int) -> List[int]:
+        """All ranks belonging to ``group``."""
+        lo = group * self.group_size
+        hi = min(lo + self.group_size, self.nranks)
+        return list(range(lo, hi))
+
+    @property
+    def ngroups(self) -> int:
+        return -(-self.nranks // self.group_size)
+
+
+class Machine:
+    """Storage fabric for one simulated run.
+
+    Every rank obtains its NVM store via :meth:`nvm_store` and the
+    parallel file system via :meth:`lustre_store`.  Ranks that share an
+    NVM device receive :class:`PosixStore` objects rooted at the same
+    directory, so storage-group reads of a peer's SSTables are real file
+    reads.
+    """
+
+    def __init__(self, system: SystemProfile, nranks: int,
+                 base_dir: Optional[str] = None) -> None:
+        self.system = system
+        self.nranks = nranks
+        self._own_dir = base_dir is None
+        self.base_dir = base_dir or tempfile.mkdtemp(prefix="papyruskv-")
+        os.makedirs(self.base_dir, exist_ok=True)
+        self._lock = threading.Lock()
+        self._nvm_stores: Dict[int, PosixStore] = {}
+
+        nnodes = system.nodes_for(nranks)
+        self.nnodes = nnodes
+        net_hop = system.network.latency_s
+
+        if system.nvm_arch == "local":
+            self._nvm_write = [
+                _make_device(system.nvm, f"nvm-node{n}-w", write=True)
+                for n in range(nnodes)
+            ]
+            self._nvm_read = [
+                _make_device(system.nvm, f"nvm-node{n}-r", write=False)
+                for n in range(nnodes)
+            ]
+            self._nvm_extra_latency = 0.0
+            self.default_group_size = system.ranks_per_node
+        elif system.nvm_arch == "dedicated":
+            self._nvm_write = [_make_device(system.nvm, "burst-buffer-w", True)]
+            self._nvm_read = [_make_device(system.nvm, "burst-buffer-r", False)]
+            self._nvm_extra_latency = net_hop if system.nvm.remote else 0.0
+            self.default_group_size = nranks
+        else:
+            raise ValueError(f"unknown nvm_arch {system.nvm_arch!r}")
+
+        self._lustre_write = _make_device(system.lustre, "lustre-w", True)
+        self._lustre_read = _make_device(system.lustre, "lustre-r", False)
+        self._lustre_extra = net_hop if system.lustre.remote else 0.0
+
+    # ---------------------------------------------------------------- lookup
+    def nvm_domain_of_rank(self, rank: int) -> int:
+        """Which NVM device/directory serves this rank."""
+        if self.system.nvm_arch == "local":
+            return self.system.node_of_rank(rank)
+        return 0
+
+    def nvm_store(self, rank: int) -> PosixStore:
+        """The NVM-backed store visible to ``rank``."""
+        domain = self.nvm_domain_of_rank(rank)
+        with self._lock:
+            store = self._nvm_stores.get(domain)
+            if store is None:
+                store = PosixStore(
+                    os.path.join(self.base_dir, f"nvm{domain}"),
+                    self._nvm_write[domain],
+                    extra_latency_s=self._nvm_extra_latency,
+                    read_device=self._nvm_read[domain],
+                )
+                self._nvm_stores[domain] = store
+            return store
+
+    def lustre_store(self) -> PosixStore:
+        """The global parallel file system (checkpoint target)."""
+        with self._lock:
+            if not hasattr(self, "_lustre"):
+                self._lustre = PosixStore(
+                    os.path.join(self.base_dir, "lustre"),
+                    self._lustre_write,
+                    extra_latency_s=self._lustre_extra,
+                    read_device=self._lustre_read,
+                )
+            return self._lustre
+
+    def layout(self, group_size: Optional[int] = None) -> StorageLayout:
+        """Storage-group layout; defaults to the architecture's natural one."""
+        return StorageLayout(self.nranks, group_size or self.default_group_size)
+
+    def shares_nvm(self, rank_a: int, rank_b: int) -> bool:
+        """Whether two ranks can read each other's SSTable files at all."""
+        return self.nvm_domain_of_rank(rank_a) == self.nvm_domain_of_rank(rank_b)
+
+    # --------------------------------------------------------------- lifetime
+    def trim_nvm(self) -> None:
+        """Simulate end-of-job NVM trim: all SSTables on NVM disappear."""
+        with self._lock:
+            stores = list(self._nvm_stores.values())
+        for store in stores:
+            shutil.rmtree(store.root, ignore_errors=True)
+            os.makedirs(store.root, exist_ok=True)
+
+    def reset_timing(self) -> None:
+        """Zero all device availability horizons (fresh benchmark phase)."""
+        for dev in (*self._nvm_write, *self._nvm_read,
+                    self._lustre_write, self._lustre_read):
+            dev.reset()
+
+    def close(self) -> None:
+        """Remove the backing directory if this Machine created it."""
+        if self._own_dir:
+            shutil.rmtree(self.base_dir, ignore_errors=True)
+
+    def __enter__(self) -> "Machine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,172 @@
+"""Device, network, and system profiles (paper Table 2).
+
+The three evaluation systems — OLCF Summitdev, TACC Stampede (KNL), and
+NERSC Cori (Haswell) — are modelled by the parameters that drive the
+paper's measured contrasts:
+
+* Summitdev: local NVM architecture, one 800 GB NVMe per node, 20 ranks
+  per node, EDR InfiniBand.
+* Stampede: local NVM architecture, one 112 GB SATA SSD per node,
+  68 ranks per node, Omni-Path.
+* Cori: dedicated NVM architecture (burst-buffer nodes striped over the
+  Aries network), 32 ranks per node.
+
+Numbers are order-of-magnitude calibrations from public device data, not
+attempts to match the paper's absolute figures (EXPERIMENTS.md records
+the resulting paper-vs-measured shapes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Latency/bandwidth parameters for one storage device class."""
+
+    name: str
+    read_latency_s: float
+    write_latency_s: float
+    read_bandwidth_Bps: float
+    write_bandwidth_Bps: float
+    #: number of stripes for striped stores (1 = a plain local device)
+    nstripes: int = 1
+    #: whether the device sits behind the interconnect (burst buffer)
+    remote: bool = False
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """Interconnect parameters."""
+
+    name: str
+    latency_s: float
+    bandwidth_Bps: float
+    #: extra per-message software overhead on each side (MPI stack)
+    sw_overhead_s: float = 5e-7
+    #: one-sided (RDMA) per-op latency, used by the UPC DSM baseline
+    rdma_latency_s: float = 1.5e-6
+
+
+@dataclass(frozen=True)
+class CPUProfile:
+    """Per-operation software costs charged on the main timeline."""
+
+    name: str
+    #: fixed cost of one KVS call (hashing, tree descent, bookkeeping)
+    kv_op_s: float
+    #: DRAM copy bandwidth for staging values into MemTables
+    memcpy_Bps: float
+    #: DRAM random-access latency component per op
+    dram_latency_s: float
+
+
+@dataclass(frozen=True)
+class SystemProfile:
+    """One evaluation platform (a Table 2 column)."""
+
+    name: str
+    site: str
+    ranks_per_node: int
+    #: 'local' (node-local NVMe/SSD) or 'dedicated' (burst buffer)
+    nvm_arch: str
+    nvm: DeviceProfile
+    lustre: DeviceProfile
+    network: NetworkProfile
+    cpu: CPUProfile
+    compute_nodes: int = 1
+    notes: str = ""
+
+    def node_of_rank(self, rank: int) -> int:
+        """Compute node hosting ``rank`` (block distribution)."""
+        return rank // self.ranks_per_node
+
+    def nodes_for(self, nranks: int) -> int:
+        """Number of compute nodes a run of ``nranks`` occupies."""
+        return -(-nranks // self.ranks_per_node)
+
+
+# --------------------------------------------------------------------- CPUs
+_POWER8 = CPUProfile("IBM POWER8 2.0GHz", kv_op_s=1.2e-6, memcpy_Bps=18 * GB,
+                     dram_latency_s=9e-8)
+_KNL = CPUProfile("Intel Xeon Phi 7250 1.4GHz", kv_op_s=3.0e-6,
+                  memcpy_Bps=8 * GB, dram_latency_s=1.5e-7)
+_HASWELL = CPUProfile("Intel Xeon E5-2698 2.3GHz", kv_op_s=1.0e-6,
+                      memcpy_Bps=15 * GB, dram_latency_s=8e-8)
+
+# ------------------------------------------------------------------ networks
+_EDR_IB = NetworkProfile("Mellanox InfiniBand EDR", latency_s=1.0e-6,
+                         bandwidth_Bps=12.0 * GB)
+_OMNIPATH = NetworkProfile("Intel Omni-Path", latency_s=1.1e-6,
+                           bandwidth_Bps=11.0 * GB)
+_ARIES = NetworkProfile("Cray Aries Dragonfly", latency_s=1.3e-6,
+                        bandwidth_Bps=10.0 * GB)
+
+# ------------------------------------------------------------------- devices
+_SUMMITDEV_NVME = DeviceProfile(
+    "800GB NVMe (node-local)",
+    read_latency_s=8e-5, write_latency_s=3e-5,
+    read_bandwidth_Bps=3.0 * GB, write_bandwidth_Bps=2.0 * GB,
+)
+_STAMPEDE_SSD = DeviceProfile(
+    "112GB SATA SSD (node-local)",
+    read_latency_s=1.2e-4, write_latency_s=8e-5,
+    read_bandwidth_Bps=0.5 * GB, write_bandwidth_Bps=0.35 * GB,
+)
+_CORI_BB = DeviceProfile(
+    "Burst buffer (striped SSD, dedicated nodes)",
+    read_latency_s=2.5e-4, write_latency_s=2.5e-4,
+    read_bandwidth_Bps=1.6 * GB, write_bandwidth_Bps=1.6 * GB,
+    nstripes=8, remote=True,
+)
+_LUSTRE = DeviceProfile(
+    "Lustre (striped over OSTs)",
+    read_latency_s=4e-3, write_latency_s=2.5e-3,
+    read_bandwidth_Bps=0.8 * GB, write_bandwidth_Bps=0.8 * GB,
+    nstripes=4, remote=True,
+)
+
+# ------------------------------------------------------------------- systems
+SUMMITDEV = SystemProfile(
+    name="summitdev", site="OLCF", ranks_per_node=20, nvm_arch="local",
+    nvm=_SUMMITDEV_NVME, lustre=_LUSTRE, network=_EDR_IB, cpu=_POWER8,
+    compute_nodes=54,
+    notes="2x IBM POWER8, 256GB DDR4, node-local 800GB NVMe",
+)
+STAMPEDE = SystemProfile(
+    name="stampede", site="TACC", ranks_per_node=68, nvm_arch="local",
+    nvm=_STAMPEDE_SSD, lustre=_LUSTRE, network=_OMNIPATH, cpu=_KNL,
+    compute_nodes=508,
+    notes="Xeon Phi 7250 (KNL), 96GB DDR4, node-local 112GB SSD",
+)
+CORI = SystemProfile(
+    name="cori", site="NERSC", ranks_per_node=32, nvm_arch="dedicated",
+    nvm=_CORI_BB, lustre=_LUSTRE, network=_ARIES, cpu=_HASWELL,
+    compute_nodes=2004,
+    notes="2x Haswell, 128GB DDR4, burst-buffer SSD nodes (1.8PB aggregate)",
+)
+
+_SYSTEMS: Dict[str, SystemProfile] = {
+    s.name: s for s in (SUMMITDEV, STAMPEDE, CORI)
+}
+
+
+def system_by_name(name: str) -> SystemProfile:
+    """Look up a system profile by its lowercase name."""
+    try:
+        return _SYSTEMS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown system {name!r}; available: {sorted(_SYSTEMS)}"
+        ) from None
+
+
+def all_systems() -> Dict[str, SystemProfile]:
+    """All modelled platforms by name."""
+    return dict(_SYSTEMS)

@@ -1,0 +1,39 @@
+"""SSTables: immutable sorted on-NVM key-value files.
+
+An SSTable "consists of three files, SSData, SSIndex, and bloom filter"
+(paper §2.4): SSData holds the key-sorted records, SSIndex their offsets
+and lengths, and the bloom filter answers may-contain queries so a get
+can skip the table entirely.  Each SSTable carries a per-database,
+per-rank monotonically increasing SSID; higher SSIDs hold newer data.
+"""
+
+from repro.sstable.compaction import compact
+from repro.sstable.format import (
+    BLOOM_SUFFIX,
+    DATA_SUFFIX,
+    INDEX_SUFFIX,
+    IndexEntry,
+    Record,
+    decode_index,
+    decode_records,
+    encode_index,
+    encode_record,
+)
+from repro.sstable.reader import SSTableReader, list_ssids
+from repro.sstable.writer import write_sstable
+
+__all__ = [
+    "BLOOM_SUFFIX",
+    "DATA_SUFFIX",
+    "INDEX_SUFFIX",
+    "IndexEntry",
+    "Record",
+    "SSTableReader",
+    "compact",
+    "decode_index",
+    "decode_records",
+    "encode_index",
+    "encode_record",
+    "list_ssids",
+    "write_sstable",
+]

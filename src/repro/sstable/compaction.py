@@ -1,0 +1,78 @@
+"""SSTable compaction: merge a run of tables, newest-SSID wins.
+
+"PapyrusKV merges the data in a set of SSTables ... whenever the SSID of
+a new SSTable is multiples of the predefined number" (paper §2.5).  The
+merge is a sequential read of each input (the tables are key-sorted),
+keeps the record from the highest SSID for duplicate keys, writes one
+new merged SSTable, and deletes the inputs.
+
+Tombstones survive a *partial* compaction (they may still shadow live
+records in tables older than the compacted run); a *full* compaction of
+every table in a rank's set may drop them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from repro.nvm.posixfs import PosixStore
+from repro.sstable.format import Record
+from repro.sstable.reader import SSTableReader
+from repro.sstable.writer import write_sstable
+
+
+def merge_records(
+    runs: List[List[Record]], drop_tombstones: bool = False
+) -> List[Record]:
+    """K-way merge; ``runs`` ordered oldest→newest, each sorted by key.
+
+    For duplicate keys the record from the newest run wins.
+    """
+    heap: List[Tuple[bytes, int, int]] = []  # (key, -run_idx, pos)
+    for ri, run in enumerate(runs):
+        if run:
+            heapq.heappush(heap, (run[0].key, -ri, 0))
+    out: List[Record] = []
+    last_key: Optional[bytes] = None
+    while heap:
+        key, neg_ri, pos = heapq.heappop(heap)
+        ri = -neg_ri
+        rec = runs[ri][pos]
+        if key != last_key:
+            last_key = key
+            if not (drop_tombstones and rec.tombstone):
+                out.append(rec)
+        if pos + 1 < len(runs[ri]):
+            heapq.heappush(heap, (runs[ri][pos + 1].key, neg_ri, pos + 1))
+    return out
+
+
+def compact(
+    store: PosixStore,
+    directory: str,
+    ssids: List[int],
+    new_ssid: int,
+    t: float,
+    drop_tombstones: bool = False,
+    fp_rate: float = 0.01,
+) -> Tuple[int, float]:
+    """Merge the tables ``ssids`` into one table ``new_ssid``.
+
+    Returns ``(merged_record_count, virtual_completion_time)``.  The
+    inputs are deleted after the merged table is durably written, so a
+    reader never observes a state with data missing.
+    """
+    if not ssids:
+        return 0, t
+    readers = [SSTableReader(store, directory, s) for s in sorted(ssids)]
+    runs: List[List[Record]] = []
+    for rd in readers:  # oldest → newest
+        recs, t = rd.read_all(t)
+        runs.append(recs)
+    merged = merge_records(runs, drop_tombstones=drop_tombstones)
+    _, t = write_sstable(store, directory, new_ssid, merged, t, fp_rate)
+    for rd in readers:
+        if rd.ssid != new_ssid:  # reusing an input SSID replaces its files
+            t = rd.delete(t)
+    return len(merged), t

@@ -1,0 +1,139 @@
+"""Binary on-disk format of the three SSTable files.
+
+SSData record layout (little-endian)::
+
+    keylen   u32
+    vallen   u32
+    flags    u8     (bit 0 = tombstone)
+    key      keylen bytes
+    value    vallen bytes
+
+SSIndex layout::
+
+    magic    u32  = 0x50414B56  ("PAKV")
+    count    u64
+    entries  count * 17 bytes: offset u64, keylen u32, vallen u32, flags u8
+
+The bloom-filter file is the serialized :class:`repro.util.bloom.BloomFilter`.
+Keys live only in SSData — a binary-search probe must touch SSData at the
+indexed offset, which is the access pattern whose cost the paper's
+"SSTable binary search" optimization targets.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+DATA_SUFFIX = ".ssd"
+INDEX_SUFFIX = ".ssi"
+BLOOM_SUFFIX = ".bf"
+
+MAGIC = 0x50414B56
+_HDR = struct.Struct("<IQ")
+_ENTRY = struct.Struct("<QIIB")
+_REC_HDR = struct.Struct("<IIB")
+
+RECORD_HEADER_LEN = _REC_HDR.size  # 9
+INDEX_ENTRY_LEN = _ENTRY.size  # 17
+TOMBSTONE_FLAG = 0x01
+
+
+@dataclass(frozen=True)
+class Record:
+    """One key-value pair (tombstones carry an empty value)."""
+
+    key: bytes
+    value: bytes
+    tombstone: bool = False
+
+    def encoded_len(self) -> int:
+        """On-disk size of this record."""
+        return RECORD_HEADER_LEN + len(self.key) + len(self.value)
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """Location of one record inside SSData."""
+
+    offset: int
+    keylen: int
+    vallen: int
+    tombstone: bool
+
+    @property
+    def key_offset(self) -> int:
+        return self.offset + RECORD_HEADER_LEN
+
+    @property
+    def value_offset(self) -> int:
+        return self.offset + RECORD_HEADER_LEN + self.keylen
+
+    @property
+    def record_len(self) -> int:
+        return RECORD_HEADER_LEN + self.keylen + self.vallen
+
+
+def encode_record(rec: Record) -> bytes:
+    """Serialize one record in SSData layout."""
+    flags = TOMBSTONE_FLAG if rec.tombstone else 0
+    return _REC_HDR.pack(len(rec.key), len(rec.value), flags) + rec.key + rec.value
+
+
+def decode_record_at(buf: bytes, offset: int) -> Tuple[Record, int]:
+    """Decode one record at ``offset``; returns (record, next_offset)."""
+    keylen, vallen, flags = _REC_HDR.unpack_from(buf, offset)
+    ko = offset + RECORD_HEADER_LEN
+    key = bytes(buf[ko:ko + keylen])
+    value = bytes(buf[ko + keylen:ko + keylen + vallen])
+    return (
+        Record(key, value, bool(flags & TOMBSTONE_FLAG)),
+        ko + keylen + vallen,
+    )
+
+
+def decode_records(buf: bytes) -> Iterator[Record]:
+    """Decode a whole SSData buffer in file order (sorted by key)."""
+    offset = 0
+    end = len(buf)
+    while offset < end:
+        rec, offset = decode_record_at(buf, offset)
+        yield rec
+
+
+def encode_index(entries: List[IndexEntry]) -> bytes:
+    """Serialize an SSIndex file (magic + count + fixed entries)."""
+    out = bytearray(_HDR.pack(MAGIC, len(entries)))
+    for e in entries:
+        out += _ENTRY.pack(
+            e.offset, e.keylen, e.vallen, TOMBSTONE_FLAG if e.tombstone else 0
+        )
+    return bytes(out)
+
+
+def decode_index(buf: bytes) -> List[IndexEntry]:
+    """Parse an SSIndex file; raises ValueError on corruption."""
+    if len(buf) < _HDR.size:
+        raise ValueError("SSIndex truncated")
+    magic, count = _HDR.unpack_from(buf, 0)
+    if magic != MAGIC:
+        raise ValueError(f"bad SSIndex magic {magic:#x}")
+    expected = _HDR.size + count * INDEX_ENTRY_LEN
+    if len(buf) < expected:
+        raise ValueError("SSIndex shorter than its count claims")
+    entries: List[IndexEntry] = []
+    pos = _HDR.size
+    for _ in range(count):
+        offset, keylen, vallen, flags = _ENTRY.unpack_from(buf, pos)
+        entries.append(
+            IndexEntry(offset, keylen, vallen, bool(flags & TOMBSTONE_FLAG))
+        )
+        pos += INDEX_ENTRY_LEN
+    return entries
+
+
+def sstable_filenames(ssid: int) -> Tuple[str, str, str]:
+    """(SSData, SSIndex, bloom) filenames for one SSID."""
+    base = f"{ssid:010d}"
+    return base + DATA_SUFFIX, base + INDEX_SUFFIX, base + BLOOM_SUFFIX

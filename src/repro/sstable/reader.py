@@ -1,0 +1,187 @@
+"""SSTable reader: bloom-gated lookups with binary or sequential search.
+
+A get "opens the bloom filter file first to determine whether the
+SSTable can be skipped"; on a possible hit it "loads the SSIndex in
+memory and searches SSData with the given key" (paper §2.6).  With
+binary search enabled each probe is a small random read of just the key
+bytes at an indexed offset — cheap on NVM, which is the point of the
+optimization.  With it disabled the reader scans SSData from the front
+(the ``Default`` configuration in Figure 8).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import StorageError
+from repro.nvm.posixfs import PosixStore
+from repro.sstable.format import (
+    BLOOM_SUFFIX,
+    DATA_SUFFIX,
+    INDEX_SUFFIX,
+    RECORD_HEADER_LEN,
+    IndexEntry,
+    Record,
+    decode_index,
+    decode_record_at,
+    sstable_filenames,
+)
+from repro.util.bloom import BloomFilter
+
+_SSID_RE = re.compile(r"^(\d{10})" + re.escape(DATA_SUFFIX) + "$")
+
+#: speculative key bytes fetched with each record header during scans
+_SPEC_KEY = 64
+
+
+def list_ssids(store: PosixStore, directory: str) -> List[int]:
+    """All SSIDs present under ``directory``, ascending."""
+    ssids = []
+    for name in store.listdir(directory):
+        m = _SSID_RE.match(name)
+        if m:
+            ssids.append(int(m.group(1)))
+    return sorted(ssids)
+
+
+class SSTableReader:
+    """Handle to one immutable SSTable.
+
+    The parsed bloom filter and index are cached after first use (the OS
+    page cache analogue); the device is still charged for the initial
+    loads and for every SSData probe.
+    """
+
+    def __init__(self, store: PosixStore, directory: str, ssid: int) -> None:
+        self.store = store
+        self.directory = directory
+        self.ssid = ssid
+        d, i, b = sstable_filenames(ssid)
+        self._data_path = f"{directory}/{d}"
+        self._index_path = f"{directory}/{i}"
+        self._bloom_path = f"{directory}/{b}"
+        self._bloom: Optional[BloomFilter] = None
+        self._index: Optional[List[IndexEntry]] = None
+
+    # ----------------------------------------------------------------- loads
+    def load_bloom(self, t: float) -> Tuple[BloomFilter, float]:
+        """Load (once) and return the bloom filter."""
+        if self._bloom is None:
+            blob, t = self.store.read(self._bloom_path, t)
+            self._bloom = BloomFilter.from_bytes(blob)
+        return self._bloom, t
+
+    def load_index(self, t: float) -> Tuple[List[IndexEntry], float]:
+        """Load (once) and return the SSIndex entries."""
+        if self._index is None:
+            blob, t = self.store.read(self._index_path, t)
+            self._index = decode_index(blob)
+        return self._index, t
+
+    def may_contain(self, key: bytes, t: float) -> Tuple[bool, float]:
+        """Bloom membership test; False means definitely absent."""
+        bloom, t = self.load_bloom(t)
+        return key in bloom, t
+
+    # ---------------------------------------------------------------- lookup
+    def get(self, key: bytes, t: float,
+            binary_search: bool = True,
+            use_bloom: bool = True) -> Tuple[Optional[Record], float]:
+        """Look up ``key``; returns (record-or-None, completion time).
+
+        A returned tombstone record means "definitely deleted at this
+        SSID" — callers must stop searching older SSTables.
+        ``use_bloom=False`` skips the membership test (ablation mode):
+        every SSTable pays a full search even for absent keys.
+        """
+        if use_bloom:
+            hit, t = self.may_contain(key, t)
+            if not hit:
+                return None, t
+        if binary_search:
+            return self._binary_get(key, t)
+        return self._sequential_get(key, t)
+
+    def _binary_get(self, key: bytes, t: float) -> Tuple[Optional[Record], float]:
+        index, t = self.load_index(t)
+        lo, hi = 0, len(index) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            entry = index[mid]
+            probe, t = self.store.read(
+                self._data_path, t, entry.key_offset, entry.keylen
+            )
+            if probe == key:
+                value, t = self.store.read(
+                    self._data_path, t, entry.value_offset, entry.vallen
+                )
+                return Record(key, value, entry.tombstone), t
+            if probe < key:
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return None, t
+
+    def _sequential_get(self, key: bytes, t: float) -> Tuple[Optional[Record], float]:
+        """Record-by-record scan of SSData front to back.
+
+        This is the "Default" configuration of Figure 8: each record
+        costs one small read (header + key) before the scan can jump to
+        the next offset — O(n) device operations against binary search's
+        O(log n), which is exactly the gap the optimization closes.
+        """
+        import struct as _struct
+
+        size = self.store.size(self._data_path)
+        offset = 0
+        while offset < size:
+            # speculative read: header plus enough bytes for typical keys
+            probe, t = self.store.read(
+                self._data_path, t, offset, RECORD_HEADER_LEN + _SPEC_KEY
+            )
+            keylen, vallen, flags = _struct.unpack_from("<IIB", probe, 0)
+            kend = RECORD_HEADER_LEN + keylen
+            if keylen <= _SPEC_KEY:
+                rkey = probe[RECORD_HEADER_LEN:kend]
+            else:  # long key: one more read
+                rkey, t = self.store.read(
+                    self._data_path, t, offset + RECORD_HEADER_LEN, keylen
+                )
+            if rkey == key:
+                value, t = self.store.read(
+                    self._data_path, t, offset + kend, vallen
+                )
+                return Record(bytes(rkey), value, bool(flags & 1)), t
+            if rkey > key:
+                return None, t  # sorted: key cannot appear later
+            offset += kend + vallen
+        return None, t
+
+    # --------------------------------------------------------------- full I/O
+    def read_all(self, t: float) -> Tuple[List[Record], float]:
+        """Sequential read of the whole table (compaction, redistribution)."""
+        blob, t = self.store.read(self._data_path, t)
+        from repro.sstable.format import decode_records
+
+        return list(decode_records(blob)), t
+
+    def nbytes(self) -> int:
+        """Total on-disk size of the three files."""
+        total = 0
+        for p in (self._data_path, self._index_path, self._bloom_path):
+            try:
+                total += self.store.size(p)
+            except StorageError:
+                pass
+        return total
+
+    def file_paths(self) -> Tuple[str, str, str]:
+        """Store-relative paths of (SSData, SSIndex, bloom)."""
+        return self._data_path, self._index_path, self._bloom_path
+
+    def delete(self, t: float) -> float:
+        """Remove all three files; returns the completion time."""
+        for p in self.file_paths():
+            t = self.store.delete(p, t)
+        return t

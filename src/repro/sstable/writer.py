@@ -1,0 +1,57 @@
+"""SSTable writer: flush sorted records to the three files."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.nvm.posixfs import PosixStore
+from repro.sstable.format import (
+    IndexEntry,
+    Record,
+    encode_index,
+    encode_record,
+    sstable_filenames,
+)
+from repro.util.bloom import BloomFilter
+
+
+def write_sstable(
+    store: PosixStore,
+    directory: str,
+    ssid: int,
+    records: Iterable[Record],
+    t: float,
+    fp_rate: float = 0.01,
+) -> Tuple[int, float]:
+    """Write one SSTable under ``directory`` in ``store``.
+
+    ``records`` must already be sorted by key (MemTables iterate in key
+    order).  Returns ``(bytes_written, virtual_completion_time)``.
+    Tombstones are written too — they must shadow older SSTables until a
+    compaction drops the dead keys.
+    """
+    recs: List[Record] = list(records)
+    prev_key = None
+    for r in recs:
+        if prev_key is not None and r.key <= prev_key:
+            raise ValueError("records must be strictly sorted by key")
+        prev_key = r.key
+
+    data = bytearray()
+    entries: List[IndexEntry] = []
+    bloom = BloomFilter.for_capacity(len(recs), fp_rate)
+    for rec in recs:
+        entries.append(
+            IndexEntry(len(data), len(rec.key), len(rec.value), rec.tombstone)
+        )
+        data += encode_record(rec)
+        bloom.add(rec.key)
+
+    data_name, index_name, bloom_name = sstable_filenames(ssid)
+    index_blob = encode_index(entries)
+    bloom_blob = bloom.to_bytes()
+
+    end = store.write(f"{directory}/{data_name}", bytes(data), t)
+    end = store.write(f"{directory}/{index_name}", index_blob, end)
+    end = store.write(f"{directory}/{bloom_name}", bloom_blob, end)
+    return len(data) + len(index_blob) + len(bloom_blob), end

@@ -1,0 +1,20 @@
+"""Operator tooling: repository inspection and the command-line interface."""
+
+from repro.tools.dump import (
+    DatabaseSummary,
+    SSTableSummary,
+    dump_sstable,
+    inspect_repository,
+)
+from repro.tools.trace import Span, Tracer, export_chrome_trace, summarize
+
+__all__ = [
+    "DatabaseSummary",
+    "SSTableSummary",
+    "Span",
+    "Tracer",
+    "dump_sstable",
+    "export_chrome_trace",
+    "inspect_repository",
+    "summarize",
+]

@@ -1,0 +1,184 @@
+"""Repository inspection: decode what PapyrusKV left on "NVM".
+
+The on-disk layout is real files, so a repository can be audited
+offline (the analogue of LevelDB's ``ldb`` tool)::
+
+    <root>/db_<name>/meta.json
+    <root>/db_<name>/rank<r>/<ssid>.ssd|.ssi|.bf
+
+:func:`inspect_repository` summarizes every database;
+:func:`dump_sstable` decodes one table's records.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.sstable.format import (
+    BLOOM_SUFFIX,
+    DATA_SUFFIX,
+    INDEX_SUFFIX,
+    Record,
+    decode_index,
+    decode_records,
+)
+from repro.util.bloom import BloomFilter
+
+_DB_RE = re.compile(r"^db_(.+)$")
+_RANK_RE = re.compile(r"^rank(\d+)$")
+_SSID_RE = re.compile(r"^(\d{10})" + re.escape(DATA_SUFFIX) + "$")
+
+
+@dataclass
+class SSTableSummary:
+    """Counts and sizes of one SSTable."""
+
+    ssid: int
+    records: int
+    tombstones: int
+    data_bytes: int
+    index_bytes: int
+    bloom_bytes: int
+    min_key: Optional[bytes] = None
+    max_key: Optional[bytes] = None
+
+    @property
+    def total_bytes(self) -> int:
+        return self.data_bytes + self.index_bytes + self.bloom_bytes
+
+
+@dataclass
+class DatabaseSummary:
+    """Per-database inventory of a repository."""
+
+    name: str
+    nranks: Optional[int]
+    ranks: Dict[int, List[SSTableSummary]] = field(default_factory=dict)
+
+    @property
+    def total_records(self) -> int:
+        return sum(t.records for ts in self.ranks.values() for t in ts)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(t.total_bytes for ts in self.ranks.values() for t in ts)
+
+    @property
+    def total_sstables(self) -> int:
+        return sum(len(ts) for ts in self.ranks.values())
+
+
+def _summarize_table(rank_dir: str, ssid: int) -> SSTableSummary:
+    base = os.path.join(rank_dir, f"{ssid:010d}")
+    data_path = base + DATA_SUFFIX
+    index_path = base + INDEX_SUFFIX
+    bloom_path = base + BLOOM_SUFFIX
+    with open(data_path, "rb") as f:
+        blob = f.read()
+    records = tombstones = 0
+    min_key = max_key = None
+    for rec in decode_records(blob):
+        records += 1
+        tombstones += rec.tombstone
+        if min_key is None:
+            min_key = rec.key
+        max_key = rec.key
+    return SSTableSummary(
+        ssid=ssid,
+        records=records,
+        tombstones=tombstones,
+        data_bytes=len(blob),
+        index_bytes=os.path.getsize(index_path)
+        if os.path.exists(index_path) else 0,
+        bloom_bytes=os.path.getsize(bloom_path)
+        if os.path.exists(bloom_path) else 0,
+        min_key=min_key,
+        max_key=max_key,
+    )
+
+
+def inspect_repository(root: str) -> List[DatabaseSummary]:
+    """Summarize every database under a repository root directory."""
+    if not os.path.isdir(root):
+        raise FileNotFoundError(f"no repository at {root}")
+    out: List[DatabaseSummary] = []
+    for entry in sorted(os.listdir(root)):
+        m = _DB_RE.match(entry)
+        if not m:
+            continue
+        db_dir = os.path.join(root, entry)
+        nranks = None
+        meta_path = os.path.join(db_dir, "meta.json")
+        if os.path.exists(meta_path):
+            with open(meta_path) as f:
+                nranks = json.load(f).get("nranks")
+        summary = DatabaseSummary(name=m.group(1), nranks=nranks)
+        for sub in sorted(os.listdir(db_dir)):
+            rm = _RANK_RE.match(sub)
+            if not rm:
+                continue
+            rank = int(rm.group(1))
+            rank_dir = os.path.join(db_dir, sub)
+            tables = []
+            for fname in sorted(os.listdir(rank_dir)):
+                sm = _SSID_RE.match(fname)
+                if sm:
+                    tables.append(_summarize_table(rank_dir, int(sm.group(1))))
+            summary.ranks[rank] = tables
+        out.append(summary)
+    return out
+
+
+def dump_sstable(rank_dir: str, ssid: int,
+                 limit: Optional[int] = None) -> Iterator[Record]:
+    """Yield the records of one SSTable (optionally the first ``limit``)."""
+    with open(os.path.join(rank_dir, f"{ssid:010d}{DATA_SUFFIX}"), "rb") as f:
+        blob = f.read()
+    for i, rec in enumerate(decode_records(blob)):
+        if limit is not None and i >= limit:
+            return
+        yield rec
+
+
+def verify_sstable(rank_dir: str, ssid: int) -> List[str]:
+    """Cross-check one SSTable's three files; returns found problems."""
+    problems: List[str] = []
+    base = os.path.join(rank_dir, f"{ssid:010d}")
+    try:
+        with open(base + DATA_SUFFIX, "rb") as f:
+            data = f.read()
+        records = list(decode_records(data))
+    except (OSError, ValueError) as exc:
+        return [f"SSData unreadable: {exc}"]
+    keys = [r.key for r in records]
+    if keys != sorted(set(keys)):
+        problems.append("SSData keys not strictly sorted")
+    try:
+        with open(base + INDEX_SUFFIX, "rb") as f:
+            entries = decode_index(f.read())
+        if len(entries) != len(records):
+            problems.append(
+                f"SSIndex count {len(entries)} != record count {len(records)}"
+            )
+        for entry, rec in zip(entries, records):
+            got = data[entry.key_offset:entry.key_offset + entry.keylen]
+            if got != rec.key:
+                problems.append(f"SSIndex offset mismatch at key {rec.key!r}")
+                break
+    except (OSError, ValueError) as exc:
+        problems.append(f"SSIndex unreadable: {exc}")
+    try:
+        with open(base + BLOOM_SUFFIX, "rb") as f:
+            bloom = BloomFilter.from_bytes(f.read())
+        missing = [k for k in keys if k not in bloom]
+        if missing:
+            problems.append(
+                f"bloom filter false negatives: {len(missing)} keys"
+            )
+    except (OSError, ValueError) as exc:
+        problems.append(f"bloom filter unreadable: {exc}")
+    return problems

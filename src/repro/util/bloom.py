@@ -1,0 +1,114 @@
+"""Bloom filter for SSTable membership tests.
+
+Each SSTable carries a bloom-filter file; a get opens it first "to
+determine whether the SSTable can be skipped" (paper §2.6).  The filter
+guarantees no false negatives: if ``key in filter`` is False the key is
+definitely not in the SSTable's data file.
+
+The implementation uses the standard Kirsch-Mitzenmacher double-hashing
+scheme (k probe positions derived from two 64-bit FNV hashes), the same
+approach used by LevelDB.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.util.hashing import fnv1a_64
+
+_FNV2_OFFSET = 0x6C62272E07BB0142
+_MASK64 = (1 << 64) - 1
+
+
+def _hash2(data: bytes) -> int:
+    """A second independent 64-bit hash (FNV over the reversed bytes)."""
+    h = _FNV2_OFFSET
+    for b in reversed(data):
+        h ^= b
+        h = (h * 0x100000001B3) & _MASK64
+    return h
+
+
+class BloomFilter:
+    """Fixed-size bloom filter over byte-string keys."""
+
+    __slots__ = ("nbits", "nhashes", "_bits", "count")
+
+    def __init__(self, nbits: int, nhashes: int) -> None:
+        if nbits <= 0:
+            raise ValueError("nbits must be positive")
+        if nhashes <= 0:
+            raise ValueError("nhashes must be positive")
+        self.nbits = nbits
+        self.nhashes = nhashes
+        self._bits = bytearray((nbits + 7) // 8)
+        self.count = 0
+
+    # ---------------------------------------------------------------- sizing
+    @classmethod
+    def for_capacity(cls, n: int, fp_rate: float = 0.01) -> "BloomFilter":
+        """Size a filter for ``n`` keys at the requested false-positive rate."""
+        n = max(1, n)
+        if not 0.0 < fp_rate < 1.0:
+            raise ValueError("fp_rate must be in (0, 1)")
+        nbits = max(8, int(math.ceil(-n * math.log(fp_rate) / (math.log(2) ** 2))))
+        nhashes = max(1, int(round(nbits / n * math.log(2))))
+        return cls(nbits, nhashes)
+
+    # ------------------------------------------------------------- operations
+    def _positions(self, key: bytes) -> Iterable[int]:
+        h1 = fnv1a_64(key)
+        h2 = _hash2(key) | 1  # odd => full-period stepping
+        nbits = self.nbits
+        for i in range(self.nhashes):
+            yield ((h1 + i * h2) & _MASK64) % nbits
+
+    def add(self, key: bytes) -> None:
+        """Insert ``key`` into the filter."""
+        bits = self._bits
+        for pos in self._positions(key):
+            bits[pos >> 3] |= 1 << (pos & 7)
+        self.count += 1
+
+    def __contains__(self, key: bytes) -> bool:
+        bits = self._bits
+        for pos in self._positions(key):
+            if not bits[pos >> 3] & (1 << (pos & 7)):
+                return False
+        return True
+
+    def may_contain(self, key: bytes) -> bool:
+        """Alias of ``key in filter``; False means definitely absent."""
+        return key in self
+
+    # ------------------------------------------------------------- serialize
+    def to_bytes(self) -> bytes:
+        """Serialize as ``nbits(8) nhashes(4) count(8) bitvector``."""
+        header = self.nbits.to_bytes(8, "little") + self.nhashes.to_bytes(
+            4, "little"
+        ) + self.count.to_bytes(8, "little")
+        return header + bytes(self._bits)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "BloomFilter":
+        if len(blob) < 20:
+            raise ValueError("bloom filter blob too short")
+        nbits = int.from_bytes(blob[0:8], "little")
+        nhashes = int.from_bytes(blob[8:12], "little")
+        count = int.from_bytes(blob[12:20], "little")
+        bf = cls(nbits, nhashes)
+        body = blob[20:]
+        if len(body) != len(bf._bits):
+            raise ValueError("bloom filter bit vector length mismatch")
+        bf._bits = bytearray(body)
+        bf.count = count
+        return bf
+
+    def __len__(self) -> int:
+        return self.count
+
+    def fill_ratio(self) -> float:
+        """Fraction of set bits (diagnostic for FP-rate estimation)."""
+        set_bits = sum(bin(b).count("1") for b in self._bits)
+        return set_bits / self.nbits

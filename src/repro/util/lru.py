@@ -1,0 +1,89 @@
+"""Byte-budgeted LRU cache.
+
+"The cache is a kind of MemTable, and it is managed in a LRU fashion"
+(paper §2.3).  The local cache holds pairs fetched from SSTables; the
+remote cache holds pairs fetched from remote ranks.  Capacity is a byte
+budget (sum of key+value lengths), matching MemTable-style accounting.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, Optional, Tuple
+
+
+class LRUCache:
+    """LRU map from ``bytes`` keys to ``bytes`` values with a byte budget."""
+
+    __slots__ = ("capacity_bytes", "_data", "_bytes", "hits", "misses", "evictions")
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity_bytes = capacity_bytes
+        self._data: OrderedDict[bytes, bytes] = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -------------------------------------------------------------- accessors
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._data
+
+    @property
+    def size_bytes(self) -> int:
+        return self._bytes
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Return the cached value and mark it most-recently-used."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def peek(self, key: bytes) -> Optional[bytes]:
+        """Return the value without touching recency or statistics."""
+        return self._data.get(key)
+
+    # --------------------------------------------------------------- mutation
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert/refresh an entry, evicting LRU entries to fit the budget."""
+        entry = len(key) + len(value)
+        if entry > self.capacity_bytes:
+            # An oversized entry cannot be cached; drop any stale copy.
+            self.invalidate(key)
+            return
+        old = self._data.pop(key, None)
+        if old is not None:
+            self._bytes -= len(key) + len(old)
+        self._data[key] = value
+        self._bytes += entry
+        while self._bytes > self.capacity_bytes and self._data:
+            k, v = self._data.popitem(last=False)
+            self._bytes -= len(k) + len(v)
+            self.evictions += 1
+
+    def invalidate(self, key: bytes) -> bool:
+        """Drop a (possibly stale) entry. Returns True if it was present."""
+        value = self._data.pop(key, None)
+        if value is None:
+            return False
+        self._bytes -= len(key) + len(value)
+        return True
+
+    def clear(self) -> None:
+        """Evict everything (used when protection flips to writable)."""
+        self._data.clear()
+        self._bytes = 0
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Snapshot of (key, value) pairs, LRU first."""
+        return iter(list(self._data.items()))

@@ -1,0 +1,28 @@
+"""Workload generators and the paper's microbenchmark applications.
+
+The SC'17 artifact ships three applications: ``basic`` (Figures 6-8),
+``workload`` (Figures 9 and 11), and ``cr`` (Figure 10).  This package
+reimplements them against the reproduction's API so every figure's bench
+drives exactly the workload the paper describes.
+"""
+
+from repro.workloads.generators import KeyGenerator, value_of_size
+from repro.workloads.microbench import (
+    BasicResult,
+    CrResult,
+    WorkloadResult,
+    basic_app,
+    cr_app,
+    workload_app,
+)
+
+__all__ = [
+    "BasicResult",
+    "CrResult",
+    "KeyGenerator",
+    "WorkloadResult",
+    "basic_app",
+    "cr_app",
+    "value_of_size",
+    "workload_app",
+]

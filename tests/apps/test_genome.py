@@ -1,0 +1,92 @@
+"""Synthetic genome / UFX generation tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.meraculous.genome import (
+    synthesize_genome,
+    ufx_from_genome,
+    ufx_partition,
+)
+from repro.apps.meraculous.kmer import ALPHABET, FORK, TERM
+
+
+class TestGenome:
+    def test_length_and_alphabet(self):
+        g = synthesize_genome(1000, seed=1)
+        assert len(g) == 1000
+        assert set(g) <= set(ALPHABET)
+
+    def test_deterministic(self):
+        assert synthesize_genome(500, seed=7) == synthesize_genome(500, seed=7)
+
+    def test_seeds_differ(self):
+        assert synthesize_genome(500, seed=1) != synthesize_genome(500, seed=2)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            synthesize_genome(0)
+
+    def test_repeats_create_duplicates(self):
+        g = synthesize_genome(5000, seed=3, repeat_fraction=0.2,
+                              repeat_length=50)
+        kmers = [g[i:i + 21] for i in range(len(g) - 20)]
+        assert len(set(kmers)) < len(kmers)
+
+
+class TestUfx:
+    def test_every_kmer_present(self):
+        g = synthesize_genome(400, seed=5)
+        k = 15
+        ufx = ufx_from_genome(g, k)
+        for i in range(len(g) - k + 1):
+            assert g[i:i + k] in ufx
+
+    def test_unique_extensions_match_genome(self):
+        g = b"ACGTACGGTTACCGA"
+        k = 5
+        ufx = ufx_from_genome(g, k)
+        km = g[3:8]
+        code = ufx[km]
+        if code[0] not in (FORK, TERM):
+            assert code[0] == g[2]
+        if code[1] not in (FORK, TERM):
+            assert code[1] == g[8]
+
+    def test_boundaries_terminated(self):
+        g = synthesize_genome(200, seed=9, repeat_fraction=0.0)
+        k = 11
+        ufx = ufx_from_genome(g, k)
+        assert ufx[g[:k]][0] == TERM
+        assert ufx[g[-k:]][1] == TERM
+
+    def test_repeat_kmer_forked(self):
+        base = synthesize_genome(60, seed=11, repeat_fraction=0.0)
+        # embed the same 12-mer twice with different neighbours
+        g = base + b"A" + base[:30] + b"T" + base
+        ufx = ufx_from_genome(g, 9)
+        forked = [km for km, code in ufx.items()
+                  if FORK in (code[0], code[1])]
+        assert forked
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            ufx_from_genome(b"ACGT", 0)
+        with pytest.raises(ValueError):
+            ufx_from_genome(b"ACGT", 5)
+
+
+class TestPartition:
+    def test_partition_covers_disjointly(self):
+        g = synthesize_genome(600, seed=13)
+        ufx = ufx_from_genome(g, 13)
+        parts = [ufx_partition(ufx, r, 4) for r in range(4)]
+        seen = [km for p in parts for km, _ in p]
+        assert len(seen) == len(ufx)
+        assert len(set(seen)) == len(ufx)
+
+    def test_partition_deterministic(self):
+        g = synthesize_genome(300, seed=17)
+        ufx = ufx_from_genome(g, 11)
+        assert ufx_partition(ufx, 1, 3) == ufx_partition(ufx, 1, 3)

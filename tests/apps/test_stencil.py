@@ -1,0 +1,144 @@
+"""Distributed stencil tests: bit-exact agreement with the serial solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.stencil import run_stencil, serial_solve, split_domain
+from repro.apps.stencil.driver import resume_stencil
+from repro.apps.stencil.solver import initial_field, step
+from repro.mpi.launcher import spmd_run
+from repro.nvm.storage import Machine
+from repro.simtime.profiles import SUMMITDEV
+from tests.conftest import small_options
+
+
+def _assemble(results, ncells, seed=0):
+    """Glue per-rank slabs back into the full field."""
+    full = initial_field(ncells, seed)
+    out = full.copy()
+    for r in results:
+        out[r.start:r.stop] = r.field
+    return out
+
+
+class TestNumerics:
+    def test_initial_field_deterministic(self):
+        assert np.array_equal(initial_field(64, 1), initial_field(64, 1))
+
+    def test_boundaries_fixed(self):
+        u = serial_solve(64, 10)
+        u0 = initial_field(64)
+        assert u[0] == u0[0] and u[-1] == u0[-1]
+
+    def test_step_conserves_shape(self):
+        u = np.ones(10)
+        out = step(u, 1.0, 1.0, 0.2)
+        assert out.shape == u.shape
+        assert np.allclose(out, 1.0)  # uniform field is steady
+
+    def test_diffusion_smooths(self):
+        u = serial_solve(128, 50)
+        u0 = initial_field(128)
+        assert u.max() < u0.max()  # the bump decays
+
+
+class TestSplitDomain:
+    def test_covers_interior(self):
+        slabs = split_domain(100, 4)
+        assert slabs[0][0] == 1
+        assert slabs[-1][1] == 99
+        for (a, b), (c, d) in zip(slabs, slabs[1:]):
+            assert b == c
+
+    def test_handles_remainders(self):
+        slabs = split_domain(12, 5)
+        sizes = [b - a for a, b in slabs]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_ranks_than_cells(self):
+        slabs = split_domain(4, 8)
+        assert sum(b - a for a, b in slabs) == 2
+
+
+class TestDistributedRun:
+    @pytest.mark.parametrize("nranks", [1, 2, 3])
+    def test_matches_serial_bit_exact(self, nranks):
+        ncells, steps = 96, 12
+
+        def app(ctx):
+            return run_stencil(ctx, ncells, steps,
+                               options=small_options())
+
+        results = spmd_run(nranks, app, timeout=300)
+        got = _assemble(results, ncells)
+        want = serial_solve(ncells, steps)
+        assert np.array_equal(got, want)  # bit-exact, not just close
+
+    def test_halo_traffic_counted(self):
+        def app(ctx):
+            return run_stencil(ctx, 64, 6, options=small_options())
+
+        results = spmd_run(3, app, timeout=300)
+        # interior ranks exchange both sides, edges one
+        assert results[1].halo_gets == 2 * 6
+        assert results[0].halo_gets == 6
+
+    def test_virtual_time_positive(self):
+        def app(ctx):
+            return run_stencil(ctx, 64, 4, options=small_options())
+
+        results = spmd_run(2, app, timeout=300)
+        assert all(r.virtual_time > 0 for r in results)
+
+
+class TestCheckpointResume:
+    def test_resume_same_ranks_bit_exact(self, tmp_path):
+        ncells, steps, ckpt_at = 80, 14, 6
+        machine = Machine(SUMMITDEV, 2, base_dir=str(tmp_path))
+
+        def first(ctx):
+            return run_stencil(ctx, ncells, steps, checkpoint_at=ckpt_at,
+                               options=small_options())
+
+        spmd_run(2, first, machine=machine, timeout=300)
+        machine.trim_nvm()  # job boundary
+
+        def second(ctx):
+            return resume_stencil(
+                ctx, "stencil-ckpt", ncells, steps, ckpt_at,
+                source_nranks=2, options=small_options(),
+            )
+
+        results = spmd_run(2, second, machine=machine, timeout=300)
+        got = _assemble(results, ncells)
+        want = serial_solve(ncells, steps)
+        assert np.array_equal(got, want)
+        machine.close()
+
+    def test_resume_on_different_rank_count(self, tmp_path):
+        """The headline: restart the simulation on 3 ranks from a 2-rank
+        snapshot; redistribution re-homes the field cells."""
+        ncells, steps, ckpt_at = 80, 12, 5
+        machine = Machine(SUMMITDEV, 4, base_dir=str(tmp_path))
+
+        def first(ctx):
+            return run_stencil(ctx, ncells, steps, checkpoint_at=ckpt_at,
+                               options=small_options())
+
+        spmd_run(2, first, machine=machine, timeout=300)
+        machine.trim_nvm()
+
+        def second(ctx):
+            return resume_stencil(
+                ctx, "stencil-ckpt", ncells, steps, ckpt_at,
+                source_nranks=2, options=small_options(),
+            )
+
+        results = spmd_run(3, second, machine=machine, timeout=300)
+        got = _assemble(results, ncells)
+        want = serial_solve(ncells, steps)
+        assert np.array_equal(got, want)
+        machine.close()

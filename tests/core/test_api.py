@@ -1,0 +1,163 @@
+"""Functional API tests: the full Table 1 surface and error codes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import RDONLY, RDWR, SEQUENTIAL, SSTABLE
+from repro.core import api
+from repro.errors import ErrorCode
+from repro.mpi.launcher import spmd_run
+from tests.conftest import small_options
+
+
+def test_table1_symbols_exist():
+    """Every Table 1 function has a counterpart."""
+    for fn in (
+        "papyruskv_init", "papyruskv_finalize",
+        "papyruskv_open", "papyruskv_close",
+        "papyruskv_put", "papyruskv_get", "papyruskv_delete",
+        "papyruskv_free",
+        "papyruskv_signal_notify", "papyruskv_signal_wait",
+        "papyruskv_fence", "papyruskv_barrier",
+        "papyruskv_consistency", "papyruskv_protect",
+        "papyruskv_checkpoint", "papyruskv_restart",
+        "papyruskv_destroy", "papyruskv_wait",
+    ):
+        assert callable(getattr(api, fn)), fn
+
+
+def test_basic_lifecycle_codes():
+    def app(ctx):
+        assert api.papyruskv_init() == ErrorCode.SUCCESS
+        code, db = api.papyruskv_open("d", 0, small_options())
+        assert code == ErrorCode.SUCCESS and db is not None
+        assert api.papyruskv_put(db, b"k", b"v") == ErrorCode.SUCCESS
+        assert api.papyruskv_barrier(db, SSTABLE) == ErrorCode.SUCCESS
+        code, value = api.papyruskv_get(db, b"k")
+        assert code == ErrorCode.SUCCESS and value == b"v"
+        assert api.papyruskv_free(db, value) == ErrorCode.SUCCESS
+        # all ranks must finish reading before anyone deletes
+        assert api.papyruskv_barrier(db, 0) == ErrorCode.SUCCESS
+        assert api.papyruskv_delete(db, b"k") == ErrorCode.SUCCESS
+        assert api.papyruskv_fence(db) == ErrorCode.SUCCESS
+        assert api.papyruskv_barrier(db, 0) == ErrorCode.SUCCESS
+        code, value = api.papyruskv_get(db, b"k")
+        assert code == ErrorCode.NOT_FOUND and value is None
+        assert api.papyruskv_close(db) == ErrorCode.SUCCESS
+        assert api.papyruskv_finalize() == ErrorCode.SUCCESS
+
+    spmd_run(2, app)
+
+
+def test_not_found_code():
+    def app(ctx):
+        api.papyruskv_init()
+        _, db = api.papyruskv_open("d", 0, small_options())
+        code, value = api.papyruskv_get(db, b"never")
+        assert code == ErrorCode.NOT_FOUND
+        api.papyruskv_close(db)
+        api.papyruskv_finalize()
+
+    spmd_run(1, app)
+
+
+def test_invalid_key_code():
+    def app(ctx):
+        api.papyruskv_init()
+        _, db = api.papyruskv_open("d", 0, small_options())
+        assert api.papyruskv_put(db, b"", b"v") == ErrorCode.INVALID_KEY
+        api.papyruskv_close(db)
+        api.papyruskv_finalize()
+
+    spmd_run(1, app)
+
+
+def test_protection_codes():
+    def app(ctx):
+        api.papyruskv_init()
+        _, db = api.papyruskv_open("d", 0, small_options())
+        assert api.papyruskv_protect(db, RDONLY) == ErrorCode.SUCCESS
+        assert api.papyruskv_put(db, b"k", b"v") == ErrorCode.PROTECTED
+        assert api.papyruskv_protect(db, RDWR) == ErrorCode.SUCCESS
+        assert api.papyruskv_protect(db, 99) == ErrorCode.INVALID_PROTECTION
+        api.papyruskv_close(db)
+        api.papyruskv_finalize()
+
+    spmd_run(2, app)
+
+
+def test_consistency_codes():
+    def app(ctx):
+        api.papyruskv_init()
+        _, db = api.papyruskv_open("d", 0, small_options())
+        assert api.papyruskv_consistency(db, SEQUENTIAL) == ErrorCode.SUCCESS
+        assert api.papyruskv_consistency(db, 42) == ErrorCode.INVALID_MODE
+        api.papyruskv_close(db)
+        api.papyruskv_finalize()
+
+    spmd_run(2, app)
+
+
+def test_signal_functions():
+    def app(ctx):
+        api.papyruskv_init()
+        if ctx.world_rank == 0:
+            assert api.papyruskv_signal_notify(3, [1]) == ErrorCode.SUCCESS
+        else:
+            assert api.papyruskv_signal_wait(3, [0]) == ErrorCode.SUCCESS
+        ctx.comm.barrier()
+        api.papyruskv_finalize()
+
+    spmd_run(2, app)
+
+
+def test_checkpoint_restart_destroy_wait():
+    def app(ctx):
+        api.papyruskv_init()
+        _, db = api.papyruskv_open("d", 0, small_options())
+        api.papyruskv_put(db, b"k", b"v")
+        api.papyruskv_barrier(db, 0)
+        code, ev = api.papyruskv_checkpoint(db, "apisnap")
+        assert code == ErrorCode.SUCCESS and ev is not None
+        assert api.papyruskv_wait(db, ev) == ErrorCode.SUCCESS
+        code, dev = api.papyruskv_destroy(db)
+        assert code == ErrorCode.SUCCESS
+        code, db2, rev = api.papyruskv_restart(
+            "apisnap", "d", 0, small_options()
+        )
+        assert code == ErrorCode.SUCCESS and db2 is not None
+        assert api.papyruskv_wait(db2, rev) == ErrorCode.SUCCESS
+        db2.coll_comm.barrier()
+        code, value = api.papyruskv_get(db2, b"k")
+        assert code == ErrorCode.SUCCESS and value == b"v"
+        api.papyruskv_close(db2)
+        api.papyruskv_finalize()
+
+    spmd_run(2, app, timeout=240)
+
+
+def test_free_rejects_non_bytes():
+    def app(ctx):
+        api.papyruskv_init()
+        _, db = api.papyruskv_open("d", 0, small_options())
+        assert api.papyruskv_free(db, 123) == ErrorCode.INVALID_VALUE
+        api.papyruskv_close(db)
+        api.papyruskv_finalize()
+
+    spmd_run(1, app)
+
+
+def test_finalize_without_init():
+    def app(ctx):
+        assert api.papyruskv_finalize() == ErrorCode.NOT_INITIALIZED
+
+    spmd_run(1, app)
+
+
+def test_ops_without_init_fail_gracefully():
+    def app(ctx):
+        code, db = api.papyruskv_open("d", 0, small_options())
+        assert code != ErrorCode.SUCCESS and db is None
+
+    spmd_run(1, app)

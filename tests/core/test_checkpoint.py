@@ -1,0 +1,236 @@
+"""Checkpoint/restart/redistribution tests (§4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Papyrus
+from repro.core.checkpoint import read_manifest
+from repro.errors import StorageError
+from repro.mpi.launcher import spmd_run
+from repro.nvm.storage import Machine
+from repro.simtime.profiles import SUMMITDEV
+from tests.conftest import small_options
+
+
+def _populate(db, rank, n=60):
+    for i in range(n):
+        db.put(f"x-{rank}-{i:03d}".encode(), f"y-{rank}-{i:03d}".encode() * 3)
+    db.barrier()
+
+
+def _verify(db, nranks, n=60):
+    for rr in range(nranks):
+        for i in range(0, n, 5):
+            assert (
+                db.get(f"x-{rr}-{i:03d}".encode())
+                == f"y-{rr}-{i:03d}".encode() * 3
+            )
+
+
+class TestCheckpoint:
+    def test_checkpoint_creates_snapshot_on_lustre(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("db", small_options())
+                _populate(db, ctx.world_rank)
+                ev = db.checkpoint("snap1")
+                ev.wait(ctx.clock)
+                db.coll_comm.barrier()
+                lustre = ctx.machine.lustre_store()
+                files = lustre.listdir(
+                    f"ckpt/snap1/db_db/rank{ctx.world_rank}"
+                )
+                assert files, "rank snapshot dir is empty"
+                if ctx.world_rank == 0:
+                    m = read_manifest(ctx.machine, "snap1", "db")
+                    assert m["nranks"] == ctx.nranks
+                db.close()
+
+        spmd_run(3, app)
+
+    def test_checkpoint_is_asynchronous(self):
+        """The event completes on the background timeline; the main clock
+        does not pay the transfer until wait()."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("db", small_options())
+                _populate(db, ctx.world_rank, n=80)
+                ev = db.checkpoint("snap2")
+                t_issue = ctx.clock.now
+                assert ev.done_time >= t_issue
+                overlap = ev.done_time - t_issue
+                ev.wait(ctx.clock)
+                assert ctx.clock.now >= ev.done_time
+                db.close()
+                return overlap
+
+        overlaps = spmd_run(2, app)
+        assert all(o >= 0 for o in overlaps)
+
+    def test_updates_after_checkpoint_do_not_touch_snapshot(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("db", small_options())
+                _populate(db, ctx.world_rank, n=40)
+                ev = db.checkpoint("snap3")
+                # keep writing while the transfer "runs"
+                for i in range(40):
+                    db.put(f"late-{ctx.world_rank}-{i}".encode(), b"new")
+                ev.wait(ctx.clock)
+                db.barrier()
+                db.destroy().wait(ctx.clock)
+                db2, rev = env.restart("snap3", "db", small_options())
+                rev.wait(ctx.clock)
+                db2.coll_comm.barrier()
+                _verify(db2, ctx.nranks, n=40)
+                # post-checkpoint writes are NOT in the snapshot
+                assert db2.get_or_none(
+                    f"late-{ctx.world_rank}-0".encode()
+                ) is None
+                db2.close()
+
+        spmd_run(2, app, timeout=240)
+
+
+class TestRestart:
+    def test_restart_same_ranks_round_trip(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("db", small_options())
+                _populate(db, ctx.world_rank)
+                db.checkpoint("rt").wait(ctx.clock)
+                db.destroy().wait(ctx.clock)
+                db2, ev = env.restart("rt", "db", small_options())
+                ev.wait(ctx.clock)
+                db2.coll_comm.barrier()
+                _verify(db2, ctx.nranks)
+                db2.close()
+
+        spmd_run(3, app, timeout=240)
+
+    def test_restart_missing_snapshot_raises(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                with pytest.raises(StorageError):
+                    env.restart("no-such-snap", "db", small_options())
+
+        spmd_run(1, app)
+
+    def test_restart_preserves_deletes(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("db", small_options())
+                _populate(db, ctx.world_rank, n=30)
+                if ctx.world_rank == 0:
+                    db.delete(b"x-0-000")
+                db.barrier()
+                db.checkpoint("deltest").wait(ctx.clock)
+                db.destroy().wait(ctx.clock)
+                db2, ev = env.restart("deltest", "db", small_options())
+                ev.wait(ctx.clock)
+                db2.coll_comm.barrier()
+                assert db2.get_or_none(b"x-0-000") is None
+                assert db2.get(b"x-0-001") is not None
+                db2.close()
+
+        spmd_run(2, app, timeout=240)
+
+
+class TestRedistribution:
+    def _machine(self, tmp_path):
+        return Machine(SUMMITDEV, 8, base_dir=str(tmp_path))
+
+    def test_restart_with_different_rank_count(self, tmp_path):
+        """The headline persistence feature: a snapshot taken with N ranks
+        restarts correctly on M ranks through redistribution."""
+        machine = self._machine(tmp_path)
+
+        def writer(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("db", small_options())
+                _populate(db, ctx.world_rank, n=40)
+                db.checkpoint("resize").wait(ctx.clock)
+                db.coll_comm.barrier()
+                db.destroy().wait(ctx.clock)
+
+        spmd_run(4, writer, machine=machine)
+
+        def reader(ctx):
+            with Papyrus(ctx) as env:
+                db, ev = env.restart("resize", "db", small_options())
+                ev.wait(ctx.clock)
+                db.barrier()
+                for rr in range(4):  # writer ran with 4 ranks
+                    for i in range(0, 40, 5):
+                        assert (
+                            db.get(f"x-{rr}-{i:03d}".encode())
+                            == f"y-{rr}-{i:03d}".encode() * 3
+                        )
+                db.close()
+
+        spmd_run(2, reader, machine=machine, timeout=240)
+        machine.close()
+
+    def test_forced_redistribution_same_ranks(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("db", small_options())
+                _populate(db, ctx.world_rank, n=30)
+                db.checkpoint("forced").wait(ctx.clock)
+                db.destroy().wait(ctx.clock)
+                db2, ev = env.restart(
+                    "forced", "db", small_options(), force_redistribute=True
+                )
+                ev.wait(ctx.clock)
+                db2.barrier()
+                _verify(db2, ctx.nranks, n=30)
+                db2.close()
+
+        spmd_run(3, app, timeout=240)
+
+    def test_redistribution_preserves_newest_version(self, tmp_path):
+        machine = self._machine(tmp_path)
+
+        def writer(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("db", small_options())
+                db.put(b"versioned", b"old")
+                db.barrier(level=1)
+                db.put(b"versioned", b"new")
+                db.barrier()
+                db.checkpoint("vers").wait(ctx.clock)
+                db.coll_comm.barrier()
+                db.destroy().wait(ctx.clock)
+
+        spmd_run(2, writer, machine=machine)
+
+        def reader(ctx):
+            with Papyrus(ctx) as env:
+                db, ev = env.restart("vers", "db", small_options())
+                ev.wait(ctx.clock)
+                db.barrier()
+                assert db.get(b"versioned") == b"new"
+                db.close()
+
+        spmd_run(3, reader, machine=machine, timeout=240)
+        machine.close()
+
+
+class TestDestroy:
+    def test_destroy_removes_data(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("db", small_options())
+                _populate(db, ctx.world_rank, n=20)
+                store, rank_dir = db.store, db.rank_dir
+                ev = db.destroy()
+                ev.wait(ctx.clock)
+                assert store.listdir(rank_dir) == []
+                # the database can be recreated fresh afterwards
+                db2 = env.open("db", small_options())
+                assert db2.get_or_none(b"x-0-000") is None
+                db2.close()
+
+        spmd_run(2, app)

@@ -1,0 +1,329 @@
+"""Database basics: put/get/delete, flushing, compaction, zero-copy reopen."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import KeyNotFoundError, Options, Papyrus
+from repro.errors import InvalidKeyError, InvalidOptionError
+from repro.mpi.launcher import spmd_run
+from tests.conftest import small_options
+
+
+def run1(fn, **kw):
+    return spmd_run(1, fn, **kw)[0]
+
+
+class TestSingleRank:
+    def test_put_get_delete(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", small_options())
+                db.put(b"k", b"v")
+                assert db.get(b"k") == b"v"
+                db.delete(b"k")
+                with pytest.raises(KeyNotFoundError):
+                    db.get(b"k")
+                db.close()
+
+        run1(app)
+
+    def test_get_or_none(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", small_options())
+                assert db.get_or_none(b"missing") is None
+                db.put(b"k", b"v")
+                assert db.get_or_none(b"k") == b"v"
+                db.close()
+
+        run1(app)
+
+    def test_update_overwrites(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", small_options())
+                db.put(b"k", b"v1")
+                db.put(b"k", b"v2")
+                assert db.get(b"k") == b"v2"
+                db.close()
+
+        run1(app)
+
+    def test_reinsert_after_delete(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", small_options())
+                db.put(b"k", b"v1")
+                db.delete(b"k")
+                db.put(b"k", b"v2")
+                assert db.get(b"k") == b"v2"
+                db.close()
+
+        run1(app)
+
+    def test_empty_key_rejected(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", small_options())
+                with pytest.raises(InvalidKeyError):
+                    db.put(b"", b"v")
+                with pytest.raises(InvalidKeyError):
+                    db.put("notbytes", b"v")
+                db.close()
+
+        run1(app)
+
+    def test_large_value_spans_memtables(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", small_options())
+                big = bytes(range(256)) * 64  # 16 KB > 4 KB memtable
+                db.put(b"big", big)
+                assert db.get(b"big") == big
+                db.close()
+
+        run1(app)
+
+    def test_flush_moves_data_to_sstables(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", small_options(compaction_interval=0))
+                for i in range(300):
+                    db.put(f"k{i:04d}".encode(), b"v" * 32)
+                assert db.stats.flushes > 0
+                assert len(db.ssids) > 0
+                # everything still readable (memtable, queue, or sstable)
+                for i in range(300):
+                    assert db.get(f"k{i:04d}".encode()) == b"v" * 32
+                db.close()
+
+        run1(app)
+
+    def test_sstable_tier_used_after_barrier(self):
+        from repro import SSTABLE
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", small_options())
+                for i in range(100):
+                    db.put(f"k{i:04d}".encode(), b"v" * 64)
+                db.barrier(SSTABLE)
+                # force virtual time past all background work
+                res = db.get_ex(b"k0042")
+                assert res.tier in ("sstable", "local_cache")
+                db.close()
+
+        run1(app)
+
+    def test_compaction_reduces_table_count(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", small_options(compaction_interval=4))
+                for i in range(600):
+                    db.put(f"k{i:05d}".encode(), b"v" * 48)
+                assert db.stats.compactions > 0
+                # after a compaction all data must survive
+                for i in range(0, 600, 31):
+                    assert db.get(f"k{i:05d}".encode()) == b"v" * 48
+                db.close()
+
+        run1(app)
+
+    def test_delete_shadows_sstable_data(self):
+        from repro import SSTABLE
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", small_options(compaction_interval=0))
+                db.put(b"k", b"v")
+                db.barrier(SSTABLE)   # k now lives in an SSTable
+                db.delete(b"k")       # tombstone in the memtable
+                with pytest.raises(KeyNotFoundError):
+                    db.get(b"k")
+                db.barrier(SSTABLE)   # tombstone flushed too
+                with pytest.raises(KeyNotFoundError):
+                    db.get(b"k")
+                db.close()
+
+        run1(app)
+
+    def test_local_cache_hit_after_sstable_read(self):
+        from repro import SSTABLE
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", small_options())
+                db.put(b"k", b"v" * 100)
+                db.barrier(SSTABLE)
+                first = db.get_ex(b"k")
+                second = db.get_ex(b"k")
+                assert first.tier in ("sstable", "local_cache")
+                assert second.tier == "local_cache"
+                db.close()
+
+        run1(app)
+
+    def test_cache_invalidated_by_new_put(self):
+        from repro import SSTABLE
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", small_options())
+                db.put(b"k", b"old" * 20)
+                db.barrier(SSTABLE)
+                db.get(b"k")          # primes the local cache
+                db.put(b"k", b"new")  # must evict the stale entry
+                assert db.get(b"k") == b"new"
+                db.close()
+
+        run1(app)
+
+
+class TestZeroCopyReopen:
+    def test_reopen_sees_sstable_data(self):
+        """Figure 5(a): a later open composes the DB from retained SSTables."""
+
+        def app(ctx):
+            env = Papyrus(ctx)
+            db = env.open("wf", small_options())
+            for i in range(100):
+                db.put(f"k{i:03d}".encode(), f"v{i}".encode())
+            db.close()  # close flushes to SSTables
+            db2 = env.open("wf", small_options())
+            for i in range(100):
+                assert db2.get(f"k{i:03d}".encode()) == f"v{i}".encode()
+            db2.close()
+            env.finalize()
+
+        run1(app)
+
+    def test_reopen_continues_ssids(self):
+        def app(ctx):
+            env = Papyrus(ctx)
+            db = env.open("wf", small_options())
+            for i in range(100):
+                db.put(f"a{i:03d}".encode(), b"x" * 32)
+            db.close()
+            first_max = None
+            db2 = env.open("wf", small_options())
+            first_max = db2.ssids[-1]
+            for i in range(100):
+                db2.put(f"b{i:03d}".encode(), b"y" * 32)
+            db2.close()
+            db3 = env.open("wf", small_options())
+            assert db3.ssids[-1] > first_max
+            assert db3.get(b"a005") == b"x" * 32
+            assert db3.get(b"b005") == b"y" * 32
+            db3.close()
+            env.finalize()
+
+        run1(app)
+
+
+class TestMultiRank:
+    def test_all_ranks_read_everything(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", small_options())
+                r = ctx.world_rank
+                for i in range(100):
+                    db.put(f"k-{r}-{i:03d}".encode(), f"v-{r}-{i}".encode())
+                db.barrier()
+                for rr in range(ctx.nranks):
+                    for i in range(0, 100, 9):
+                        assert (
+                            db.get(f"k-{rr}-{i:03d}".encode())
+                            == f"v-{rr}-{i}".encode()
+                        )
+                db.close()
+
+        spmd_run(4, app)
+
+    def test_remote_delete_visible_after_barrier(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", small_options())
+                if ctx.world_rank == 0:
+                    for i in range(50):
+                        db.put(f"k{i}".encode(), b"v")
+                db.barrier()
+                if ctx.world_rank == 1:
+                    for i in range(0, 50, 2):
+                        db.delete(f"k{i}".encode())
+                db.barrier()
+                for i in range(50):
+                    got = db.get_or_none(f"k{i}".encode())
+                    assert (got is None) == (i % 2 == 0)
+                db.close()
+
+        spmd_run(3, app)
+
+    def test_concurrent_mixed_ops(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", small_options())
+                r = ctx.world_rank
+                for round_ in range(3):
+                    for i in range(60):
+                        db.put(
+                            f"k-{i:03d}".encode(),
+                            f"r{r}round{round_}".encode(),
+                        )
+                    db.barrier()
+                # all ranks agree on final values (someone's round-2 write)
+                values = [db.get(f"k-{i:03d}".encode()) for i in range(60)]
+                agreed = ctx.comm.allgather(values)
+                assert all(v == agreed[0] for v in agreed)
+                db.close()
+
+        spmd_run(3, app)
+
+    def test_open_rank_count_mismatch_rejected(self, tmp_path):
+        from repro.nvm.storage import Machine
+        from repro.simtime.profiles import SUMMITDEV
+
+        machine = Machine(SUMMITDEV, 4, base_dir=str(tmp_path))
+
+        def create(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("fixed", small_options())
+                db.put(b"k", b"v")
+                db.close()
+
+        spmd_run(2, create, machine=machine)
+
+        def reopen(ctx):
+            with Papyrus(ctx) as env:
+                with pytest.raises(InvalidOptionError):
+                    env.open("fixed", small_options())
+
+        spmd_run(3, reopen, machine=machine)
+
+
+class TestMultipleDatabases:
+    def test_independent_databases(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                a = env.open("dba", small_options())
+                b = env.open("dbb", small_options())
+                a.put(b"k", b"from-a")
+                b.put(b"k", b"from-b")
+                a.barrier()
+                b.barrier()
+                assert a.get(b"k") == b"from-a"
+                assert b.get(b"k") == b"from-b"
+                a.close()
+                b.close()
+
+        spmd_run(2, app)
+
+    def test_same_name_twice_rejected(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("dup", small_options())
+                with pytest.raises(InvalidOptionError):
+                    env.open("dup", small_options())
+                db.close()
+
+        run1(app)

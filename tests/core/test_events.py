@@ -1,0 +1,53 @@
+"""Event (papyruskv_event_t) semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import Event
+from repro.simtime.clock import VirtualClock
+
+
+class TestEvent:
+    def test_wait_advances_clock(self):
+        clock = VirtualClock(1.0)
+        ev = Event("e").complete_at(5.0)
+        assert ev.wait(clock) == 5.0
+        assert clock.now == 5.0
+
+    def test_wait_noop_when_already_past(self):
+        """If the main timeline already passed the completion point, the
+        asynchronous work was fully overlapped and wait costs nothing."""
+        clock = VirtualClock(10.0)
+        ev = Event("e").complete_at(5.0)
+        assert ev.wait(clock) == 10.0
+
+    def test_completed_flag(self):
+        ev = Event("e")
+        assert not ev.completed
+        ev.complete_at(1.0)
+        assert ev.completed
+        assert ev.done_time == 1.0
+
+    def test_done_time_before_completion_raises(self):
+        with pytest.raises(RuntimeError):
+            Event("e").done_time
+
+    def test_wait_uncompleted_raises(self):
+        with pytest.raises(RuntimeError):
+            Event("e").wait(VirtualClock())
+
+    def test_on_wait_callback_runs_once(self):
+        calls = []
+        ev = Event("e").complete_at(1.0).on_wait(lambda: calls.append(1))
+        clock = VirtualClock()
+        ev.wait(clock)
+        ev.wait(clock)
+        assert calls == [1]
+
+    def test_repeated_wait_idempotent(self):
+        clock = VirtualClock()
+        ev = Event("e").complete_at(2.0)
+        ev.wait(clock)
+        clock.advance(5.0)
+        assert ev.wait(clock) == 7.0  # never moves the clock backwards

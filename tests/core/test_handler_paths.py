@@ -1,0 +1,99 @@
+"""Handler service-path tests: cache hits, cross-group data shipping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Papyrus, SSTABLE, spmd_run
+from repro.metrics import machine_metrics
+from tests.conftest import small_options
+
+
+class TestHandlerCachePath:
+    def test_owner_local_cache_serves_repeat_remote_gets(self):
+        """After the owner's local cache holds a key (populated by its
+        own SSTable read), an out-of-group requester's get is served
+        from the owner's memory — FOUND, not NOT_IN_MEMORY."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("hc", small_options(group_size=1))
+                key = next(
+                    f"k{i}".encode() for i in range(300)
+                    if db.owner_of(f"k{i}".encode()) == 0
+                )
+                if ctx.world_rank == 0:
+                    db.put(key, b"v" * 40)
+                db.barrier(SSTABLE)
+                if ctx.world_rank == 0:
+                    db.get(key)  # primes rank 0's local cache
+                db.barrier()
+                if ctx.world_rank == 1:
+                    res = db.get_ex(key)
+                    assert res.tier == "remote"
+                    assert res.value == b"v" * 40
+                db.barrier()
+                db.close()
+
+        spmd_run(2, app)
+
+    def test_cross_group_get_reads_owner_sstables(self):
+        """With group_size=1 the handler itself walks its SSTables and
+        ships the value (the paper's non-shared path)."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("xg", small_options(group_size=1))
+                r = ctx.world_rank
+                for i in range(50):
+                    db.put(f"k-{r}-{i:02d}".encode(), b"d" * 32)
+                db.barrier(SSTABLE)
+                other = (r + 1) % ctx.nranks
+                for i in range(0, 50, 7):
+                    key = f"k-{other}-{i:02d}".encode()
+                    if db.owner_of(key) != r:
+                        res = db.get_ex(key)
+                        assert res.tier == "remote"
+                db.barrier()
+                db.close()
+
+        spmd_run(2, app)
+
+
+class TestMachineMetricsAfterCheckpoint:
+    def test_lustre_traffic_recorded(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("mm", small_options())
+                for i in range(40):
+                    db.put(f"k{i}".encode(), b"v" * 64)
+                db.barrier()
+                db.checkpoint("mmsnap").wait(ctx.clock)
+                db.coll_comm.barrier()
+                db.close()
+                mm = machine_metrics(ctx.machine)
+                return mm["lustre"]["write"]["bytes"]
+
+        lustre_bytes = spmd_run(2, app)[0]
+        assert lustre_bytes > 0
+
+
+class TestMdhimAcrossSystems:
+    @pytest.mark.parametrize("sysname", ["stampede", "cori"])
+    def test_mdhim_runs_on_other_platforms(self, sysname):
+        from repro.baselines import MDHIM
+        from repro.simtime.profiles import system_by_name
+
+        def app(ctx):
+            with MDHIM(ctx, "xsys", memtable_capacity=1 << 12) as kv:
+                for i in range(40):
+                    kv.put(f"k-{ctx.world_rank}-{i}".encode(), b"v" * 24)
+                kv.barrier()
+                hits = sum(
+                    1 for r in range(ctx.nranks) for i in range(0, 40, 9)
+                    if kv.get(f"k-{r}-{i}".encode()) == b"v" * 24
+                )
+                return hits
+
+        res = spmd_run(2, app, system=system_by_name(sysname))
+        assert all(h == 2 * 5 for h in res)

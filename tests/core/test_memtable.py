@@ -1,0 +1,130 @@
+"""MemTable tests: replacement, tombstones, freezing, owner grouping."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.memtable import Entry, MemTable
+
+
+class TestPutGet:
+    def test_put_get(self):
+        mt = MemTable(1024)
+        mt.put(b"k", b"v")
+        e = mt.get(b"k")
+        assert e == Entry(b"v", False, -1)
+        assert b"k" in mt
+        assert len(mt) == 1
+
+    def test_replace_updates_size(self):
+        mt = MemTable(1024)
+        mt.put(b"k", b"vvvv")
+        assert mt.size_bytes == 5
+        mt.put(b"k", b"v")
+        assert mt.size_bytes == 2
+        assert len(mt) == 1
+
+    def test_tombstone_put(self):
+        mt = MemTable(1024)
+        mt.put(b"k", b"ignored-value", tombstone=True)
+        e = mt.get(b"k")
+        assert e.tombstone
+        assert e.value == b""  # tombstones carry no value
+
+    def test_missing_key(self):
+        mt = MemTable(1024)
+        assert mt.get(b"missing") is None
+
+    def test_owner_recorded(self):
+        mt = MemTable(1024, kind="remote")
+        mt.put(b"k", b"v", owner=3)
+        assert mt.get(b"k").owner == 3
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MemTable(0)
+
+
+class TestCapacityAndFreeze:
+    def test_full_flag(self):
+        mt = MemTable(10)
+        assert not mt.full
+        mt.put(b"abc", b"0123456")  # 10 bytes
+        assert mt.full
+
+    def test_freeze_blocks_writes(self):
+        mt = MemTable(100)
+        mt.put(b"k", b"v")
+        mt.freeze()
+        assert mt.frozen
+        with pytest.raises(RuntimeError):
+            mt.put(b"x", b"y")
+        with pytest.raises(RuntimeError):
+            mt.delete_entry(b"k")
+
+    def test_frozen_still_readable(self):
+        mt = MemTable(100)
+        mt.put(b"k", b"v")
+        mt.freeze()
+        assert mt.get(b"k").value == b"v"
+
+    def test_delete_entry(self):
+        mt = MemTable(100)
+        mt.put(b"k", b"vvv")
+        assert mt.delete_entry(b"k") is True
+        assert mt.delete_entry(b"k") is False
+        assert mt.size_bytes == 0
+
+
+class TestExport:
+    def test_to_records_sorted(self):
+        mt = MemTable(1024)
+        for k in (b"m", b"a", b"z"):
+            mt.put(k, k.upper())
+        recs = mt.to_records()
+        assert [r.key for r in recs] == [b"a", b"m", b"z"]
+        assert recs[0].value == b"A"
+
+    def test_to_records_includes_tombstones(self):
+        mt = MemTable(1024)
+        mt.put(b"dead", b"", tombstone=True)
+        recs = mt.to_records()
+        assert recs[0].tombstone
+
+    def test_by_owner_grouping(self):
+        mt = MemTable(1024, kind="remote")
+        mt.put(b"a", b"1", owner=2)
+        mt.put(b"b", b"2", owner=1)
+        mt.put(b"c", b"3", owner=2)
+        groups = mt.by_owner()
+        assert set(groups) == {1, 2}
+        assert [k for k, _, _ in groups[2]] == [b"a", b"c"]
+
+    def test_items_sorted(self):
+        mt = MemTable(1024)
+        for i in (5, 1, 3):
+            mt.put(str(i).encode(), b"")
+        assert [k for k, _ in mt.items()] == [b"1", b"3", b"5"]
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(
+    st.binary(min_size=1, max_size=8),
+    st.binary(max_size=24),
+    st.booleans(),
+)))
+def test_memtable_matches_dict_model(ops):
+    """put/tombstone sequences track a reference dict exactly."""
+    mt = MemTable(1 << 30)
+    model: dict = {}
+    for key, value, tomb in ops:
+        mt.put(key, value, tombstone=tomb)
+        model[key] = (b"" if tomb else value, tomb)
+    assert len(mt) == len(model)
+    for key, (value, tomb) in model.items():
+        e = mt.get(key)
+        assert e.value == value and e.tombstone == tomb
+    expected_bytes = sum(len(k) + len(v) for k, (v, _) in model.items())
+    assert mt.size_bytes == expected_bytes

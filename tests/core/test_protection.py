@@ -1,0 +1,159 @@
+"""Protection attributes: RDWR/WRONLY/RDONLY and cache gating (§3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Options, Papyrus, ProtectionError, RDONLY, RDWR, WRONLY
+from repro.errors import InvalidProtectionError
+from repro.mpi.launcher import spmd_run
+from tests.conftest import small_options
+
+
+class TestWriteOnly:
+    def test_get_rejected(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", small_options())
+                db.protect(WRONLY)
+                db.put(b"k", b"v")  # puts fine
+                with pytest.raises(ProtectionError):
+                    db.get(b"k")
+                db.protect(RDWR)
+                db.close()
+
+        spmd_run(2, app)
+
+    def test_local_cache_cleared_on_wronly(self):
+        from repro import SSTABLE
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", small_options())
+                db.put(b"k", b"v" * 50)
+                db.barrier(SSTABLE)
+                db.get(b"k")  # prime local cache
+                assert len(db.local_cache) > 0
+                db.protect(WRONLY)
+                assert len(db.local_cache) == 0
+                db.protect(RDWR)
+                db.close()
+
+        spmd_run(1, app)
+
+
+class TestReadOnly:
+    def test_put_rejected(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", small_options())
+                db.protect(RDONLY)
+                with pytest.raises(ProtectionError):
+                    db.put(b"k", b"v")
+                with pytest.raises(ProtectionError):
+                    db.delete(b"k")
+                db.protect(RDWR)
+                db.close()
+
+        spmd_run(2, app)
+
+    def test_remote_cache_only_active_under_rdonly(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", small_options())
+                other = (ctx.world_rank + 1) % ctx.nranks
+                keys = [
+                    f"k{i}".encode() for i in range(500)
+                    if db.owner_of(f"k{i}".encode()) == ctx.world_rank
+                ][:20]
+                for k in keys:
+                    db.put(k, b"v" * 20)
+                db.barrier()
+                remote_keys = ctx.comm.allgather(keys)[other]
+                # without protection: repeat gets never hit the remote cache
+                for k in remote_keys:
+                    db.get(k)
+                    db.get(k)
+                assert db.remote_cache.hits == 0
+                db.protect(RDONLY)
+                for k in remote_keys:
+                    db.get(k)
+                for k in remote_keys:
+                    r = db.get_ex(k)
+                    assert r.tier == "remote_cache"
+                db.protect(RDWR)
+                db.close()
+
+        spmd_run(2, app)
+
+    def test_remote_cache_evicted_when_writable_again(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", small_options())
+                if ctx.world_rank == 0:
+                    key = next(
+                        f"k{i}".encode() for i in range(500)
+                        if db.owner_of(f"k{i}".encode()) == 1
+                    )
+                else:
+                    key = None
+                key = ctx.comm.bcast(key, root=0)
+                db.put(key, b"v") if ctx.world_rank == 1 else None
+                db.barrier()
+                db.protect(RDONLY)
+                if ctx.world_rank == 0:
+                    db.get(key)
+                    assert len(db.remote_cache) > 0
+                db.protect(RDWR)
+                assert len(db.remote_cache) == 0
+                db.close()
+
+        spmd_run(2, app)
+
+
+class TestValidation:
+    def test_invalid_protection_rejected(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", small_options())
+                with pytest.raises(InvalidProtectionError):
+                    db.protect(42)
+                db.close()
+
+        spmd_run(1, app)
+
+    def test_options_protection_validated(self):
+        with pytest.raises(InvalidProtectionError):
+            Options(protection=42)
+
+    def test_open_with_initial_protection(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", small_options(protection=RDONLY))
+                with pytest.raises(ProtectionError):
+                    db.put(b"k", b"v")
+                db.protect(RDWR)
+                db.put(b"k", b"v")
+                db.barrier()
+                db.close()
+
+        spmd_run(2, app)
+
+    def test_cache_disabled_entirely(self):
+        from repro import SSTABLE
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open(
+                    "d", small_options(cache_local_enabled=False)
+                )
+                assert db.local_cache is None
+                db.put(b"k", b"v" * 50)
+                db.barrier(SSTABLE)
+                res = db.get_ex(b"k")
+                assert res.tier == "sstable"
+                res2 = db.get_ex(b"k")
+                assert res2.tier == "sstable"  # never cached
+                db.close()
+
+        spmd_run(1, app)

@@ -1,0 +1,170 @@
+"""Range-scan tests: merged LSM iteration across all tiers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Papyrus, SSTABLE, WRONLY, RDWR, ProtectionError, spmd_run
+from repro.core.scan import merge_scan
+from tests.conftest import small_options
+
+
+class TestMergeScan:
+    def test_single_tier(self):
+        tiers = [[(b"a", b"1", False), (b"b", b"2", False)]]
+        assert list(merge_scan(tiers)) == [(b"a", b"1"), (b"b", b"2")]
+
+    def test_newest_tier_wins(self):
+        tiers = [
+            [(b"k", b"new", False)],   # newest
+            [(b"k", b"old", False)],
+        ]
+        assert list(merge_scan(tiers)) == [(b"k", b"new")]
+
+    def test_tombstone_shadows(self):
+        tiers = [
+            [(b"k", b"", True)],
+            [(b"k", b"old", False)],
+        ]
+        assert list(merge_scan(tiers)) == []
+
+    def test_range_bounds_half_open(self):
+        tiers = [[(bytes([c]), b"v", False) for c in b"abcde"]]
+        assert [k for k, _ in merge_scan(tiers, b"b", b"d")] == [b"b", b"c"]
+
+    def test_empty_tiers(self):
+        assert list(merge_scan([])) == []
+        assert list(merge_scan([[], []])) == []
+
+
+class TestScanLocal:
+    def test_spans_memtable_and_sstables(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("scan", small_options())
+                # first generation: flushed to SSTables
+                for i in range(40):
+                    db.put(f"a{i:03d}".encode(), b"gen1")
+                db.barrier(SSTABLE)
+                # second generation: still in the MemTable
+                for i in range(40, 60):
+                    db.put(f"a{i:03d}".encode(), b"gen2")
+                pairs = db.scan_local()
+                keys = [k for k, _ in pairs]
+                assert keys == sorted(keys)
+                # this rank's shard only: every key it owns, no others
+                for k, v in pairs:
+                    assert db.owner_of(k) == ctx.world_rank
+                db.barrier()
+                db.close()
+
+        spmd_run(2, app)
+
+    def test_overwrite_returns_newest(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("scan", small_options())
+                db.put(b"k", b"old")
+                db.barrier(SSTABLE)
+                db.put(b"k", b"new")
+                if db.owner_of(b"k") == ctx.world_rank:
+                    # the overwrite may still be staged remotely; fence
+                    pass
+                db.barrier()
+                pairs = dict(db.scan_collect())
+                assert pairs[b"k"] == b"new"
+                db.close()
+
+        spmd_run(2, app)
+
+    def test_deleted_keys_absent(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("scan", small_options())
+                for i in range(30):
+                    db.put(f"k{i:02d}".encode(), b"v")
+                db.barrier(SSTABLE)
+                for i in range(0, 30, 2):
+                    db.delete(f"k{i:02d}".encode())
+                db.barrier()
+                keys = [k for k, _ in db.scan_collect()]
+                assert keys == [f"k{i:02d}".encode() for i in range(1, 30, 2)]
+                db.close()
+
+        spmd_run(2, app)
+
+    def test_range_query(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("scan", small_options())
+                for i in range(50):
+                    db.put(f"{i:03d}".encode(), str(i).encode())
+                db.barrier()
+                pairs = db.scan_collect(b"010", b"020")
+                assert [k for k, _ in pairs] == [
+                    f"{i:03d}".encode() for i in range(10, 20)
+                ]
+                db.close()
+
+        spmd_run(3, app)
+
+    def test_wronly_rejects_scan(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("scan", small_options())
+                db.protect(WRONLY)
+                with pytest.raises(ProtectionError):
+                    db.scan_local()
+                db.protect(RDWR)
+                db.close()
+
+        spmd_run(1, app)
+
+    def test_count_local_sums_to_total(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("scan", small_options())
+                for i in range(70):
+                    db.put(f"x{i:02d}".encode(), b"v")
+                db.barrier(SSTABLE)
+                counts = ctx.comm.allgather(db.count_local())
+                assert sum(counts) == 70
+                db.close()
+
+        spmd_run(3, app)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.dictionaries(
+    st.integers(min_value=0, max_value=40).map(lambda i: f"{i:02d}".encode()),
+    st.one_of(st.none(), st.binary(min_size=1, max_size=12)),
+    max_size=30,
+))
+def test_scan_collect_matches_dict_model(final_state):
+    """Apply puts/deletes, barrier, scan: the result is exactly the
+    live subset of the model, globally sorted."""
+
+    def app(ctx):
+        with Papyrus(ctx) as env:
+            db = env.open("prop", small_options())
+            items = sorted(final_state.items())
+            for i, (key, value) in enumerate(items):
+                if i % ctx.nranks != ctx.world_rank:
+                    continue
+                db.put(key, b"seed")
+                if value is None:
+                    db.delete(key)
+                else:
+                    db.put(key, value)
+            db.barrier(SSTABLE)
+            got = db.scan_collect()
+            want = sorted(
+                (k, v) for k, v in final_state.items() if v is not None
+            )
+            assert got == want
+            db.close()
+
+    spmd_run(2, app, timeout=120)

@@ -1,0 +1,167 @@
+"""Storage groups (§2.7): shared-SSTable reads, group sizing, fallbacks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Options, Papyrus, SSTABLE
+from repro.mpi.launcher import spmd_run
+from repro.simtime.profiles import CORI, SUMMITDEV
+from tests.conftest import small_options
+
+
+def _fill_and_flush(db, rank, n=80, vlen=64):
+    for i in range(n):
+        db.put(f"k-{rank}-{i:03d}".encode(), bytes([65 + rank % 26]) * vlen)
+    db.barrier(SSTABLE)
+
+
+class TestSharedReads:
+    def test_same_group_reads_shared_sstables(self):
+        """Ranks on one node fetch peers' flushed data without value
+        transfer over the network."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", small_options())
+                _fill_and_flush(db, ctx.world_rank)
+                tiers = set()
+                for rr in range(ctx.nranks):
+                    if rr == ctx.world_rank:
+                        continue
+                    for i in range(0, 80, 11):
+                        key = f"k-{rr}-{i:03d}".encode()
+                        owner = db.owner_of(key)
+                        if owner == ctx.world_rank:
+                            continue
+                        res = db.get_ex(key)
+                        assert res.value == bytes([65 + rr % 26]) * 64
+                        tiers.add(res.tier)
+                db.close()
+                return tiers
+
+        res = spmd_run(4, app, system=SUMMITDEV)
+        assert any("shared_sstable" in t for t in res)
+
+    def test_group_size_one_disables_sharing(self):
+        """PAPYRUSKV_GROUP_SIZE=1 (Figure 8 'Default'): values always
+        travel over the network."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", small_options(group_size=1))
+                _fill_and_flush(db, ctx.world_rank)
+                tiers = set()
+                for rr in range(ctx.nranks):
+                    for i in range(0, 80, 11):
+                        key = f"k-{rr}-{i:03d}".encode()
+                        if db.owner_of(key) != ctx.world_rank:
+                            tiers.add(db.get_ex(key).tier)
+                db.close()
+                return tiers
+
+        res = spmd_run(4, app, system=SUMMITDEV)
+        for tiers in res:
+            assert "shared_sstable" not in tiers
+
+    def test_cross_node_never_shares_on_local_arch(self):
+        """Ranks on different Summitdev nodes cannot read each other's
+        NVMe even inside an (over-wide) requested group."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", small_options(group_size=40))
+                _fill_and_flush(db, ctx.world_rank, n=30)
+                tiers = set()
+                me = ctx.world_rank
+                other_node_rank = (me + 20) % 40
+                for i in range(30):
+                    key = f"k-{other_node_rank}-{i:03d}".encode()
+                    owner = db.owner_of(key)
+                    if owner != me and ctx.system.node_of_rank(owner) != ctx.node:
+                        tiers.add(db.get_ex(key).tier)
+                db.close()
+                return tiers
+
+        # 40 ranks = 2 Summitdev nodes
+        res = spmd_run(40, app, system=SUMMITDEV, timeout=240)
+        for tiers in res:
+            assert "shared_sstable" not in tiers
+
+    def test_dedicated_arch_shares_machine_wide(self):
+        """On Cori every rank shares the burst buffer (one storage group)."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", small_options())
+                _fill_and_flush(db, ctx.world_rank, n=40)
+                shared = 0
+                for rr in range(ctx.nranks):
+                    for i in range(0, 40, 7):
+                        key = f"k-{rr}-{i:03d}".encode()
+                        if db.owner_of(key) != ctx.world_rank:
+                            if db.get_ex(key).tier == "shared_sstable":
+                                shared += 1
+                db.close()
+                return shared
+
+        res = spmd_run(4, app, system=CORI)
+        assert sum(res) > 0
+
+    def test_shared_read_correct_after_owner_compaction(self):
+        """Group peers retry through compaction races and still get data."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", small_options(compaction_interval=2))
+                r = ctx.world_rank
+                for round_ in range(4):
+                    for i in range(60):
+                        db.put(f"k-{r}-{i:02d}".encode(),
+                               f"round{round_}".encode() * 8)
+                    db.barrier(SSTABLE)
+                    for rr in range(ctx.nranks):
+                        for i in range(0, 60, 13):
+                            v = db.get(f"k-{rr}-{i:02d}".encode())
+                            assert v == f"round{round_}".encode() * 8
+                    # nobody may start the next round's puts while a peer
+                    # is still reading this round's values
+                    db.barrier()
+                db.close()
+
+        spmd_run(3, app, system=SUMMITDEV, timeout=240)
+
+
+class TestGroupMetadata:
+    def test_group_assignment(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", small_options(group_size=2))
+                g = db.group
+                db.close()
+                return g
+
+        assert spmd_run(4, app) == [0, 0, 1, 1]
+
+    def test_shares_storage_with(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", small_options(group_size=2))
+                out = [db.shares_storage_with(r) for r in range(4)]
+                db.close()
+                return out
+
+        res = spmd_run(4, app, system=SUMMITDEV)
+        assert res[0] == [True, True, False, False]
+        assert res[3] == [False, False, True, True]
+
+    def test_lustre_repository_shared_by_all(self):
+        def app(ctx):
+            with Papyrus(ctx, repository="lustre") as env:
+                db = env.open("d", small_options())
+                assert all(
+                    db.shares_storage_with(r) for r in range(ctx.nranks)
+                )
+                db.close()
+
+        spmd_run(4, app, system=SUMMITDEV)

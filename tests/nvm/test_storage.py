@@ -1,0 +1,117 @@
+"""Machine and storage-group layout tests."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.nvm.storage import Machine, StorageLayout
+from repro.simtime.profiles import CORI, STAMPEDE, SUMMITDEV
+
+
+class TestStorageLayout:
+    def test_group_of(self):
+        lay = StorageLayout(8, 4)
+        assert [lay.group_of(r) for r in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_group_size_one_isolates(self):
+        lay = StorageLayout(4, 1)
+        assert [lay.group_of(r) for r in range(4)] == [0, 1, 2, 3]
+        assert lay.ngroups == 4
+
+    def test_group_size_clamped_to_nranks(self):
+        lay = StorageLayout(4, 100)
+        assert lay.ngroups == 1
+        assert lay.ranks_in_group(0) == [0, 1, 2, 3]
+
+    def test_ranks_in_group_partial_tail(self):
+        lay = StorageLayout(10, 4)
+        assert lay.ranks_in_group(2) == [8, 9]
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ValueError):
+            StorageLayout(4, 0)
+
+
+class TestMachineLocalArch:
+    def test_per_node_devices(self, tmp_path):
+        with Machine(SUMMITDEV, 40, base_dir=str(tmp_path)) as m:
+            assert m.nnodes == 2
+            s0 = m.nvm_store(0)
+            s19 = m.nvm_store(19)
+            s20 = m.nvm_store(20)
+            assert s0 is s19  # same node shares the device & directory
+            assert s0 is not s20
+            assert s0.root != s20.root
+
+    def test_shares_nvm(self, tmp_path):
+        with Machine(SUMMITDEV, 40, base_dir=str(tmp_path)) as m:
+            assert m.shares_nvm(0, 19)
+            assert not m.shares_nvm(0, 20)
+
+    def test_default_group_is_node(self, tmp_path):
+        with Machine(SUMMITDEV, 40, base_dir=str(tmp_path)) as m:
+            assert m.default_group_size == 20
+        with Machine(STAMPEDE, 68, base_dir=str(tmp_path / "s")) as m:
+            assert m.default_group_size == 68
+
+
+class TestMachineDedicatedArch:
+    def test_single_shared_store(self, tmp_path):
+        with Machine(CORI, 64, base_dir=str(tmp_path)) as m:
+            assert m.nvm_store(0) is m.nvm_store(63)
+            assert m.shares_nvm(0, 63)
+
+    def test_default_group_is_all_ranks(self, tmp_path):
+        with Machine(CORI, 64, base_dir=str(tmp_path)) as m:
+            assert m.default_group_size == 64
+
+    def test_bb_pays_network_hop(self, tmp_path):
+        with Machine(CORI, 4, base_dir=str(tmp_path)) as m:
+            assert m.nvm_store(0).extra_latency_s > 0
+
+
+class TestMachineCommon:
+    def test_lustre_store_global(self, tmp_path):
+        with Machine(SUMMITDEV, 40, base_dir=str(tmp_path)) as m:
+            assert m.lustre_store() is m.lustre_store()
+
+    def test_trim_nvm_clears_files(self, tmp_path):
+        with Machine(SUMMITDEV, 4, base_dir=str(tmp_path)) as m:
+            s = m.nvm_store(0)
+            s.write("f", b"data", 0.0)
+            m.trim_nvm()
+            assert not s.exists("f")
+            assert os.path.isdir(s.root)  # directory itself survives
+
+    def test_reset_timing(self, tmp_path):
+        with Machine(SUMMITDEV, 4, base_dir=str(tmp_path)) as m:
+            s = m.nvm_store(0)
+            s.write("f", b"x" * 1000, 0.0)
+            m.reset_timing()
+            assert s.device.available == 0.0
+
+    def test_close_removes_owned_tempdir(self):
+        m = Machine(SUMMITDEV, 2)
+        base = m.base_dir
+        assert os.path.isdir(base)
+        m.close()
+        assert not os.path.isdir(base)
+
+    def test_close_keeps_caller_dir(self, tmp_path):
+        m = Machine(SUMMITDEV, 2, base_dir=str(tmp_path / "keep"))
+        m.close()
+        assert os.path.isdir(str(tmp_path / "keep"))
+
+    def test_unknown_arch_rejected(self, tmp_path):
+        import dataclasses
+
+        bad = dataclasses.replace(SUMMITDEV, nvm_arch="weird")
+        with pytest.raises(ValueError):
+            Machine(bad, 2, base_dir=str(tmp_path))
+
+    def test_layout_override(self, tmp_path):
+        with Machine(SUMMITDEV, 40, base_dir=str(tmp_path)) as m:
+            assert m.layout().group_size == 20
+            assert m.layout(group_size=1).group_size == 1

@@ -1,0 +1,80 @@
+"""Virtual clock tests."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.simtime.clock import VirtualClock, current_clock, set_current_clock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_advance(self):
+        c = VirtualClock()
+        assert c.advance(1.5) == 1.5
+        assert c.advance(0.5) == 2.0
+        assert c.now == 2.0
+
+    def test_negative_advance_rejected(self):
+        c = VirtualClock()
+        with pytest.raises(ValueError):
+            c.advance(-1)
+
+    def test_advance_to_forward_only(self):
+        c = VirtualClock(10.0)
+        assert c.advance_to(5.0) == 10.0  # never backwards
+        assert c.advance_to(15.0) == 15.0
+
+    def test_reset(self):
+        c = VirtualClock(10.0)
+        c.reset()
+        assert c.now == 0.0
+        c.reset(3.0)
+        assert c.now == 3.0
+
+    def test_zero_advance_allowed(self):
+        c = VirtualClock(1.0)
+        assert c.advance(0.0) == 1.0
+
+
+class TestThreadRegistry:
+    def test_bind_and_read(self):
+        c = VirtualClock(7.0)
+        set_current_clock(c)
+        try:
+            assert current_clock() is c
+        finally:
+            set_current_clock(None)
+
+    def test_unbound_gets_detached_clock(self):
+        set_current_clock(None)
+        c = current_clock()
+        assert c.label == "detached"
+        assert current_clock() is c  # sticky per-thread
+        set_current_clock(None)
+
+    def test_per_thread_isolation(self):
+        main = VirtualClock(label="main")
+        set_current_clock(main)
+        seen = {}
+
+        def worker():
+            other = VirtualClock(label="worker")
+            set_current_clock(other)
+            seen["worker"] = current_clock()
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        try:
+            assert current_clock() is main
+            assert seen["worker"] is not main
+        finally:
+            set_current_clock(None)

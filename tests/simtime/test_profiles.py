@@ -1,0 +1,74 @@
+"""System profile tests (paper Table 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simtime.profiles import (
+    CORI,
+    STAMPEDE,
+    SUMMITDEV,
+    all_systems,
+    system_by_name,
+)
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert system_by_name("summitdev") is SUMMITDEV
+        assert system_by_name("STAMPEDE") is STAMPEDE
+        assert system_by_name("Cori") is CORI
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            system_by_name("frontier")
+
+    def test_all_systems(self):
+        assert set(all_systems()) == {"summitdev", "stampede", "cori"}
+
+
+class TestTable2Parameters:
+    def test_ranks_per_node(self):
+        # "20 (Summitdev), 68 (Stampede), and 32 (Cori) MPI ranks" (§5.2)
+        assert SUMMITDEV.ranks_per_node == 20
+        assert STAMPEDE.ranks_per_node == 68
+        assert CORI.ranks_per_node == 32
+
+    def test_nvm_architectures(self):
+        assert SUMMITDEV.nvm_arch == "local"
+        assert STAMPEDE.nvm_arch == "local"
+        assert CORI.nvm_arch == "dedicated"
+
+    def test_cori_bb_is_striped_and_remote(self):
+        assert CORI.nvm.nstripes > 1
+        assert CORI.nvm.remote
+
+    def test_local_nvms_unstriped(self):
+        assert SUMMITDEV.nvm.nstripes == 1
+        assert STAMPEDE.nvm.nstripes == 1
+
+    def test_lustre_high_latency_vs_nvme(self):
+        assert SUMMITDEV.lustre.read_latency_s > 10 * SUMMITDEV.nvm.read_latency_s
+
+    def test_stampede_ssd_slower_than_summitdev_nvme(self):
+        assert (
+            STAMPEDE.nvm.read_bandwidth_Bps < SUMMITDEV.nvm.read_bandwidth_Bps
+        )
+
+    def test_compute_node_counts(self):
+        assert SUMMITDEV.compute_nodes == 54
+        assert STAMPEDE.compute_nodes == 508
+        assert CORI.compute_nodes == 2004
+
+
+class TestTopology:
+    def test_node_of_rank(self):
+        assert SUMMITDEV.node_of_rank(0) == 0
+        assert SUMMITDEV.node_of_rank(19) == 0
+        assert SUMMITDEV.node_of_rank(20) == 1
+
+    def test_nodes_for(self):
+        assert SUMMITDEV.nodes_for(1) == 1
+        assert SUMMITDEV.nodes_for(20) == 1
+        assert SUMMITDEV.nodes_for(21) == 2
+        assert CORI.nodes_for(64) == 2

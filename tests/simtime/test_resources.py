@@ -1,0 +1,147 @@
+"""Timed resource tests: serialization, striping, background workers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simtime.resources import BackgroundWorker, StripedResource, TimedResource
+
+
+class TestTimedResource:
+    def test_service_time(self):
+        r = TimedResource("d", latency_s=0.001, bandwidth_Bps=1000.0)
+        assert r.service_time(0) == pytest.approx(0.001)
+        assert r.service_time(1000) == pytest.approx(1.001)
+
+    def test_access_serializes(self):
+        r = TimedResource("d", 0.0, 1000.0)
+        end1 = r.access(0.0, 1000)  # 1s transfer
+        end2 = r.access(0.0, 1000)  # queued behind the first
+        assert end1 == pytest.approx(1.0)
+        assert end2 == pytest.approx(2.0)
+        assert r.available == pytest.approx(2.0)
+
+    def test_access_after_idle(self):
+        r = TimedResource("d", 0.0, 1000.0)
+        r.access(0.0, 1000)
+        end = r.access(5.0, 1000)  # arrives after the device went idle
+        assert end == pytest.approx(6.0)
+
+    def test_counters(self):
+        r = TimedResource("d", 0.0, 1000.0)
+        r.access(0.0, 500)
+        r.access(0.0, 500)
+        assert r.ops == 2
+        assert r.bytes_moved == 1000
+        assert r.busy_time == pytest.approx(1.0)
+
+    def test_reset(self):
+        r = TimedResource("d", 0.0, 1000.0)
+        r.access(0.0, 1000)
+        r.reset()
+        assert r.available == 0.0 and r.ops == 0 and r.bytes_moved == 0
+
+    def test_concurrent_access_shares_bandwidth(self):
+        r = TimedResource("d", 0.1, 1000.0)
+        end1 = r.access_concurrent(0.0, 1000)
+        # second op only queues behind the transfer share, not the latency
+        end2 = r.access_concurrent(0.0, 1000)
+        assert end1 == pytest.approx(1.1)
+        assert end2 == pytest.approx(2.1)
+        assert end2 - end1 == pytest.approx(1.0)  # bandwidth-bound spacing
+
+    def test_aggregate_saturation(self):
+        """N clients hammering one device see ~device bandwidth, not N×."""
+        r = TimedResource("nvme", 0.0, 1_000_000.0)
+        clients_end = [r.access(0.0, 100_000) for _ in range(10)]
+        # total 1 MB at 1 MB/s: last completion ≈ 1s
+        assert max(clients_end) == pytest.approx(1.0)
+
+
+class TestStripedResource:
+    def test_invalid_stripes(self):
+        with pytest.raises(ValueError):
+            StripedResource("s", 0, 0.0, 1.0)
+
+    def test_striped_transfer_parallel(self):
+        s = StripedResource("lustre", 4, 0.0, 1000.0)
+        end = s.access(0.0, 4000)  # 1000 B per stripe at 1000 B/s
+        assert end == pytest.approx(1.0)
+
+    def test_small_op_pays_one_stripe_latency(self):
+        s = StripedResource("lustre", 4, 0.5, 1e9)
+        assert s.access_one(0.0, 10) == pytest.approx(0.5, abs=1e-6)
+
+    def test_access_one_round_robins(self):
+        s = StripedResource("l", 2, 0.1, 1e9)
+        s.access_one(0.0, 0)
+        s.access_one(0.0, 0)
+        assert s.stripes[0].ops == 1
+        assert s.stripes[1].ops == 1
+
+    def test_counters_and_reset(self):
+        s = StripedResource("l", 2, 0.0, 1000.0)
+        s.access(0.0, 2000)
+        assert s.ops == 2
+        assert s.bytes_moved == 2000
+        s.reset()
+        assert s.ops == 0
+
+    def test_striping_beats_single_device_at_size(self):
+        """Large transfers: the striped store wins (Figure 6's crossover)."""
+        single = TimedResource("nvme", 1e-5, 2e9)
+        striped = StripedResource("lustre", 8, 5e-3, 1e9)
+        small = 4096
+        large = 512 * 1024 * 1024
+        assert single.service_time(small) < striped.service_time(small)
+        assert striped.service_time(large) < single.service_time(large)
+
+
+class TestBackgroundWorker:
+    def test_submit_serializes(self):
+        w = BackgroundWorker("bg")
+        assert w.submit(0.0, 1.0) == pytest.approx(1.0)
+        assert w.submit(0.0, 1.0) == pytest.approx(2.0)
+        assert w.jobs == 2
+
+    def test_submit_after_idle(self):
+        w = BackgroundWorker("bg")
+        w.submit(0.0, 1.0)
+        assert w.submit(10.0, 1.0) == pytest.approx(11.0)
+
+    def test_negative_duration_rejected(self):
+        w = BackgroundWorker("bg")
+        with pytest.raises(ValueError):
+            w.submit(0.0, -1.0)
+
+    def test_schedule_runs_job_with_start(self):
+        w = BackgroundWorker("bg")
+        seen = []
+
+        def job(start):
+            seen.append(start)
+            return start + 2.0
+
+        assert w.schedule(1.0, job) == pytest.approx(3.0)
+        assert seen == [1.0]
+        assert w.available == pytest.approx(3.0)
+
+    def test_schedule_rejects_backwards_job(self):
+        w = BackgroundWorker("bg")
+        with pytest.raises(ValueError):
+            w.schedule(5.0, lambda start: start - 1.0)
+
+    def test_idle_until(self):
+        w = BackgroundWorker("bg")
+        w.idle_until(4.0)
+        assert w.submit(0.0, 1.0) == pytest.approx(5.0)
+
+    def test_overlap_with_main_timeline(self):
+        """Background work does not consume the enqueuer's time."""
+        w = BackgroundWorker("bg")
+        main_time = 0.5
+        end = w.submit(main_time, 10.0)
+        assert end == pytest.approx(10.5)
+        # the main timeline stays where it was; only a full-drain wait
+        # (e.g. barrier(SSTABLE)) would advance it to w.available
+        assert main_time == 0.5

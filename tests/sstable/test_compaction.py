@@ -1,0 +1,131 @@
+"""Compaction tests: newest-SSID-wins merge, tombstone handling."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nvm.posixfs import PosixStore
+from repro.simtime.resources import TimedResource
+from repro.sstable.compaction import compact, merge_records
+from repro.sstable.format import Record
+from repro.sstable.reader import SSTableReader, list_ssids
+from repro.sstable.writer import write_sstable
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return PosixStore(str(tmp_path), TimedResource("d", 0.0, 1e9))
+
+
+class TestMergeRecords:
+    def test_disjoint_runs_interleave(self):
+        a = [Record(b"a", b"1"), Record(b"c", b"3")]
+        b = [Record(b"b", b"2"), Record(b"d", b"4")]
+        assert [r.key for r in merge_records([a, b])] == [b"a", b"b", b"c", b"d"]
+
+    def test_newest_run_wins(self):
+        old = [Record(b"k", b"old")]
+        new = [Record(b"k", b"new")]
+        merged = merge_records([old, new])
+        assert merged == [Record(b"k", b"new")]
+
+    def test_three_way_duplicate(self):
+        runs = [[Record(b"k", f"v{i}".encode())] for i in range(3)]
+        assert merge_records(runs)[0].value == b"v2"
+
+    def test_tombstone_kept_by_default(self):
+        runs = [[Record(b"k", b"v")], [Record(b"k", b"", True)]]
+        merged = merge_records(runs)
+        assert merged[0].tombstone
+
+    def test_drop_tombstones(self):
+        runs = [[Record(b"k", b"v")], [Record(b"k", b"", True)]]
+        assert merge_records(runs, drop_tombstones=True) == []
+
+    def test_drop_tombstones_keeps_live(self):
+        runs = [
+            [Record(b"a", b"1"), Record(b"b", b"2")],
+            [Record(b"a", b"", True)],
+        ]
+        assert merge_records(runs, drop_tombstones=True) == [Record(b"b", b"2")]
+
+    def test_empty_runs(self):
+        assert merge_records([]) == []
+        assert merge_records([[], []]) == []
+
+
+class TestCompact:
+    def _write(self, store, ssid, pairs):
+        recs = [
+            Record(k, v, v == b"") for k, v in sorted(pairs.items())
+        ]
+        write_sstable(store, "t", ssid, recs, 0.0)
+
+    def test_merges_to_single_table(self, store):
+        self._write(store, 1, {b"a": b"1", b"b": b"2"})
+        self._write(store, 2, {b"b": b"22", b"c": b"3"})
+        n, _ = compact(store, "t", [1, 2], 3, 0.0)
+        assert n == 3
+        assert list_ssids(store, "t") == [3]
+        rd = SSTableReader(store, "t", 3)
+        assert rd.get(b"b", 0.0)[0].value == b"22"
+        assert rd.get(b"a", 0.0)[0].value == b"1"
+
+    def test_reuse_highest_input_ssid(self, store):
+        self._write(store, 1, {b"a": b"1"})
+        self._write(store, 2, {b"a": b"2"})
+        compact(store, "t", [1, 2], 2, 0.0)
+        assert list_ssids(store, "t") == [2]
+        assert SSTableReader(store, "t", 2).get(b"a", 0.0)[0].value == b"2"
+
+    def test_tombstones_dropped_on_full_compaction(self, store):
+        self._write(store, 1, {b"a": b"1", b"b": b"2"})
+        self._write(store, 2, {b"a": b""})  # tombstone
+        compact(store, "t", [1, 2], 3, 0.0, drop_tombstones=True)
+        rd = SSTableReader(store, "t", 3)
+        assert rd.get(b"a", 0.0)[0] is None
+        assert rd.get(b"b", 0.0)[0].value == b"2"
+
+    def test_empty_input(self, store):
+        n, t = compact(store, "t", [], 1, 5.0)
+        assert n == 0 and t == 5.0
+
+    def test_charges_time(self, store):
+        slow = PosixStore(
+            store.root + "-slow", TimedResource("s", 0.01, 1e6)
+        )
+        self._write(slow, 1, {b"a": b"x" * 1000})
+        self._write(slow, 2, {b"b": b"y" * 1000})
+        _, end = compact(slow, "t", [1, 2], 3, 0.0)
+        assert end > 0.05  # several latency-charged file ops
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.dictionaries(st.binary(min_size=1, max_size=8),
+                    st.binary(max_size=24), max_size=20),
+    min_size=1, max_size=5,
+))
+def test_compaction_equals_dict_overlay(tmp_path_factory, generations):
+    """Merging N generations == applying the dicts oldest→newest."""
+    store = PosixStore(
+        str(tmp_path_factory.mktemp("cmp")), TimedResource("d", 0.0, 1e9)
+    )
+    expected: dict = {}
+    ssids = []
+    for i, gen in enumerate(generations, start=1):
+        if not gen:
+            continue
+        recs = [Record(k, v) for k, v in sorted(gen.items())]
+        write_sstable(store, "t", i, recs, 0.0)
+        ssids.append(i)
+        expected.update(gen)
+    if not ssids:
+        return
+    new_ssid = ssids[-1]
+    compact(store, "t", ssids, new_ssid, 0.0)
+    rd = SSTableReader(store, "t", new_ssid)
+    out, _ = rd.read_all(0.0)
+    assert {r.key: r.value for r in out} == expected

@@ -1,0 +1,161 @@
+"""SSTable writer/reader tests: lookups, bloom gating, search modes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nvm.posixfs import PosixStore
+from repro.simtime.resources import TimedResource
+from repro.sstable.format import Record
+from repro.sstable.reader import SSTableReader, list_ssids
+from repro.sstable.writer import write_sstable
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return PosixStore(
+        str(tmp_path), TimedResource("d", 1e-5, 1e9)
+    )
+
+
+def make_table(store, ssid=1, n=50, directory="t"):
+    recs = [
+        Record(f"key-{i:04d}".encode(), f"value-{i:04d}".encode() * 2)
+        for i in range(n)
+    ]
+    write_sstable(store, directory, ssid, recs, 0.0)
+    return recs
+
+
+class TestWriter:
+    def test_creates_three_files(self, store):
+        make_table(store)
+        assert store.listdir("t") == [
+            "0000000001.bf", "0000000001.ssd", "0000000001.ssi"
+        ]
+
+    def test_rejects_unsorted(self, store):
+        recs = [Record(b"b", b"1"), Record(b"a", b"2")]
+        with pytest.raises(ValueError):
+            write_sstable(store, "t", 1, recs, 0.0)
+
+    def test_rejects_duplicates(self, store):
+        recs = [Record(b"a", b"1"), Record(b"a", b"2")]
+        with pytest.raises(ValueError):
+            write_sstable(store, "t", 1, recs, 0.0)
+
+    def test_empty_table(self, store):
+        nbytes, end = write_sstable(store, "t", 1, [], 0.0)
+        assert nbytes > 0  # index + bloom headers exist
+        rd = SSTableReader(store, "t", 1)
+        rec, _ = rd.get(b"anything", 0.0)
+        assert rec is None
+
+    def test_returns_bytes_and_time(self, store):
+        nbytes, end = write_sstable(
+            store, "t", 1, [Record(b"k", b"v" * 1000)], 0.0
+        )
+        assert nbytes > 1000
+        assert end > 0
+
+
+class TestReaderLookup:
+    def test_finds_all_keys(self, store):
+        recs = make_table(store)
+        rd = SSTableReader(store, "t", 1)
+        for rec in recs:
+            out, _ = rd.get(rec.key, 0.0)
+            assert out == rec
+
+    def test_missing_key(self, store):
+        make_table(store)
+        rd = SSTableReader(store, "t", 1)
+        out, _ = rd.get(b"zzz-not-there", 0.0)
+        assert out is None
+
+    def test_tombstone_returned_not_skipped(self, store):
+        recs = [Record(b"alive", b"v"), Record(b"dead", b"", True)]
+        write_sstable(store, "t", 1, recs, 0.0)
+        rd = SSTableReader(store, "t", 1)
+        out, _ = rd.get(b"dead", 0.0)
+        assert out is not None and out.tombstone
+
+    def test_sequential_search_agrees_with_binary(self, store):
+        recs = make_table(store, n=80)
+        rd = SSTableReader(store, "t", 1)
+        for rec in recs[::7] + [Record(b"nope", b"")]:
+            b, _ = rd.get(rec.key, 0.0, binary_search=True)
+            s, _ = rd.get(rec.key, 0.0, binary_search=False)
+            assert b == s
+
+    def test_bloom_skips_absent_key_cheaply(self, store):
+        make_table(store, n=200)
+        rd = SSTableReader(store, "t", 1)
+        rd.load_bloom(0.0)
+        dev_ops_before = store.read_device.ops
+        hit, _ = rd.may_contain(b"definitely-not-present-key", 0.0)
+        # cached bloom: no extra device op for the membership test
+        assert store.read_device.ops == dev_ops_before
+
+    def test_binary_cheaper_than_sequential_at_depth(self, store):
+        recs = make_table(store, n=400)
+        rd = SSTableReader(store, "t", 1)
+        key = recs[350].key
+        _, t_bin = rd.get(key, 0.0, binary_search=True)
+        rd2 = SSTableReader(store, "t", 1)
+        _, t_seq = rd2.get(key, 0.0, binary_search=False)
+        assert t_bin < t_seq
+
+    def test_read_all_in_order(self, store):
+        recs = make_table(store, n=30)
+        rd = SSTableReader(store, "t", 1)
+        out, _ = rd.read_all(0.0)
+        assert out == recs
+
+    def test_nbytes_and_delete(self, store):
+        make_table(store)
+        rd = SSTableReader(store, "t", 1)
+        assert rd.nbytes() > 0
+        rd.delete(0.0)
+        assert store.listdir("t") == []
+        assert rd.nbytes() == 0
+
+
+class TestListSsids:
+    def test_ascending(self, store):
+        for ssid in (3, 1, 10):
+            make_table(store, ssid=ssid, n=2)
+        assert list_ssids(store, "t") == [1, 3, 10]
+
+    def test_ignores_foreign_files(self, store):
+        make_table(store, ssid=1, n=2)
+        store.write("t/README.txt", b"not a table", 0.0)
+        assert list_ssids(store, "t") == [1]
+
+    def test_empty_dir(self, store):
+        assert list_ssids(store, "none") == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.dictionaries(
+    st.binary(min_size=1, max_size=16),
+    st.tuples(st.binary(max_size=48), st.booleans()),
+    min_size=1, max_size=60,
+))
+def test_write_read_property(tmp_path_factory, kv):
+    """Any sorted record set round-trips through the three-file format."""
+    store = PosixStore(
+        str(tmp_path_factory.mktemp("prop")), TimedResource("d", 0.0, 1e9)
+    )
+    recs = [
+        Record(k, b"" if tomb else v, tomb)
+        for k, (v, tomb) in sorted(kv.items())
+    ]
+    write_sstable(store, "t", 1, recs, 0.0)
+    rd = SSTableReader(store, "t", 1)
+    for rec in recs:
+        for mode in (True, False):
+            out, _ = rd.get(rec.key, 0.0, binary_search=mode)
+            assert out == rec

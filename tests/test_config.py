@@ -1,0 +1,121 @@
+"""Options and artifact-style environment configuration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import config
+from repro.config import (
+    MEMTABLE,
+    Options,
+    RDONLY,
+    RDWR,
+    RELAXED,
+    SEQUENTIAL,
+    SSTABLE,
+    WRONLY,
+    consistency_name,
+    options_from_env,
+    protection_name,
+)
+from repro.errors import (
+    InvalidModeError,
+    InvalidOptionError,
+    InvalidProtectionError,
+)
+
+
+class TestConstants:
+    def test_artifact_consistency_encoding(self):
+        # the artifact sets PAPYRUSKV_CONSISTENCY=1 for Seq, =2 for Rel
+        assert SEQUENTIAL == 1
+        assert RELAXED == 2
+
+    def test_protection_values_distinct(self):
+        assert len({RDWR, WRONLY, RDONLY}) == 3
+
+    def test_barrier_levels(self):
+        assert MEMTABLE != SSTABLE
+
+    def test_names(self):
+        assert consistency_name(RELAXED) == "relaxed"
+        assert consistency_name(SEQUENTIAL) == "sequential"
+        assert protection_name(RDONLY) == "rdonly"
+
+    def test_bad_names_raise(self):
+        with pytest.raises(InvalidModeError):
+            consistency_name(99)
+        with pytest.raises(InvalidProtectionError):
+            protection_name(99)
+
+
+class TestOptionsValidation:
+    def test_defaults_valid(self):
+        opt = Options()
+        assert opt.consistency == RELAXED
+        assert opt.protection == RDWR
+        assert opt.binary_search is True
+        assert opt.repository is None
+
+    def test_with_replaces(self):
+        opt = Options().with_(consistency=SEQUENTIAL, group_size=4)
+        assert opt.consistency == SEQUENTIAL
+        assert opt.group_size == 4
+        assert Options().consistency == RELAXED  # original untouched
+
+    @pytest.mark.parametrize("field,value,exc", [
+        ("memtable_capacity", 0, InvalidOptionError),
+        ("remote_memtable_capacity", -1, InvalidOptionError),
+        ("consistency", 9, InvalidModeError),
+        ("protection", 9, InvalidProtectionError),
+        ("flush_queue_capacity", 0, InvalidOptionError),
+        ("migration_queue_capacity", 0, InvalidOptionError),
+        ("compaction_interval", -1, InvalidOptionError),
+        ("bloom_fp_rate", 0.0, InvalidOptionError),
+        ("bloom_fp_rate", 1.0, InvalidOptionError),
+        ("repository", "tape", InvalidOptionError),
+        ("group_size", 0, InvalidOptionError),
+    ])
+    def test_invalid_fields(self, field, value, exc):
+        with pytest.raises(exc):
+            Options(**{field: value})
+
+
+class TestEnvParsing:
+    def test_empty_env_keeps_defaults(self):
+        assert options_from_env({}) == Options()
+
+    def test_consistency_var(self):
+        opt = options_from_env({"PAPYRUSKV_CONSISTENCY": "1"})
+        assert opt.consistency == SEQUENTIAL
+
+    def test_group_size_var(self):
+        opt = options_from_env({"PAPYRUSKV_GROUP_SIZE": "68"})
+        assert opt.group_size == 68
+
+    def test_bin_search_artifact_encoding(self):
+        # artifact: 1 = sequential scan, 2 = binary search
+        assert options_from_env({"PAPYRUSKV_BIN_SEARCH": "1"}).binary_search is False
+        assert options_from_env({"PAPYRUSKV_BIN_SEARCH": "2"}).binary_search is True
+
+    def test_memtable_size_var(self):
+        opt = options_from_env({"PAPYRUSKV_MEMTABLE_SIZE": "1048576"})
+        assert opt.memtable_capacity == 1 << 20
+
+    def test_repository_lustre_detection(self):
+        opt = options_from_env(
+            {"PAPYRUSKV_REPOSITORY": "/lustre/atlas/scratch/u/x"}
+        )
+        assert opt.repository == "lustre"
+        opt = options_from_env({"PAPYRUSKV_REPOSITORY": "/xfs/scratch/u"})
+        assert opt.repository == "nvm"
+
+    def test_base_options_extended(self):
+        base = Options(cache_local_enabled=False)
+        opt = options_from_env({"PAPYRUSKV_CONSISTENCY": "1"}, base=base)
+        assert opt.cache_local_enabled is False
+        assert opt.consistency == SEQUENTIAL
+
+    def test_invalid_env_value_raises(self):
+        with pytest.raises(InvalidModeError):
+            options_from_env({"PAPYRUSKV_CONSISTENCY": "9"})

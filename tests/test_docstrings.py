@@ -1,0 +1,48 @@
+"""Quality gate: every public item in the library carries a docstring."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, "repro.")
+)
+
+
+@pytest.mark.parametrize("modname", MODULES)
+def test_module_has_docstring(modname):
+    mod = importlib.import_module(modname)
+    assert mod.__doc__ and mod.__doc__.strip(), f"{modname} lacks a docstring"
+
+
+@pytest.mark.parametrize("modname", MODULES)
+def test_public_items_documented(modname):
+    mod = importlib.import_module(modname)
+    undocumented = []
+    for name, obj in vars(mod).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != modname:
+            continue  # re-export: documented at its definition site
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+        if inspect.isclass(obj):
+            for mname, member in vars(obj).items():
+                if mname.startswith("_") or not callable(member):
+                    continue
+                if isinstance(member, (staticmethod, classmethod)):
+                    member = member.__func__
+                if not getattr(member, "__doc__", None):
+                    undocumented.append(f"{name}.{mname}")
+    assert not undocumented, (
+        f"{modname}: undocumented public items: {undocumented}"
+    )

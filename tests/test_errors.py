@@ -1,0 +1,65 @@
+"""Error code mapping tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    DatabaseClosedError,
+    ErrorCode,
+    InvalidDatabaseError,
+    InvalidKeyError,
+    KeyNotFoundError,
+    PapyrusError,
+    ProtectionError,
+    StorageError,
+    code_of,
+)
+
+
+class TestHierarchy:
+    def test_all_papyrus_errors(self):
+        for exc in (KeyNotFoundError, InvalidDatabaseError, InvalidKeyError,
+                    ProtectionError, DatabaseClosedError, StorageError):
+            assert issubclass(exc, PapyrusError)
+
+    def test_key_not_found_is_keyerror(self):
+        assert issubclass(KeyNotFoundError, KeyError)
+
+    def test_storage_error_is_oserror(self):
+        assert issubclass(StorageError, OSError)
+
+    def test_closed_is_invalid_db(self):
+        assert issubclass(DatabaseClosedError, InvalidDatabaseError)
+
+
+class TestCodeOf:
+    def test_papyrus_errors_carry_codes(self):
+        assert code_of(KeyNotFoundError(b"k")) == ErrorCode.NOT_FOUND
+        assert code_of(ProtectionError("x")) == ErrorCode.PROTECTED
+        assert code_of(DatabaseClosedError("x")) == ErrorCode.CLOSED
+        assert code_of(StorageError("x")) == ErrorCode.IO_ERROR
+
+    def test_plain_keyerror(self):
+        assert code_of(KeyError("k")) == ErrorCode.NOT_FOUND
+
+    def test_plain_oserror(self):
+        assert code_of(OSError("disk")) == ErrorCode.IO_ERROR
+
+    def test_unknown_exception(self):
+        assert code_of(RuntimeError("?")) == ErrorCode.INTERNAL
+
+    def test_codes_are_ints(self):
+        assert int(ErrorCode.SUCCESS) == 0
+        assert all(isinstance(int(c), int) for c in ErrorCode)
+
+    def test_paper_aliases(self):
+        from repro.errors import (
+            PAPYRUSKV_INVALID_DB,
+            PAPYRUSKV_NOT_FOUND,
+            PAPYRUSKV_SUCCESS,
+        )
+
+        assert PAPYRUSKV_SUCCESS == ErrorCode.SUCCESS
+        assert PAPYRUSKV_NOT_FOUND == ErrorCode.NOT_FOUND
+        assert PAPYRUSKV_INVALID_DB == ErrorCode.INVALID_DB

@@ -1,0 +1,38 @@
+"""Every shipped example must run to completion.
+
+Examples are documentation that executes; this keeps them from rotting.
+Each runs in a subprocess exactly as a user would invoke it.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+)
+
+_EXAMPLES = sorted(
+    f for f in os.listdir(_EXAMPLES_DIR) if f.endswith(".py")
+)
+
+
+def test_all_examples_enumerated():
+    assert len(_EXAMPLES) >= 6
+
+
+@pytest.mark.parametrize("example", _EXAMPLES)
+def test_example_runs(example):
+    proc = subprocess.run(
+        [sys.executable, os.path.join(_EXAMPLES_DIR, example)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{example} failed:\nstdout:\n{proc.stdout[-2000:]}\n"
+        f"stderr:\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{example} produced no output"

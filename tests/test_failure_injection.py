@@ -1,0 +1,241 @@
+"""Failure injection: storage corruption, protocol violations, aborts.
+
+A production KVS must fail loudly and precisely, not silently return
+wrong data.  These tests damage on-disk state and runtime invariants
+and assert the failure surfaces as the right exception.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import Papyrus, SSTABLE, spmd_run
+from repro.errors import StorageError
+from repro.mpi.launcher import RankFailure
+from repro.nvm.posixfs import PosixStore
+from repro.nvm.storage import Machine
+from repro.simtime.profiles import SUMMITDEV
+from repro.sstable.reader import SSTableReader
+from repro.sstable.writer import write_sstable
+from repro.sstable.format import Record
+from repro.simtime.resources import TimedResource
+from tests.conftest import small_options
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return PosixStore(str(tmp_path), TimedResource("d", 0.0, 1e9))
+
+
+class TestStorageCorruption:
+    def _write_table(self, store):
+        recs = [Record(f"k{i:02d}".encode(), b"v" * 8) for i in range(20)]
+        write_sstable(store, "t", 1, recs, 0.0)
+        return recs
+
+    def test_missing_data_file(self, store):
+        self._write_table(store)
+        os.remove(store.path("t/0000000001.ssd"))
+        rd = SSTableReader(store, "t", 1)
+        with pytest.raises(StorageError):
+            rd.get(b"k00", 0.0)
+
+    def test_missing_index_file_binary_search(self, store):
+        self._write_table(store)
+        os.remove(store.path("t/0000000001.ssi"))
+        rd = SSTableReader(store, "t", 1)
+        with pytest.raises(StorageError):
+            rd.get(b"k00", 0.0)
+
+    def test_truncated_bloom(self, store):
+        self._write_table(store)
+        p = store.path("t/0000000001.bf")
+        blob = open(p, "rb").read()
+        with open(p, "wb") as f:
+            f.write(blob[:10])
+        rd = SSTableReader(store, "t", 1)
+        with pytest.raises(ValueError):
+            rd.get(b"k00", 0.0)
+
+    def test_corrupt_index_magic(self, store):
+        self._write_table(store)
+        p = store.path("t/0000000001.ssi")
+        with open(p, "r+b") as f:
+            f.write(b"\x00\x00\x00\x00")
+        rd = SSTableReader(store, "t", 1)
+        with pytest.raises(ValueError):
+            rd.get(b"k00", 0.0)
+
+    def test_db_get_survives_foreign_junk_files(self, tmp_path):
+        """Unrelated files in the rank directory are ignored."""
+        machine = Machine(SUMMITDEV, 1, base_dir=str(tmp_path))
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("junk", small_options())
+                db.put(b"k", b"v")
+                db.barrier(SSTABLE)
+                # drop junk into the rank dir
+                db.store.write(f"{db.rank_dir}/notes.txt", b"junk", 0.0)
+                db.store.write(f"{db.rank_dir}/12345.ssd", b"junk", 0.0)
+                db.close()
+                db2 = env.open("junk", small_options())
+                assert db2.get(b"k") == b"v"
+                db2.close()
+
+        spmd_run(1, app, machine=machine)
+        machine.close()
+
+
+class TestRankFailures:
+    def test_exception_in_one_rank_reported_precisely(self):
+        class AppError(RuntimeError):
+            pass
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("fail", small_options())
+                db.put(b"k", b"v")
+                if ctx.world_rank == 1:
+                    raise AppError("injected")
+                db.barrier()
+                db.close()
+
+        with pytest.raises(RankFailure) as ei:
+            spmd_run(3, app, timeout=60)
+        kinds = {type(e).__name__ for _, e in ei.value.failures}
+        assert "AppError" in kinds
+
+    def test_failure_before_collective_open(self):
+        def app(ctx):
+            if ctx.world_rank == 0:
+                raise ValueError("early death")
+            with Papyrus(ctx) as env:
+                env.open("never", small_options())
+
+        with pytest.raises(RankFailure):
+            spmd_run(2, app, timeout=60)
+
+    def test_timeout_reported(self):
+        import threading
+
+        def app(ctx):
+            if ctx.world_rank == 0:
+                # simulate a wedged rank (never participates again)
+                threading.Event().wait(20)
+            ctx.comm.barrier()
+
+        with pytest.raises((TimeoutError, RankFailure)):
+            spmd_run(2, app, timeout=3)
+
+
+class TestHandlerCrash:
+    def test_handler_crash_aborts_run_loudly(self):
+        """A poisoned request that kills a handler must fail the whole
+        run instead of hanging the requesters."""
+        from repro.core import messages as msg
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("crash", small_options())
+                db.coll_comm.barrier()
+                if ctx.world_rank == 0:
+                    # protocol violation: an object the handler rejects
+                    db.srv_comm.send(object(), 1, tag=0)
+                    # now try a real request against the dead handler
+                    db.put(b"k", b"v")
+                    key = next(
+                        f"k{i}".encode() for i in range(200)
+                        if db.owner_of(f"k{i}".encode()) == 1
+                    )
+                    db.set_consistency(2)  # keep relaxed
+                    db._put_sync(1, key, b"v", False)  # would hang
+                db.barrier()
+                db.close()
+
+        with pytest.raises(RankFailure):
+            spmd_run(2, app, timeout=60)
+
+
+class TestPersistentReservation:
+    def test_cori_zero_copy_across_jobs(self, tmp_path):
+        """§4.1: with a persistent burst-buffer reservation (no trim),
+        a database created in one job is reopened zero-copy by the next."""
+        from repro.simtime.profiles import CORI
+
+        machine = Machine(CORI, 2, base_dir=str(tmp_path))
+
+        def job1(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("reserved", small_options())
+                for i in range(40):
+                    db.put(f"k{i}".encode(), b"v" * 16)
+                db.barrier()
+                db.close()
+
+        def job2(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("reserved", small_options())
+                for i in range(40):
+                    assert db.get(f"k{i}".encode()) == b"v" * 16
+                db.close()
+
+        spmd_run(2, job1, system=CORI, machine=machine)
+        # NO trim_nvm(): the reservation persists across jobs
+        spmd_run(2, job2, system=CORI, machine=machine)
+        machine.close()
+
+
+class TestSnapshotDamage:
+    def test_restart_with_deleted_snapshot_rank_dir(self, tmp_path):
+        machine = Machine(SUMMITDEV, 2, base_dir=str(tmp_path))
+
+        def create(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("snapdmg", small_options())
+                for i in range(30):
+                    db.put(f"k{i}".encode(), b"v" * 16)
+                db.barrier()
+                db.checkpoint("dmg").wait(ctx.clock)
+                db.coll_comm.barrier()
+                db.destroy().wait(ctx.clock)
+
+        spmd_run(2, create, machine=machine)
+        # damage: remove one rank's snapshot directory entirely
+        lustre_root = machine.lustre_store().root
+        import shutil
+
+        shutil.rmtree(
+            os.path.join(lustre_root, "ckpt/dmg/db_snapdmg/rank1"),
+            ignore_errors=True,
+        )
+
+        def restart(ctx):
+            with Papyrus(ctx) as env:
+                db, ev = env.restart("dmg", "snapdmg", small_options())
+                ev.wait(ctx.clock)
+                db.coll_comm.barrier()
+                # rank 1's shard is gone; rank 0's survives
+                present = sum(
+                    1 for i in range(30)
+                    if db.get_or_none(f"k{i}".encode()) is not None
+                )
+                db.close()
+                return present
+
+        res = spmd_run(2, restart, machine=machine, timeout=120)
+        assert 0 < res[0] < 30  # partial recovery, no crash, no wrong data
+        machine.close()
+
+    def test_restart_missing_manifest(self, tmp_path):
+        machine = Machine(SUMMITDEV, 1, base_dir=str(tmp_path))
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                with pytest.raises(StorageError):
+                    env.restart("never-existed", "nodb", small_options())
+
+        spmd_run(1, app, machine=machine)
+        machine.close()

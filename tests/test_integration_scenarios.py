@@ -1,0 +1,295 @@
+"""End-to-end scenario tests spanning every subsystem at once.
+
+Each scenario is a realistic multi-phase HPC application:
+write-heavy initialization, protection-gated analysis, dynamic
+consistency switches, mid-run checkpoints, and cross-application
+workflows — on all three modelled platforms.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Options,
+    Papyrus,
+    RDONLY,
+    RDWR,
+    RELAXED,
+    SEQUENTIAL,
+    SSTABLE,
+    WRONLY,
+    spmd_run,
+)
+from repro.nvm.storage import Machine
+from repro.simtime.profiles import CORI, STAMPEDE, SUMMITDEV
+from tests.conftest import small_options
+
+
+class TestFullLifecycle:
+    def test_write_analyze_checkpoint_cycle(self, any_system):
+        """init (WRONLY) -> analyze (RDONLY) -> update -> checkpoint ->
+        destroy -> restart -> verify, on every platform."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("cycle", small_options())
+                # phase 1: write-only initialization
+                db.protect(WRONLY)
+                for i in range(120):
+                    db.put(f"init{i:04d}".encode(), f"v{i}".encode() * 3)
+                db.protect(RDWR)
+                db.barrier(SSTABLE)
+
+                # phase 2: read-only analysis with remote caching
+                db.protect(RDONLY)
+                total = sum(
+                    len(db.get(f"init{i:04d}".encode()))
+                    for i in range(0, 120, 11)
+                )
+                assert total > 0
+                db.protect(RDWR)
+
+                # phase 3: updates under sequential consistency
+                db.set_consistency(SEQUENTIAL)
+                for i in range(0, 120, 7):
+                    db.put(f"init{i:04d}".encode(), b"updated")
+                db.set_consistency(RELAXED)
+                db.barrier()
+
+                # phase 4: checkpoint, destroy, restart, verify
+                db.checkpoint("cycle-snap").wait(ctx.clock)
+                db.destroy().wait(ctx.clock)
+                db2, ev = env.restart("cycle-snap", "cycle", small_options())
+                ev.wait(ctx.clock)
+                db2.coll_comm.barrier()
+                for i in range(120):
+                    expected = b"updated" if i % 7 == 0 else f"v{i}".encode() * 3
+                    assert db2.get(f"init{i:04d}".encode()) == expected
+                db2.close()
+
+        spmd_run(3, app, system=any_system, timeout=300)
+
+
+class TestMultiDatabaseWorkflow:
+    def test_pipeline_over_two_databases(self):
+        """A two-stage pipeline: stage 1 writes db A; stage 2 reads A
+        and writes derived values to db B; all ranks verify B."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                raw = env.open("raw", small_options())
+                derived = env.open("derived", small_options())
+                me = ctx.world_rank
+                for i in range(60):
+                    raw.put(f"s{me}:{i}".encode(), bytes([i % 251]))
+                raw.barrier()
+                # each rank derives from the next rank's data
+                src = (me + 1) % ctx.nranks
+                for i in range(60):
+                    v = raw.get(f"s{src}:{i}".encode())
+                    derived.put(f"d{src}:{i}".encode(), v * 2)
+                derived.barrier()
+                for r in range(ctx.nranks):
+                    for i in range(0, 60, 13):
+                        assert (
+                            derived.get(f"d{r}:{i}".encode())
+                            == bytes([i % 251]) * 2
+                        )
+                derived.close()
+                raw.close()
+
+        spmd_run(3, app, timeout=300)
+
+    def test_databases_with_different_options(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                seq_db = env.open(
+                    "seqdb", small_options(consistency=SEQUENTIAL)
+                )
+                rel_db = env.open(
+                    "reldb", small_options(consistency=RELAXED, group_size=1)
+                )
+                assert seq_db.consistency == SEQUENTIAL
+                assert rel_db.consistency == RELAXED
+                assert rel_db.layout.group_size == 1
+                seq_db.put(b"k", b"s")
+                rel_db.put(b"k", b"r")
+                seq_db.barrier()
+                rel_db.barrier()
+                assert seq_db.get(b"k") == b"s"
+                assert rel_db.get(b"k") == b"r"
+                rel_db.close()
+                seq_db.close()
+
+        spmd_run(2, app, timeout=300)
+
+
+class TestCrossJobWorkflows:
+    def test_three_coupled_applications(self, tmp_path):
+        """Figure 5(b): produce -> checkpoint; job ends (NVM trim);
+        restart -> extend -> checkpoint; restart -> consume."""
+        machine = Machine(SUMMITDEV, 2, base_dir=str(tmp_path))
+
+        def produce(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("chain", small_options())
+                for i in range(40):
+                    db.put(f"gen0:{i}".encode(), b"alpha")
+                db.barrier()
+                db.checkpoint("chain-1").wait(ctx.clock)
+                db.coll_comm.barrier()
+                db.close()
+
+        def extend(ctx):
+            with Papyrus(ctx) as env:
+                db, ev = env.restart("chain-1", "chain", small_options())
+                ev.wait(ctx.clock)
+                db.coll_comm.barrier()
+                assert db.get(b"gen0:0") == b"alpha"
+                for i in range(40):
+                    db.put(f"gen1:{i}".encode(), b"beta")
+                db.barrier()
+                db.checkpoint("chain-2").wait(ctx.clock)
+                db.coll_comm.barrier()
+                db.close()
+
+        def consume(ctx):
+            with Papyrus(ctx) as env:
+                db, ev = env.restart("chain-2", "chain", small_options())
+                ev.wait(ctx.clock)
+                db.coll_comm.barrier()
+                assert db.get(b"gen0:39") == b"alpha"
+                assert db.get(b"gen1:39") == b"beta"
+                db.close()
+
+        spmd_run(2, produce, machine=machine)
+        machine.trim_nvm()
+        spmd_run(2, extend, machine=machine)
+        machine.trim_nvm()
+        spmd_run(2, consume, machine=machine)
+        machine.close()
+
+
+class TestScaleStress:
+    def test_two_node_summitdev_soak(self):
+        """24 ranks across two Summitdev nodes: inter-node migration,
+        per-node storage groups, mixed operations under churn."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("soak", small_options())
+                me = ctx.world_rank
+                for round_ in range(2):
+                    for i in range(30):
+                        db.put(
+                            f"r{me}:i{i}:g{round_}".encode(),
+                            bytes([round_]) * 64,
+                        )
+                    db.barrier(SSTABLE)
+                    for peer in (me + 1, me + ctx.nranks // 2):
+                        peer %= ctx.nranks
+                        for i in range(0, 30, 7):
+                            v = db.get(f"r{peer}:i{i}:g{round_}".encode())
+                            assert v == bytes([round_]) * 64
+                    db.barrier()
+                db.close()
+                return dict(db.stats.get_tiers)
+
+        res = spmd_run(24, app, system=SUMMITDEV, timeout=600)
+        assert len(res) == 24
+
+    def test_many_small_values_churn(self):
+        """Thousands of tiny pairs with frequent compaction."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open(
+                    "churn",
+                    small_options(memtable_capacity=1 << 10,
+                                  compaction_interval=3),
+                )
+                for i in range(500):
+                    db.put(f"{i % 97:02d}".encode(), f"{i}".encode() * 40)
+                db.barrier()
+                # final value of key k is the largest i with i%97==k
+                for k in range(97):
+                    last = max(i for i in range(500) if i % 97 == k)
+                    assert (
+                        db.get(f"{k:02d}".encode())
+                        == f"{last}".encode() * 40
+                    )
+                assert db.stats.compactions > 0
+                db.close()
+
+        spmd_run(2, app, timeout=300)
+
+
+class TestEdgeCases:
+    def test_empty_value_is_not_a_delete(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("edge", small_options())
+                db.put(b"empty", b"")
+                db.barrier()
+                assert db.get(b"empty") == b""
+                db.close()
+
+        spmd_run(2, app)
+
+    def test_long_keys_and_binary_data(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("edge", small_options())
+                key = bytes(range(256)) * 4  # 1 KB binary key
+                value = bytes(255 - b for b in range(256)) * 8
+                db.put(key, value)
+                db.barrier(SSTABLE)
+                assert db.get(key) == value
+                db.close()
+
+        spmd_run(2, app)
+
+    def test_single_rank_world(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("solo", small_options())
+                for i in range(50):
+                    db.put(f"{i}".encode(), b"x")
+                db.barrier(SSTABLE)
+                db.fence()  # no remote state: must be a no-op
+                assert db.stats.remote_puts == 0
+                db.close()
+
+        spmd_run(1, app)
+
+    def test_closed_database_rejects_operations(self):
+        from repro.errors import DatabaseClosedError
+
+        def app(ctx):
+            env = Papyrus(ctx)
+            db = env.open("gone", small_options())
+            db.close()
+            with pytest.raises(DatabaseClosedError):
+                db.put(b"k", b"v")
+            with pytest.raises(DatabaseClosedError):
+                db.get(b"k")
+            with pytest.raises(DatabaseClosedError):
+                db.fence()
+            env.finalize()
+
+        spmd_run(2, app)
+
+    def test_reopen_after_close_in_same_env(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("re", small_options())
+                db.put(f"k{ctx.world_rank}".encode(), b"v1")
+                db.barrier()
+                db.close()
+                db = env.open("re", small_options())
+                for r in range(ctx.nranks):
+                    assert db.get(f"k{r}".encode()) == b"v1"
+                db.close()
+
+        spmd_run(2, app)

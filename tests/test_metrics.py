@@ -1,0 +1,75 @@
+"""Observability roll-up tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Papyrus, SSTABLE, spmd_run
+from repro.metrics import database_metrics, format_report, machine_metrics
+from tests.conftest import small_options
+
+
+def _run_and_collect(nranks=2):
+    def app(ctx):
+        with Papyrus(ctx) as env:
+            db = env.open("met", small_options())
+            for i in range(80):
+                db.put(f"k{i:03d}".encode(), b"v" * 40)
+            db.barrier(SSTABLE)
+            for i in range(0, 80, 5):
+                db.get(f"k{i:03d}".encode())
+            dbm = database_metrics(db)
+            db.close()
+            mm = machine_metrics(ctx.machine)
+            return dbm, mm
+
+    return spmd_run(nranks, app)
+
+
+class TestDatabaseMetrics:
+    def test_operation_counts(self):
+        (dbm, _), _ = _run_and_collect()
+        assert dbm["puts"] == 80
+        assert dbm["gets"] == 16
+        assert dbm["local_puts"] + dbm["remote_puts"] == 80
+        assert dbm["local_gets"] + dbm["remote_gets"] == 16
+
+    def test_lsm_counters(self):
+        (dbm, _), _ = _run_and_collect()
+        assert dbm["flushes"] >= 1
+        assert dbm["sstables"] >= 1
+
+    def test_background_busy_time(self):
+        (dbm, _), _ = _run_and_collect()
+        assert dbm["compaction_busy_s"] > 0
+
+    def test_cache_sections_present(self):
+        (dbm, _), _ = _run_and_collect()
+        assert "local_cache" in dbm
+        assert "remote_cache" in dbm
+        assert dbm["local_cache"]["entries"] >= 0
+
+    def test_get_tiers_sum(self):
+        (dbm, _), _ = _run_and_collect()
+        assert sum(dbm["get_tiers"].values()) == dbm["gets"]
+
+
+class TestMachineMetrics:
+    def test_nvm_devices_counted(self):
+        (_, mm), _ = _run_and_collect()
+        dom = mm["nvm"]["domain0"]
+        assert dom["write"]["bytes"] > 0  # flushed SSTables
+        assert dom["write"]["ops"] > 0
+
+    def test_lustre_untouched_without_checkpoint(self):
+        (_, mm), _ = _run_and_collect()
+        assert mm["lustre"]["write"]["bytes"] == 0
+
+
+class TestReport:
+    def test_format_report(self):
+        (dbm, _), _ = _run_and_collect()
+        text = format_report(dbm)
+        assert "database 'met'" in text
+        assert "flushes" in text
+        assert "get tiers" in text

@@ -1,0 +1,202 @@
+"""Cross-cutting property-based tests on substrate invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.scan import merge_scan
+from repro.mpi.launcher import spmd_run
+from repro.simtime.resources import BackgroundWorker, StripedResource, TimedResource
+
+
+# --------------------------------------------------------------- resources
+@settings(max_examples=150, deadline=None)
+@given(st.lists(st.tuples(
+    st.floats(min_value=0, max_value=100, allow_nan=False),
+    st.integers(min_value=0, max_value=10_000_000),
+)))
+def test_device_horizon_monotone(ops):
+    """A device's availability never regresses, and every completion is
+    at or after both the request time and the previous completion."""
+    dev = TimedResource("d", 1e-4, 1e9)
+    prev_end = 0.0
+    for t_req, nbytes in ops:
+        end = dev.access(t_req, nbytes)
+        assert end >= t_req
+        assert end >= prev_end
+        assert dev.available == end
+        prev_end = end
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=16),
+    st.integers(min_value=0, max_value=100_000_000),
+)
+def test_striping_never_slower_than_single(nstripes, nbytes):
+    """An n-striped store's service time never exceeds one stripe's."""
+    single = TimedResource("s", 1e-3, 1e9)
+    striped = StripedResource("m", nstripes, 1e-3, 1e9)
+    assert striped.service_time(nbytes) <= single.service_time(nbytes) + 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(
+    st.floats(min_value=0, max_value=50, allow_nan=False),
+    st.floats(min_value=0, max_value=5, allow_nan=False),
+)))
+def test_background_worker_serializes(jobs):
+    """Worker completions are totally ordered and busy time adds up."""
+    w = BackgroundWorker("w")
+    prev = 0.0
+    total = 0.0
+    for t_enq, dur in jobs:
+        end = w.submit(t_enq, dur)
+        assert end >= prev
+        assert end >= t_enq + dur
+        prev = end
+        total += dur
+    assert w.busy_time == pytest.approx(total)
+
+
+# --------------------------------------------------------------------- scan
+@settings(max_examples=150, deadline=None)
+@given(st.lists(
+    st.dictionaries(
+        st.binary(min_size=1, max_size=6),
+        st.tuples(st.binary(max_size=12), st.booleans()),
+        max_size=15,
+    ),
+    min_size=1, max_size=5,
+))
+def test_merge_scan_equals_dict_overlay(generations):
+    """merge_scan over newest-first tiers == applying dicts oldest-first
+    and dropping tombstones."""
+    model: dict = {}
+    for gen in generations:  # oldest .. newest
+        for k, (v, tomb) in gen.items():
+            model[k] = (b"" if tomb else v, tomb)
+    tiers = [
+        sorted((k, b"" if tomb else v, tomb) for k, (v, tomb) in gen.items())
+        for gen in reversed(generations)  # newest first
+    ]
+    got = list(merge_scan(tiers))
+    want = sorted(
+        (k, v) for k, (v, tomb) in model.items() if not tomb
+    )
+    assert got == want
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.binary(min_size=1, max_size=4),
+    st.binary(min_size=1, max_size=4),
+    st.sets(st.binary(min_size=1, max_size=4), max_size=30),
+)
+def test_merge_scan_range_is_filter(start, end, keys):
+    tiers = [sorted((k, b"v", False) for k in keys)]
+    got = [k for k, _ in merge_scan(tiers, start, end)]
+    want = sorted(k for k in keys if start <= k < end)
+    assert got == want
+
+
+# -------------------------------------------------------------- persistence
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+    st.dictionaries(
+        st.integers(min_value=0, max_value=30),
+        st.binary(min_size=1, max_size=24),
+        min_size=1, max_size=20,
+    ),
+)
+def test_redistribution_invariant_under_rank_change(n_src, n_dst, data):
+    """Property: a snapshot taken with n_src ranks restarts on n_dst
+    ranks with exactly the same key-value map, for any (n_src, n_dst)."""
+    from repro import Papyrus
+    from repro.nvm.storage import Machine
+    from repro.simtime.profiles import SUMMITDEV
+    from tests.conftest import small_options
+
+    machine = Machine(SUMMITDEV, max(n_src, n_dst))
+    try:
+        def writer(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("prop-rd", small_options())
+                for i, (k, v) in enumerate(sorted(data.items())):
+                    if i % ctx.nranks == ctx.world_rank:
+                        db.put(f"key{k:02d}".encode(), v)
+                db.barrier()
+                db.checkpoint("prop-snap").wait(ctx.clock)
+                db.coll_comm.barrier()
+                db.destroy().wait(ctx.clock)
+
+        spmd_run(n_src, writer, machine=machine, timeout=120)
+        machine.trim_nvm()
+
+        def reader(ctx):
+            with Papyrus(ctx) as env:
+                db, ev = env.restart("prop-snap", "prop-rd",
+                                     small_options())
+                ev.wait(ctx.clock)
+                db.barrier()
+                got = dict(db.scan_collect())
+                want = {f"key{k:02d}".encode(): v for k, v in data.items()}
+                assert got == want
+                db.close()
+
+        spmd_run(n_dst, reader, machine=machine, timeout=120)
+    finally:
+        machine.close()
+
+
+# --------------------------------------------------------------------- comm
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(st.integers(min_value=0, max_value=4), min_size=1,
+                max_size=30))
+def test_p2p_fifo_per_source_property(tags):
+    """Messages with the same (source, tag) are never reordered, for any
+    interleaving of tag values."""
+
+    def app(ctx):
+        if ctx.world_rank == 0:
+            for i, tag in enumerate(tags):
+                ctx.comm.send((tag, i), 1, tag=tag)
+        else:
+            per_tag: dict = {}
+            for tag in sorted(set(tags)):
+                per_tag[tag] = [
+                    ctx.comm.recv(source=0, tag=tag)[1]
+                    for _ in range(tags.count(tag))
+                ]
+            for tag, seqs in per_tag.items():
+                expected = [i for i, t in enumerate(tags) if t == tag]
+                assert seqs == expected
+            return True
+
+    assert spmd_run(2, app, timeout=60)[1]
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=2, max_value=6),
+       st.integers(min_value=0, max_value=3))
+def test_collectives_agree_property(nranks, root):
+    root = root % nranks
+
+    def app(ctx):
+        data = ctx.comm.bcast(
+            ("payload", ctx.world_rank) if ctx.world_rank == root else None,
+            root=root,
+        )
+        gathered = ctx.comm.allgather(ctx.world_rank)
+        return data, gathered
+
+    res = spmd_run(nranks, app, timeout=60)
+    assert all(r[0] == ("payload", root) for r in res)
+    assert all(r[1] == list(range(nranks)) for r in res)

@@ -1,0 +1,110 @@
+"""Virtual-time tracing tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import Papyrus, SSTABLE, spmd_run
+from repro.tools.trace import Span, Tracer, export_chrome_trace, summarize
+from tests.conftest import small_options
+
+
+class TestTracer:
+    def test_record_and_snapshot(self):
+        t = Tracer()
+        t.record("op", 0, "main", 1.0, 2.0)
+        spans = t.spans()
+        assert spans == [Span("op", 0, "main", 1.0, 2.0)]
+        assert spans[0].duration == 1.0
+        assert len(t) == 1
+
+    def test_rejects_backwards_span(self):
+        with pytest.raises(ValueError):
+            Tracer().record("op", 0, "main", 2.0, 1.0)
+
+    def test_capacity_drops(self):
+        t = Tracer(capacity=3)
+        for i in range(5):
+            t.record("op", 0, "main", i, i + 1)
+        assert len(t) == 3
+        assert t.dropped == 2
+
+    def test_merged_sorted(self):
+        a, b = Tracer(), Tracer()
+        a.record("x", 0, "main", 5.0, 6.0)
+        b.record("y", 1, "main", 1.0, 2.0)
+        merged = a.merged([b])
+        assert [s.name for s in merged] == ["y", "x"]
+
+
+class TestExport:
+    def test_chrome_trace_format(self, tmp_path):
+        t = Tracer()
+        t.record("put", 0, "main", 0.0, 0.001)
+        t.record("flush ssid=1", 0, "compaction", 0.0005, 0.002)
+        path = str(tmp_path / "trace.json")
+        n = export_chrome_trace(t.spans(), path)
+        assert n == 2
+        doc = json.load(open(path))
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(events) == 2
+        assert events[0]["pid"] == 0
+        assert {e["tid"] for e in events} == {0, 2}  # main + compaction
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert meta[0]["args"]["name"] == "rank 0"
+
+    def test_summarize(self):
+        t = Tracer()
+        t.record("put", 0, "main", 0.0, 1.0)
+        t.record("put", 1, "main", 0.0, 2.0)
+        t.record("get", 0, "main", 0.0, 0.5)
+        s = summarize(t.spans())
+        assert s["main:put"] == {"count": 2, "total_s": 3.0}
+        assert s["main:get"]["count"] == 1
+
+
+class TestDatabaseIntegration:
+    def test_spans_cover_every_lane(self, tmp_path):
+        def app(ctx):
+            tracer = Tracer()
+            with Papyrus(ctx) as env:
+                db = env.open("tr", small_options())
+                db.attach_tracer(tracer)
+                for i in range(150):
+                    db.put(f"k{i:03d}".encode(), b"v" * 32)
+                db.barrier(SSTABLE)
+                for i in range(0, 150, 11):
+                    db.get(f"k{i:03d}".encode())
+                db.close()
+            return {s.lane for s in tracer.spans()}, len(tracer)
+
+        results = spmd_run(2, app)
+        lanes = set().union(*(r[0] for r in results))
+        assert "main" in lanes
+        assert "compaction" in lanes
+        assert "dispatcher" in lanes
+        assert "handler" in lanes
+        assert all(r[1] > 0 for r in results)
+
+    def test_exported_run_trace(self, tmp_path):
+        def app(ctx):
+            tracer = Tracer()
+            with Papyrus(ctx) as env:
+                db = env.open("tr", small_options())
+                db.attach_tracer(tracer)
+                for i in range(40):
+                    db.put(f"k{i}".encode(), b"v" * 16)
+                db.barrier(SSTABLE)
+                db.close()
+            return tracer
+
+        tracers = spmd_run(2, app)
+        merged = tracers[0].merged(tracers[1:])
+        path = str(tmp_path / "run.json")
+        n = export_chrome_trace(merged, path)
+        assert n == len(merged) > 0
+        doc = json.load(open(path))
+        pids = {e["pid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert pids == {0, 1}

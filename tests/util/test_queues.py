@@ -1,0 +1,138 @@
+"""Bounded FIFO tests: ordering, back-pressure, snapshots, close."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.util.queues import BoundedFIFO, QueueClosed
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        q = BoundedFIFO(8)
+        for i in range(5):
+            q.put(i)
+        assert [q.get() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedFIFO(0)
+
+    def test_len(self):
+        q = BoundedFIFO(4)
+        assert len(q) == 0
+        q.put("x")
+        assert len(q) == 1
+
+    def test_try_put_full(self):
+        q = BoundedFIFO(1)
+        assert q.try_put("a") is True
+        assert q.try_put("b") is False
+
+    def test_put_timeout_when_full(self):
+        q = BoundedFIFO(1)
+        q.put("a")
+        with pytest.raises(TimeoutError):
+            q.put("b", timeout=0.05)
+
+    def test_get_timeout_when_empty(self):
+        q = BoundedFIFO(1)
+        with pytest.raises(TimeoutError):
+            q.get(timeout=0.05)
+
+
+class TestBlocking:
+    def test_put_blocks_until_drained(self):
+        """The paper's back-pressure: a full flushing queue blocks the put."""
+        q = BoundedFIFO(1)
+        q.put("first")
+        done = []
+
+        def producer():
+            q.put("second")  # blocks
+            done.append(True)
+
+        t = threading.Thread(target=producer, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        assert not done
+        assert q.get() == "first"
+        t.join(2.0)
+        assert done
+
+    def test_get_blocks_until_item(self):
+        q = BoundedFIFO(1)
+        got = []
+
+        def consumer():
+            got.append(q.get())
+
+        t = threading.Thread(target=consumer, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        q.put("x")
+        t.join(2.0)
+        assert got == ["x"]
+
+
+class TestSnapshotAndRemove:
+    def test_snapshot_newest_first(self):
+        q = BoundedFIFO(8)
+        for i in range(4):
+            q.put(i)
+        assert list(q.snapshot_newest_first()) == [3, 2, 1, 0]
+        assert len(q) == 4  # snapshot does not consume
+
+    def test_remove_identity(self):
+        q = BoundedFIFO(8)
+        a, b = object(), object()
+        q.put(a)
+        q.put(b)
+        assert q.remove(a) is True
+        assert q.remove(a) is False
+        assert q.get() is b
+
+    def test_drain(self):
+        q = BoundedFIFO(8)
+        for i in range(3):
+            q.put(i)
+        assert q.drain() == [0, 1, 2]
+        assert len(q) == 0
+
+
+class TestClose:
+    def test_get_after_close_drains_then_raises(self):
+        q = BoundedFIFO(4)
+        q.put(1)
+        q.close()
+        assert q.get() == 1
+        with pytest.raises(QueueClosed):
+            q.get()
+
+    def test_put_after_close_raises(self):
+        q = BoundedFIFO(4)
+        q.close()
+        with pytest.raises(QueueClosed):
+            q.put(1)
+        with pytest.raises(QueueClosed):
+            q.try_put(1)
+
+    def test_close_wakes_blocked_getter(self):
+        q = BoundedFIFO(1)
+        errors = []
+
+        def consumer():
+            try:
+                q.get()
+            except QueueClosed:
+                errors.append("closed")
+
+        t = threading.Thread(target=consumer, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        q.close()
+        t.join(2.0)
+        assert errors == ["closed"]
