@@ -7,40 +7,48 @@ Run with::
 
 Each simulated MPI rank stores its own keys, a barrier makes all writes
 globally visible, and every rank then reads everyone's data — the basic
-SPMD pattern every PapyrusKV application follows.
+SPMD pattern every PapyrusKV application follows.  Writes go through a
+``db.batch()`` (one coalesced message per owner rank), reads through
+``get_bulk`` (one multi-get round per owner), and the environment and
+database are context managers.
 """
 
 from repro import Options, Papyrus, spmd_run
 
 
 def app(ctx):
-    env = Papyrus(ctx)  # papyruskv_init
-    db = env.open("quickstart", Options())  # papyruskv_open (collective)
+    with Papyrus(ctx) as env:  # papyruskv_init / papyruskv_finalize
+        # papyruskv_open is collective; the with-block closes (flushes
+        # MemTables to SSTables) on exit
+        with env.open("quickstart", Options()) as db:
+            me = ctx.world_rank
+            with db.batch() as batch:  # buffered put_bulk on exit
+                for i in range(100):
+                    batch[f"rank{me}/key{i:03d}".encode()] = \
+                        f"value-{me}-{i}".encode()
 
-    me = ctx.world_rank
-    for i in range(100):
-        db.put(f"rank{me}/key{i:03d}".encode(), f"value-{me}-{i}".encode())
+            # relaxed consistency: remote puts were staged locally; the
+            # barrier migrates them and synchronizes all ranks
+            db.barrier()
 
-    # relaxed consistency: remote puts were staged locally; the barrier
-    # migrates them and synchronizes all ranks (papyruskv_barrier)
-    db.barrier()
+            wanted = [
+                (f"rank{rank}/key{i:03d}".encode(),
+                 f"value-{rank}-{i}".encode())
+                for rank in range(ctx.nranks)
+                for i in range(0, 100, 10)
+            ]
+            values = db.get_bulk([k for k, _ in wanted])
+            assert values == [v for _, v in wanted]
+            checked = len(values)
 
-    checked = 0
-    for rank in range(ctx.nranks):
-        for i in range(0, 100, 10):
-            value = db.get(f"rank{rank}/key{i:03d}".encode())
-            assert value == f"value-{rank}-{i}".encode()
-            checked += 1
+            if me == 0:
+                del db[b"rank0/key000"]
+            db.barrier()
+            assert b"rank0/key000" not in db  # deleted everywhere
 
-    if me == 0:
-        db.delete(b"rank0/key000")
-    db.barrier()
-    assert db.get_or_none(b"rank0/key000") is None  # deleted everywhere
-
-    stats = db.stats
-    db.close()  # collective; flushes MemTables to SSTables
-    env.finalize()  # papyruskv_finalize
-    return (me, checked, dict(stats.get_tiers), round(ctx.clock.now * 1e3, 3))
+            stats = db.stats
+            tiers = dict(stats.get_tiers)
+    return (me, checked, tiers, round(ctx.clock.now * 1e3, 3))
 
 
 def main():

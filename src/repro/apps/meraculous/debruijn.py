@@ -96,9 +96,18 @@ def contigs_from_ufx(ufx: Ufx, k: int) -> List[bytes]:
 
 # --------------------------------------------------------------- distributed
 def build_graph(dht, my_entries: Sequence[Tuple[bytes, bytes]]) -> int:
-    """Construction phase: insert this rank's UFX share; returns count."""
-    for kmer, code in my_entries:
-        dht.put(kmer, code)
+    """Construction phase: insert this rank's UFX share; returns count.
+
+    Backends exposing a bulk pipeline (``put_bulk``) load the whole
+    share in one batched call — per-owner message coalescing instead of
+    one staged put per k-mer; others fall back to the per-key loop.
+    """
+    put_bulk = getattr(dht, "put_bulk", None)
+    if put_bulk is not None:
+        put_bulk(list(my_entries))
+    else:
+        for kmer, code in my_entries:
+            dht.put(kmer, code)
     dht.barrier()
     return len(my_entries)
 

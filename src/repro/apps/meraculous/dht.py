@@ -42,9 +42,22 @@ class PapyrusDHT:
         """Insert a k-mer record (relaxed staging + batched migration)."""
         self._db.put(key, value)
 
+    def put_bulk(self, items) -> None:
+        """Insert many k-mer records through the bulk pipeline.
+
+        The construction phase loads a whole UFX share at once, so the
+        per-owner coalescing (one migration chunk per owner instead of
+        one staged put per k-mer) applies to the entire share.
+        """
+        self._db.put_bulk(items)
+
     def get(self, key: bytes) -> Optional[bytes]:
         """Fetch a k-mer record; None when absent."""
         return self._db.get_or_none(key)
+
+    def get_bulk(self, keys) -> List[Optional[bytes]]:
+        """Fetch many k-mer records; values align with ``keys``."""
+        return self._db.get_bulk(keys)
 
     def barrier(self) -> None:
         """Collective: migrate staged puts and synchronize all ranks."""

@@ -55,13 +55,18 @@ def protection_name(prot: int) -> str:
         raise InvalidProtectionError(f"unknown protection {prot}") from None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class Options:
     """Per-database configuration (``papyruskv_option_t``).
 
     The paper lets programmers configure "MemTable capacity, cache
     on/off, cache capacity, memory consistency mode, protection
     attribute, and custom hash function" (§2.3).
+
+    Fields are keyword-only and validated at construction, so a
+    misconfigured database (negative MemTable size, unknown consistency
+    or protection constant, fields swapped positionally) fails fast at
+    the ``Options(...)`` call instead of deep in the put path.
     """
 
     #: MemTable capacity in bytes (paper evaluation: 1 GB; tests use small
@@ -104,6 +109,8 @@ class Options:
             raise InvalidModeError(f"unknown consistency {self.consistency}")
         if self.protection not in _PROTECTION_NAMES:
             raise InvalidProtectionError(f"unknown protection {self.protection}")
+        if self.cache_local_capacity <= 0 or self.cache_remote_capacity <= 0:
+            raise InvalidOptionError("cache capacities must be positive")
         if self.flush_queue_capacity <= 0 or self.migration_queue_capacity <= 0:
             raise InvalidOptionError("queue capacities must be positive")
         if self.compaction_interval < 0:

@@ -20,6 +20,22 @@ Paper function                         This module
 ``papyruskv_checkpoint`` / ``restart`` :func:`papyruskv_checkpoint` / ...
 ``papyruskv_destroy`` / ``wait``       :func:`papyruskv_destroy` / ``wait``
 =====================================  =====================================
+
+Bulk extension (beyond Table 1, same code/out-parameter conventions —
+the Table 1 surface above is untouched):
+
+=====================================  =====================================
+Bulk veneer                            Object API it wraps
+=====================================  =====================================
+``papyruskv_put_bulk(db, items)``      :meth:`Database.put_bulk` —
+→ ``code``                             per-owner coalesced migration
+``papyruskv_get_bulk(db, keys)``       :meth:`Database.get_bulk` — one
+→ ``(code, values)``                   MGET round per owner; ``values``
+                                       aligns with ``keys``, ``None``
+                                       marking NOT_FOUND
+``papyruskv_delete_bulk(db, keys)``    :meth:`Database.delete_bulk` —
+→ ``code``                             batched tombstone puts
+=====================================  =====================================
 """
 
 from __future__ import annotations
@@ -116,6 +132,43 @@ def papyruskv_delete(db: Database, key: bytes) -> int:
     """Delete a key-value pair; returns an error code."""
     try:
         db.delete(key)
+    except PapyrusError as exc:
+        return int(code_of(exc))
+    return int(ErrorCode.SUCCESS)
+
+
+def papyruskv_put_bulk(db: Database, items) -> int:
+    """Insert many pairs via the bulk pipeline; returns an error code.
+
+    ``items`` is a mapping or an iterable of ``(key, value)`` pairs;
+    remote keys coalesce into one migration batch per owner rank.
+    """
+    try:
+        db.put_bulk(items)
+    except PapyrusError as exc:
+        return int(code_of(exc))
+    return int(ErrorCode.SUCCESS)
+
+
+def papyruskv_get_bulk(db: Database, keys: Sequence[bytes]
+                       ) -> Tuple[int, Optional[list]]:
+    """Fetch many keys in one pipelined round per owner.
+
+    Returns ``(code, values)`` with ``values`` parallel to ``keys``;
+    absent keys come back as ``None`` entries (the bulk analogue of the
+    per-key NOT_FOUND code, which would otherwise poison the whole
+    batch).  ``values`` is None only when the batch itself failed.
+    """
+    try:
+        return int(ErrorCode.SUCCESS), db.get_bulk(keys)
+    except PapyrusError as exc:
+        return int(code_of(exc)), None
+
+
+def papyruskv_delete_bulk(db: Database, keys: Sequence[bytes]) -> int:
+    """Delete many keys via the bulk pipeline; returns an error code."""
+    try:
+        db.delete_bulk(keys)
     except PapyrusError as exc:
         return int(code_of(exc))
     return int(ErrorCode.SUCCESS)

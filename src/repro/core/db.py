@@ -75,11 +75,65 @@ class DbStats:
     flushes: int = 0
     compactions: int = 0
     migrations: int = 0
+    #: bulk-pipeline counters: batches issued, keys carried by them, and
+    #: per-owner runtime messages they produced (MGET + batched sync puts)
+    bulk_batches: int = 0
+    bulk_keys: int = 0
+    bulk_owner_msgs: int = 0
     get_tiers: Dict[str, int] = field(default_factory=dict)
 
     def hit(self, tier: str) -> None:
         """Count a get satisfied by the named tier."""
         self.get_tiers[tier] = self.get_tiers.get(tier, 0) + 1
+
+
+class WriteBatch:
+    """Mutation buffer flushed through the bulk pipeline on exit.
+
+    Created by :meth:`Database.batch`.  Operations are recorded in
+    program order; within one batch the last operation on a key wins
+    (the bulk pipeline's last-write-wins rule), which matches the
+    outcome of the equivalent per-key sequence.
+    """
+
+    def __init__(self, db: "Database") -> None:
+        self._db = db
+        self._ops: List[Tuple[bytes, bytes, bool]] = []
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Buffer an insert/update."""
+        self._db._validate_kv(key, value)
+        self._ops.append((bytes(key), bytes(value), False))
+
+    def delete(self, key: bytes) -> None:
+        """Buffer a delete (tombstone put)."""
+        self._db._validate_kv(key, None)
+        self._ops.append((bytes(key), b"", True))
+
+    def __setitem__(self, key: bytes, value: bytes) -> None:
+        self.put(key, value)
+
+    def __delitem__(self, key: bytes) -> None:
+        self.delete(key)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def clear(self) -> None:
+        """Drop every buffered operation without writing."""
+        self._ops.clear()
+
+    def flush(self) -> int:
+        """Write the buffered operations now; returns keys written."""
+        ops, self._ops = self._ops, []
+        return self._db._write_bulk(ops)
+
+    def __enter__(self) -> "WriteBatch":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.flush()
 
 
 class Database:
@@ -500,14 +554,29 @@ class Database:
                 if cached is not None:
                     return GetResult(cached, "local_cache")
             ssids = list(self.ssids)
+        rec = self._sstable_lookup(ssids, key)
+        if rec is None or rec.tombstone:
+            return None
+        with self._lock:
+            if self.local_cache is not None and self.protection != config.WRONLY:
+                self.local_cache.put(key, rec.value)
+        return GetResult(rec.value, "sstable")
+
+    def _sstable_lookup(self, ssids: List[int], key: bytes
+                        ) -> Optional[Record]:
+        """Search my own SSTables, retrying once across a compaction race.
+
+        A concurrent compaction (handler-triggered flush on this rank)
+        may delete input tables mid-search; the retry re-reads the
+        authoritative SSID list under the lock.  Advances the caller's
+        clock to the read-completion time.
+        """
         try:
             rec, t_end = self._search_sstables(
                 self.store, self.rank_dir, ssids, key, self.clock.now,
                 own=True,
             )
         except StorageError:
-            # raced a concurrent compaction (handler-triggered flush on this
-            # rank); re-read the authoritative SSID list and retry once
             with self._lock:
                 self._readers.clear()
                 ssids = list(self.ssids)
@@ -516,12 +585,7 @@ class Database:
                 own=True,
             )
         self.clock.advance_to(t_end)
-        if rec is None or rec.tombstone:
-            return None
-        with self._lock:
-            if self.local_cache is not None and self.protection != config.WRONLY:
-                self.local_cache.put(key, rec.value)
-        return GetResult(rec.value, "sstable")
+        return rec
 
     def _reader(self, ssid: int) -> SSTableReader:
         rd = self._readers.get(ssid)
@@ -645,6 +709,299 @@ class Database:
             if rec is not None:
                 return rec, t
         return None, t
+
+    # ======================================================== BULK PIPELINE
+    def put_bulk(self, items) -> int:
+        """Insert many pairs through the batched pipeline.
+
+        ``items`` is a mapping or an iterable of ``(key, value)`` pairs.
+        Operations are partitioned by owner rank in one pass: local ones
+        apply under a single lock acquisition, remote ones coalesce into
+        per-owner batches (relaxed: the batch joins the remote MemTable
+        and later migrates as one chunk per owner; sequential: one
+        synchronous round per owner, not per key).  Duplicate keys
+        within one batch resolve last-write-wins.  Returns the number of
+        distinct keys written.
+        """
+        if isinstance(items, dict):
+            items = items.items()
+        ops: List[Tuple[bytes, bytes, bool]] = []
+        for key, value in items:
+            self._validate_kv(key, value)
+            ops.append((bytes(key), bytes(value), False))
+        return self._write_bulk(ops)
+
+    def delete_bulk(self, keys) -> int:
+        """Delete many keys through the batched pipeline (see put_bulk)."""
+        ops: List[Tuple[bytes, bytes, bool]] = []
+        for key in keys:
+            self._validate_kv(key, None)
+            ops.append((bytes(key), b"", True))
+        return self._write_bulk(ops)
+
+    def _write_bulk(self, ops: List[Tuple[bytes, bytes, bool]]) -> int:
+        """The shared engine of put_bulk/delete_bulk/WriteBatch."""
+        self._check_open()
+        if self.protection == config.RDONLY:
+            raise ProtectionError("database is read-only (PAPYRUSKV_RDONLY)")
+        if not ops:
+            return 0
+        t_start = self.clock.now
+        # last-write-wins within the batch: only each key's final op lands
+        final: Dict[bytes, Tuple[bytes, bool]] = {}
+        for key, value, tomb in ops:
+            final[key] = (value, tomb)
+        cpu = self.ctx.system.cpu
+        nbytes = sum(len(k) + len(v) for k, (v, _) in final.items())
+        # per-key CPU work remains; the per-call dispatch overhead
+        # (DRAM round trip) is paid once for the whole batch
+        self.clock.advance(
+            cpu.kv_op_s * len(final) + cpu.dram_latency_s
+            + nbytes / self._memcpy_Bps
+        )
+        self._drain_acks(blocking=False)
+        # single-pass partition by owner rank
+        local: List[Tuple[bytes, bytes, bool]] = []
+        remote: Dict[int, List[msg.Pair]] = {}
+        for key, (value, tomb) in final.items():
+            self.stats.puts += 1
+            if tomb:
+                self.stats.deletes += 1
+            owner = self.owner_of(key)
+            if owner == self.rank:
+                self.stats.local_puts += 1
+                local.append((key, value, tomb))
+            else:
+                self.stats.remote_puts += 1
+                remote.setdefault(owner, []).append((key, value, tomb))
+        imm: Optional[MemTable] = None
+        with self._lock:  # one acquisition for every local/staged insert
+            for key, value, tomb in local:
+                self.local_mt.put(key, value, tomb)
+                if (self.local_cache is not None
+                        and self.protection != config.WRONLY):
+                    self.local_cache.invalidate(key)
+                if self.local_mt.full:
+                    self._rotate_local(self.clock)
+            if remote and self.consistency == config.RELAXED:
+                for owner, pairs in remote.items():
+                    for key, value, tomb in pairs:
+                        self.remote_mt.put(key, value, tomb, owner)
+                if self.remote_mt.full:
+                    imm = self._swap_remote_mt()
+        if imm is not None:
+            self._migrate(imm)
+        if remote and self.consistency == config.SEQUENTIAL:
+            self._put_sync_bulk(remote)
+        self.stats.bulk_batches += 1
+        self.stats.bulk_keys += len(final)
+        self.latency.observe("put_bulk", self.clock.now - t_start)
+        self._trace(f"put_bulk({len(final)})", "main", t_start,
+                    self.clock.now)
+        return len(final)
+
+    def _put_sync_bulk(self, groups: Dict[int, List[msg.Pair]]) -> None:
+        """Sequential mode: one synchronous round per owner, not per key.
+
+        All per-owner batches scatter first (fan-out), then the acks
+        gather, so the owners' handlers service the batches in parallel.
+        """
+        seqs: Dict[int, int] = {}
+        payloads: Dict[int, msg.PutSyncBatchMsg] = {}
+        for owner in sorted(groups):
+            seq = self._next_seq
+            self._next_seq += self.nranks
+            seqs[owner] = seq
+            payloads[owner] = msg.PutSyncBatchMsg(groups[owner], seq)
+        self.srv_comm.fanout(payloads, tag=0)
+        self.stats.bulk_owner_msgs += len(payloads)
+        for owner in sorted(groups):
+            reply = self.rsp_comm.recv(source=owner, tag=seqs[owner])
+            assert isinstance(reply, msg.AckMsg) and reply.seq == seqs[owner]
+
+    def get_bulk(self, keys) -> List[Optional[bytes]]:
+        """Fetch many keys; values come back in caller order (None=absent).
+
+        Keys are partitioned by owner in one pass; local keys resolve
+        through the memory/cache tiers under a single lock acquisition
+        (SSTable misses after), remote keys pipeline as one
+        :class:`~repro.core.messages.MGetMsg` per owner — scattered to
+        every owner before any reply is awaited — with the cache and
+        bloom tiers consulted per key on both sides.
+        """
+        self._check_open()
+        if self.protection == config.WRONLY:
+            raise ProtectionError("database is write-only (PAPYRUSKV_WRONLY)")
+        norm: List[bytes] = []
+        for key in keys:
+            self._validate_kv(key, None)
+            norm.append(bytes(key))
+        keys = norm
+        if not keys:
+            return []
+        t_start = self.clock.now
+        # duplicate keys in one batch resolve with a single lookup
+        index_of: Dict[bytes, List[int]] = {}
+        for i, key in enumerate(keys):
+            index_of.setdefault(key, []).append(i)
+        cpu = self.ctx.system.cpu
+        self.clock.advance(
+            cpu.kv_op_s * len(index_of) + cpu.dram_latency_s
+            + sum(len(k) for k in index_of) / self._memcpy_Bps
+        )
+        self._drain_acks(blocking=False)
+        self.stats.gets += len(index_of)
+        local_keys: List[bytes] = []
+        remote: Dict[int, List[bytes]] = {}
+        for key in index_of:
+            owner = self.owner_of(key)
+            if owner == self.rank:
+                self.stats.local_gets += 1
+                local_keys.append(key)
+            else:
+                self.stats.remote_gets += 1
+                remote.setdefault(owner, []).append(key)
+        found: Dict[bytes, Optional[bytes]] = {}
+        if local_keys:
+            found.update(self._local_get_many(local_keys))
+        if remote:
+            found.update(self._remote_get_many(remote))
+        results: List[Optional[bytes]] = [None] * len(keys)
+        for key, value in found.items():
+            for i in index_of[key]:
+                results[i] = value
+        self.stats.bulk_batches += 1
+        self.stats.bulk_keys += len(index_of)
+        self.latency.observe("get_bulk", self.clock.now - t_start)
+        self._trace(f"get_bulk({len(index_of)})", "main", t_start,
+                    self.clock.now)
+        return results
+
+    def _local_get_many(self, keys: List[bytes]
+                        ) -> Dict[bytes, Optional[bytes]]:
+        """Bulk local lookups: memory tiers under one lock, SSTables after."""
+        out: Dict[bytes, Optional[bytes]] = {}
+        misses: List[bytes] = []
+        with self._lock:
+            self._retire_flushed(self.clock.now)
+            cache_on = (self.local_cache is not None
+                        and self.protection != config.WRONLY)
+            for key in keys:
+                entry, tier = self._search_memory_local(key)
+                if entry is not None:
+                    out[key] = None if entry.tombstone else entry.value
+                    self.stats.hit(tier)
+                    continue
+                if cache_on:
+                    cached = self.local_cache.get(key)
+                    if cached is not None:
+                        out[key] = cached
+                        self.stats.hit("local_cache")
+                        continue
+                misses.append(key)
+            ssids = list(self.ssids)
+        for key in misses:
+            rec = self._sstable_lookup(ssids, key)
+            if rec is None or rec.tombstone:
+                out[key] = None
+                continue
+            out[key] = rec.value
+            self.stats.hit("sstable")
+            with self._lock:
+                if (self.local_cache is not None
+                        and self.protection != config.WRONLY):
+                    self.local_cache.put(key, rec.value)
+        return out
+
+    def _remote_get_many(self, groups: Dict[int, List[bytes]]
+                         ) -> Dict[bytes, Optional[bytes]]:
+        """Bulk remote lookups: staged tiers, then one MGET per owner."""
+        out: Dict[bytes, Optional[bytes]] = {}
+        need: Dict[int, List[bytes]] = {}
+        with self._lock:  # staged/unacked tiers under one acquisition
+            for owner, keys in groups.items():
+                for key in keys:
+                    entry, tier = self._search_memory_remote(key)
+                    if entry is not None:
+                        out[key] = None if entry.tombstone else entry.value
+                        self.stats.hit(tier)
+                    else:
+                        need.setdefault(owner, []).append(key)
+        remote_cache_on = self.protection == config.RDONLY
+        if remote_cache_on:
+            for owner in list(need):
+                still: List[bytes] = []
+                for key in need[owner]:
+                    cached = self.remote_cache.get(key)
+                    if cached is not None:
+                        out[key] = cached
+                        self.stats.hit("remote_cache")
+                    else:
+                        still.append(key)
+                if still:
+                    need[owner] = still
+                else:
+                    del need[owner]
+        if not need:
+            return out
+        # scatter one multi-get per owner, then gather the replies —
+        # every owner's handler works while we are still collecting
+        seqs: Dict[int, int] = {}
+        payloads: Dict[int, msg.MGetMsg] = {}
+        for owner in sorted(need):
+            seq = self._next_seq
+            self._next_seq += self.nranks
+            seqs[owner] = seq
+            payloads[owner] = msg.MGetMsg(need[owner], self.group, seq)
+        self.srv_comm.fanout(payloads, tag=0)
+        self.stats.bulk_owner_msgs += len(payloads)
+        for owner in sorted(need):
+            reply = self.rsp_comm.recv(source=owner, tag=seqs[owner])
+            assert isinstance(reply, msg.MGetReply)
+            for key, (status, value, tombstone) in zip(
+                need[owner], reply.results
+            ):
+                if status == msg.FOUND:
+                    if tombstone:
+                        out[key] = None
+                        continue
+                    out[key] = value or b""
+                    if remote_cache_on and value is not None:
+                        self.remote_cache.put(key, value)
+                    self.stats.hit("remote")
+                elif status == msg.NOT_FOUND:
+                    out[key] = None
+                else:  # NOT_IN_MEMORY: read the shared SSTables myself
+                    out[key] = self._shared_get_fallback(owner, key, reply)
+        return out
+
+    def _shared_get_fallback(self, owner: int, key: bytes,
+                             reply) -> Optional[bytes]:
+        """Resolve one NOT_IN_MEMORY multi-get key via shared NVM (§2.7)."""
+        remote_cache_on = self.protection == config.RDONLY
+        try:
+            rec, t_end = self._shared_sstable_get(owner, key, reply)
+        except StorageError:
+            # raced the owner's compaction: drop every cached view of its
+            # tables and force the value over the network instead
+            self._peer_readers.pop(owner, None)
+            for k in [k for k in self._peer_reader_cache if k[0] == owner]:
+                self._peer_reader_cache.pop(k, None)
+            single = self._request_get(owner, key, force=True)
+            if single.status == msg.FOUND and not single.tombstone:
+                value = single.value or b""
+                if remote_cache_on and single.value is not None:
+                    self.remote_cache.put(key, value)
+                self.stats.hit("remote")
+                return value
+            return None
+        self.clock.advance_to(t_end)
+        if rec is None or rec.tombstone:
+            return None
+        if remote_cache_on:
+            self.remote_cache.put(key, rec.value)
+        self.stats.hit("shared_sstable")
+        return rec.value
 
     def shares_storage_with(self, other_rank: int) -> bool:
         """True when ``other_rank`` can read this rank's SSTable files."""
@@ -795,6 +1152,46 @@ class Database:
             return
         if not self._closed:
             self.close()
+
+    # ===================================================== PYTHONIC SUGAR
+    def __setitem__(self, key: bytes, value: bytes) -> None:
+        """``db[key] = value`` — sugar for :meth:`put`."""
+        self.put(key, value)
+
+    def __getitem__(self, key: bytes) -> bytes:
+        """``db[key]`` — sugar for :meth:`get`.
+
+        :class:`KeyNotFoundError` subclasses :class:`KeyError`, so the
+        usual mapping idioms (``try/except KeyError``) apply.
+        """
+        return self.get(key)
+
+    def __delitem__(self, key: bytes) -> None:
+        """``del db[key]`` — sugar for :meth:`delete` (tombstone put).
+
+        Like :meth:`delete`, deleting an absent key is not an error: an
+        existence check would cost a (possibly remote) get.
+        """
+        self.delete(key)
+
+    def __contains__(self, key: bytes) -> bool:
+        """``key in db`` — a get that swallows NOT_FOUND."""
+        return self.get_or_none(key) is not None
+
+    def batch(self) -> "WriteBatch":
+        """A context manager buffering mutations for one bulk flush.
+
+        ::
+
+            with db.batch() as b:
+                b[b"k1"] = b"v1"
+                b.delete(b"k2")
+
+        On clean exit the buffered operations flush through the bulk
+        pipeline (one migration batch per owner); on exception nothing
+        is written.
+        """
+        return WriteBatch(self)
 
     # ---------------------------------------------------------------- helpers
     def write_meta(self) -> None:

@@ -63,9 +63,17 @@ def handler_main(db: Database) -> None:
                 _serve_put_sync(db, m, source, hclock, cpu)
                 db._trace("serve put_sync", "handler", t_service,
                           hclock.now)
+            elif isinstance(m, msg.PutSyncBatchMsg):
+                _serve_put_sync_batch(db, m, source, hclock, cpu)
+                db._trace(f"serve put_sync_batch({len(m.pairs)})",
+                          "handler", t_service, hclock.now)
             elif isinstance(m, msg.GetMsg):
                 _serve_get(db, m, source, hclock, cpu)
                 db._trace("serve get", "handler", t_service, hclock.now)
+            elif isinstance(m, msg.MGetMsg):
+                _serve_mget(db, m, source, hclock, cpu)
+                db._trace(f"serve mget({len(m.keys)})", "handler",
+                          t_service, hclock.now)
             else:  # pragma: no cover - protocol error
                 raise TypeError(f"handler got unexpected message {m!r}")
     except AbortedError:  # run torn down mid-service
@@ -101,9 +109,25 @@ def _serve_put_sync(db: Database, m: msg.PutSyncMsg, source: int,
     db.rsp_comm.send(msg.AckMsg(m.seq), source, tag=m.seq)
 
 
-def _serve_get(db: Database, m: msg.GetMsg, source: int,
-               hclock: VirtualClock, cpu) -> None:
-    key = m.key
+def _serve_put_sync_batch(db: Database, m: msg.PutSyncBatchMsg,
+                          source: int, hclock: VirtualClock, cpu) -> None:
+    """A whole per-owner batch of synchronous puts, one ack for all."""
+    for key, value, tombstone in m.pairs:
+        hclock.advance(cpu.kv_op_s + len(key + value) / cpu.memcpy_Bps)
+        db._local_insert(key, value, tombstone, hclock)
+    db.rsp_comm.send(msg.AckMsg(m.seq), source, tag=m.seq)
+
+
+def _lookup_one(db: Database, key: bytes, source: int,
+                requester_group: int, force_data: bool,
+                hclock: VirtualClock, cpu):
+    """One key's owner-side lookup for a remote requester.
+
+    Returns ``(status, value, tombstone, newest_ssid)``.  NOT_IN_MEMORY
+    is only returned when the requester shares this rank's storage
+    group and value bytes were not forced (the §2.7 shortcut); the
+    caller turns it into a read-the-SSTables-yourself reply.
+    """
     hclock.advance(cpu.kv_op_s)
     with db._lock:
         db._retire_flushed(hclock.now)
@@ -111,35 +135,19 @@ def _serve_get(db: Database, m: msg.GetMsg, source: int,
         if entry is None and db.local_cache is not None:
             cached = db.local_cache.peek(key)
             if cached is not None:
-                entry_value = cached
-                db.rsp_comm.send(
-                    msg.GetReply(msg.FOUND, m.seq, entry_value, False),
-                    source, tag=m.seq,
-                )
-                return
+                return msg.FOUND, cached, False, 0
         newest = db.ssids[-1] if db.ssids else 0
         ssids = list(db.ssids)
     if entry is not None:
-        db.rsp_comm.send(
-            msg.GetReply(msg.FOUND, m.seq, entry.value, entry.tombstone),
-            source, tag=m.seq,
-        )
-        return
+        return msg.FOUND, entry.value, entry.tombstone, newest
     # not in memory: same storage group -> let the requester read the
     # shared SSTables itself (saves the value transfer, §2.7)
     if (
-        not m.force_data
-        and m.requester_group == db.group
+        not force_data
+        and requester_group == db.group
         and db.shares_storage_with(source)
     ):
-        db.rsp_comm.send(
-            msg.GetReply(
-                msg.NOT_IN_MEMORY, m.seq,
-                owner_dir=db.rank_dir, newest_ssid=newest,
-            ),
-            source, tag=m.seq,
-        )
-        return
+        return msg.NOT_IN_MEMORY, None, False, newest
     # different group (or forced): do the full local get, including my
     # SSTables, and ship the value back over the network
     from repro.errors import StorageError
@@ -158,14 +166,49 @@ def _serve_get(db: Database, m: msg.GetMsg, source: int,
         )
     hclock.advance_to(t_end)
     if rec is None:
-        db.rsp_comm.send(
-            msg.GetReply(msg.NOT_FOUND, m.seq), source, tag=m.seq
-        )
-        return
+        return msg.NOT_FOUND, None, False, newest
     with db._lock:
         if db.local_cache is not None and not rec.tombstone:
             db.local_cache.put(key, rec.value)
+    return msg.FOUND, rec.value, rec.tombstone, newest
+
+
+def _serve_get(db: Database, m: msg.GetMsg, source: int,
+               hclock: VirtualClock, cpu) -> None:
+    status, value, tombstone, newest = _lookup_one(
+        db, m.key, source, m.requester_group, m.force_data, hclock, cpu
+    )
+    if status == msg.NOT_IN_MEMORY:
+        reply = msg.GetReply(
+            msg.NOT_IN_MEMORY, m.seq,
+            owner_dir=db.rank_dir, newest_ssid=newest,
+        )
+    else:
+        reply = msg.GetReply(status, m.seq, value, tombstone)
+    db.rsp_comm.send(reply, source, tag=m.seq)
+
+
+def _serve_mget(db: Database, m: msg.MGetMsg, source: int,
+                hclock: VirtualClock, cpu) -> None:
+    """Batched multi-get: per-key lookups, one reply for the batch."""
+    results: list = []
+    shortcut_newest = 0
+    shortcut = False
+    for key in m.keys:
+        status, value, tombstone, newest = _lookup_one(
+            db, key, source, m.requester_group, m.force_data, hclock, cpu
+        )
+        if status == msg.NOT_IN_MEMORY:
+            shortcut = True
+            shortcut_newest = newest
+            results.append((status, None, False))
+        else:
+            results.append((status, value, tombstone))
     db.rsp_comm.send(
-        msg.GetReply(msg.FOUND, m.seq, rec.value, rec.tombstone),
+        msg.MGetReply(
+            results, m.seq,
+            owner_dir=db.rank_dir if shortcut else None,
+            newest_ssid=shortcut_newest,
+        ),
         source, tag=m.seq,
     )

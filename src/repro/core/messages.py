@@ -20,6 +20,8 @@ PUT_SYNC = 2      # single synchronous put/delete (sequential consistency)
 GET = 3           # remote get request
 STOP = 4          # handler shutdown
 CHECKPOINT_MARK = 5  # reserved for future coordinated snapshot protocols
+MGET = 6          # batched multi-get (one request per owner per bulk get)
+PUT_SYNC_BATCH = 7  # per-owner batch of synchronous puts (bulk pipeline)
 
 # GET reply status
 FOUND = 0
@@ -28,6 +30,9 @@ NOT_IN_MEMORY = 2  # same storage group: read my SSTables yourself
 
 #: (key, value, tombstone)
 Pair = Tuple[bytes, bytes, bool]
+
+#: one multi-get outcome: (status, value-or-None, tombstone)
+MGetResult = Tuple[int, Optional[bytes], bool]
 
 
 @dataclass
@@ -55,6 +60,23 @@ class PutSyncMsg:
     def wire_nbytes(self) -> int:
         """Wire size of one synchronous put."""
         return 16 + len(self.key) + len(self.value) + 9
+
+
+@dataclass
+class PutSyncBatchMsg:
+    """A per-owner batch of synchronous puts (sequential consistency).
+
+    The bulk pipeline's replacement for per-key :class:`PutSyncMsg`
+    traffic: every key the batch routes to one owner travels in a
+    single message and is acknowledged by a single :class:`AckMsg`.
+    """
+
+    pairs: List[Pair]
+    seq: int
+
+    def wire_nbytes(self) -> int:
+        """Wire size: header plus every pair's key/value/flags."""
+        return 16 + sum(len(k) + len(v) + 9 for k, v, _ in self.pairs)
 
 
 @dataclass
@@ -89,6 +111,44 @@ class GetReply:
     def wire_nbytes(self) -> int:
         """Wire size of a get reply (value bytes dominate)."""
         return 24 + (len(self.value) if self.value else 0)
+
+
+@dataclass
+class MGetMsg:
+    """Batched multi-get request: every key this rank needs from one owner.
+
+    One MGET per owner replaces one :class:`GetMsg` round trip per key;
+    the owner answers all keys with a single :class:`MGetReply`.
+    """
+
+    keys: List[bytes]
+    requester_group: int
+    seq: int
+    #: force value bytes even within a storage group (compaction-race
+    #: fallback, same meaning as :attr:`GetMsg.force_data`)
+    force_data: bool = False
+
+    def wire_nbytes(self) -> int:
+        """Wire size: routing metadata plus every key."""
+        return 24 + sum(len(k) + 4 for k in self.keys)
+
+
+@dataclass
+class MGetReply:
+    """Batched multi-get response, parallel to the request's key list."""
+
+    results: List[MGetResult]
+    seq: int
+    #: set when any key answered NOT_IN_MEMORY: where the requester
+    #: should read the shared SSTables (§2.7 shortcut, batched)
+    owner_dir: Optional[str] = None
+    newest_ssid: int = 0
+
+    def wire_nbytes(self) -> int:
+        """Wire size: per-key status bytes plus the value payloads."""
+        return 24 + sum(
+            9 + (len(v) if v else 0) for _status, v, _tomb in self.results
+        )
 
 
 @dataclass

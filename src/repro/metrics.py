@@ -48,6 +48,9 @@ def database_metrics(db) -> Dict[str, Any]:
         "flushes": stats.flushes,
         "compactions": stats.compactions,
         "migrations": stats.migrations,
+        "bulk_batches": stats.bulk_batches,
+        "bulk_keys": stats.bulk_keys,
+        "bulk_owner_msgs": stats.bulk_owner_msgs,
         "get_tiers": dict(stats.get_tiers),
         "sstables": len(db.ssids),
         "memtable_bytes": db.local_mt.size_bytes,
@@ -101,6 +104,11 @@ def format_report(db_metrics: Dict[str, Any]) -> str:
         f"  background: compaction {m['compaction_busy_s'] * 1e3:.3f} ms, "
         f"dispatcher {m['dispatcher_busy_s'] * 1e3:.3f} ms (virtual)",
     ]
+    if m.get("bulk_batches"):
+        lines.append(
+            f"  bulk: {m['bulk_batches']} batches, {m['bulk_keys']} keys, "
+            f"{m['bulk_owner_msgs']} per-owner messages"
+        )
     if m.get("get_tiers"):
         tiers = ", ".join(f"{k}={v}" for k, v in sorted(m["get_tiers"].items()))
         lines.append(f"  get tiers: {tiers}")

@@ -131,11 +131,16 @@ def run_ycsb(
     def key_of(rank: int, i: int) -> bytes:
         return f"user{rank}:{i:08d}".encode()
 
-    # ---- load phase
+    # ---- load phase: bulk pipeline (one sync round per owner per chunk
+    # instead of one per key — YCSB's natural thousands-at-once shape)
     db.coll_comm.barrier()
     t0 = ctx.clock.now
-    for i in range(record_count):
-        db.put(key_of(me, i), value)
+    chunk = 256
+    for lo in range(0, record_count, chunk):
+        db.put_bulk([
+            (key_of(me, i), value)
+            for i in range(lo, min(lo + chunk, record_count))
+        ])
     db.barrier()
     load_time = ctx.clock.now - t0
 

@@ -1,0 +1,157 @@
+"""The Pythonic object layer: context managers, mapping sugar, batches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import KeyNotFoundError, Papyrus
+from repro.errors import InvalidKeyError, ProtectionError
+from repro.mpi.launcher import spmd_run
+from tests.conftest import small_options
+
+
+def run1(fn, **kw):
+    return spmd_run(1, fn, **kw)[0]
+
+
+class TestContextManagers:
+    def test_database_as_context_manager(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                with env.open("d", small_options()) as db:
+                    db.put(b"k", b"v")
+                    assert db.get(b"k") == b"v"
+                assert db._closed  # the with-block closed it
+
+        run1(app)
+
+    def test_close_inside_with_is_idempotent(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                with env.open("d", small_options()) as db:
+                    db.put(b"k", b"v")
+                    db.close()
+
+        run1(app)
+
+
+class TestMappingSugar:
+    def test_setitem_getitem_delitem_contains(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                with env.open("d", small_options()) as db:
+                    db[b"k"] = b"v"
+                    assert db[b"k"] == b"v"
+                    assert b"k" in db
+                    assert b"nope" not in db
+                    del db[b"k"]
+                    assert b"k" not in db
+
+        run1(app)
+
+    def test_getitem_raises_keyerror(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                with env.open("d", small_options()) as db:
+                    # KeyNotFoundError subclasses KeyError: both idioms work
+                    with pytest.raises(KeyError):
+                        db[b"missing"]
+                    with pytest.raises(KeyNotFoundError):
+                        db[b"missing"]
+
+        run1(app)
+
+    def test_sugar_is_distributed(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                with env.open("d", small_options()) as db:
+                    me = ctx.world_rank
+                    db[f"from-{me}".encode()] = str(me).encode()
+                    db.barrier()
+                    for rr in range(ctx.nranks):
+                        assert db[f"from-{rr}".encode()] == str(rr).encode()
+                    db.barrier()
+
+        spmd_run(4, app)
+
+
+class TestWriteBatch:
+    def test_batch_flushes_on_exit(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                with env.open("d", small_options()) as db:
+                    with db.batch() as b:
+                        b[b"a"] = b"1"
+                        b.put(b"b", b"2")
+                        assert len(b) == 2
+                        # nothing visible until the batch flushes
+                        assert b"a" not in db
+                    assert db[b"a"] == b"1"
+                    assert db[b"b"] == b"2"
+
+        run1(app)
+
+    def test_batch_discarded_on_exception(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                with env.open("d", small_options()) as db:
+                    with pytest.raises(RuntimeError):
+                        with db.batch() as b:
+                            b[b"a"] = b"1"
+                            raise RuntimeError("abandon ship")
+                    assert b"a" not in db
+
+        run1(app)
+
+    def test_batch_validates_eagerly(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                with env.open("d", small_options()) as db:
+                    with db.batch() as b:
+                        with pytest.raises(InvalidKeyError):
+                            b.put(b"", b"v")
+                        b[b"ok"] = b"v"
+                    assert db[b"ok"] == b"v"
+
+        run1(app)
+
+    def test_batch_clear_and_manual_flush(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                with env.open("d", small_options()) as db:
+                    b = db.batch()
+                    b[b"x"] = b"1"
+                    b.clear()
+                    assert b.flush() == 0
+                    assert b"x" not in db
+                    b[b"y"] = b"2"
+                    assert b.flush() == 1
+                    assert db[b"y"] == b"2"
+
+        run1(app)
+
+    def test_batch_flush_respects_protection(self):
+        from repro.config import RDONLY
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                with env.open("d", small_options()) as db:
+                    db.protect(RDONLY)
+                    with pytest.raises(ProtectionError):
+                        with db.batch() as b:
+                            b[b"a"] = b"1"
+
+        run1(app)
+
+    def test_batch_delete_sugar(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                with env.open("d", small_options()) as db:
+                    db[b"a"] = b"1"
+                    with db.batch() as b:
+                        del b[b"a"]
+                        b[b"c"] = b"3"
+                    assert b"a" not in db
+                    assert db[b"c"] == b"3"
+
+        run1(app)

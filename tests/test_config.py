@@ -75,10 +75,22 @@ class TestOptionsValidation:
         ("bloom_fp_rate", 1.0, InvalidOptionError),
         ("repository", "tape", InvalidOptionError),
         ("group_size", 0, InvalidOptionError),
+        ("cache_local_capacity", 0, InvalidOptionError),
+        ("cache_remote_capacity", -1, InvalidOptionError),
     ])
     def test_invalid_fields(self, field, value, exc):
         with pytest.raises(exc):
             Options(**{field: value})
+
+    def test_keyword_only_construction(self):
+        # positional construction is a bug magnet with ~20 fields; the
+        # dataclass is kw_only so it fails loudly
+        with pytest.raises(TypeError):
+            Options(1 << 20)  # type: ignore[misc]
+
+    def test_with_rejects_invalid_combination(self):
+        with pytest.raises(InvalidModeError):
+            Options().with_(consistency=7)
 
 
 class TestEnvParsing:
