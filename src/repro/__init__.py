@@ -36,11 +36,15 @@ from repro.core.db import Database, GetResult
 from repro.core.env import Papyrus
 from repro.core.events import Event
 from repro.errors import (
+    CorruptionError,
     ErrorCode,
     KeyNotFoundError,
     PapyrusError,
     ProtectionError,
+    RemoteTimeoutError,
+    TornWriteError,
 )
+from repro.faults import FaultPlan
 from repro.mpi.launcher import RankContext, spmd_run
 from repro.simtime.profiles import CORI, STAMPEDE, SUMMITDEV, system_by_name
 
@@ -48,9 +52,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CORI",
+    "CorruptionError",
     "Database",
     "ErrorCode",
     "Event",
+    "FaultPlan",
     "GetResult",
     "KeyNotFoundError",
     "MEMTABLE",
@@ -58,6 +64,8 @@ __all__ = [
     "Papyrus",
     "PapyrusError",
     "ProtectionError",
+    "RemoteTimeoutError",
+    "TornWriteError",
     "RDONLY",
     "RDWR",
     "RELAXED",

@@ -101,6 +101,15 @@ class Options:
     #: repository selector: "nvm" or "lustre"; None inherits the
     #: environment's repository (``papyruskv_init`` argument)
     repository: Optional[str] = None
+    #: wall-clock seconds to wait for a remote reply before retrying;
+    #: None waits forever (the pre-fault-tolerance behavior)
+    remote_timeout: Optional[float] = None
+    #: how many times a timed-out remote request is retried (with
+    #: exponential backoff) before raising RemoteTimeoutError
+    remote_retries: int = 3
+    #: verify SSTable checksums when (re)opening a database; incomplete
+    #: tables are always detected regardless of this knob
+    verify_on_open: bool = False
 
     def __post_init__(self) -> None:
         if self.memtable_capacity <= 0 or self.remote_memtable_capacity <= 0:
@@ -123,6 +132,10 @@ class Options:
             )
         if self.group_size is not None and self.group_size <= 0:
             raise InvalidOptionError("group_size must be positive")
+        if self.remote_timeout is not None and self.remote_timeout <= 0:
+            raise InvalidOptionError("remote_timeout must be positive or None")
+        if self.remote_retries < 0:
+            raise InvalidOptionError("remote_retries must be >= 0")
 
     def with_(self, **kw) -> "Options":
         """Return a copy with the given fields replaced."""

@@ -7,6 +7,23 @@ transfer the SSTables from NVM to the target parallel file system"
 :class:`~repro.core.events.Event` whose completion time lies on the
 background compaction timeline, so the application overlaps them with
 useful work until ``papyruskv_wait``.
+
+Crash consistency (format 2).  Repeated checkpoints to one path land in
+numbered *generations* — ``ckpt/<path>/db_<name>/gen<k>/rank<r>/`` — and
+every file inside a generation is covered by a manifest chain written
+strictly after the data it describes:
+
+* each rank writes its files, then ``rank<r>/MANIFEST.json`` recording
+  every file's length and CRC32C;
+* after a barrier, rank 0 writes ``gen<k>/manifest.json``.
+
+All writes are atomic (tmp + fsync + rename), so a crash mid-checkpoint
+leaves *missing* files, never torn ones — and a missing file makes the
+generation incomplete.  ``restart()`` resolves the newest **complete**
+generation, verifies each file's checksum during the copy back to NVM,
+and skips (counts) mismatches; when no generation is complete it
+degrades to a best-effort restore of the newest one rather than losing
+the surviving shards.
 """
 
 from __future__ import annotations
@@ -17,14 +34,75 @@ from typing import List, Optional, Tuple
 
 from repro import config
 from repro.core.events import Event
-from repro.errors import InvalidOptionError, StorageError
+from repro.errors import CorruptionError, StorageError
 from repro.sstable.reader import SSTableReader, list_ssids
+from repro.util.checksum import crc32c
+
+#: snapshot layout version written into every generation manifest
+CHECKPOINT_FORMAT = 2
+
+_RANK_MANIFEST = "MANIFEST.json"
+_GEN_MANIFEST = "manifest.json"
 
 
 def _snapshot_dir(path: str, db_name: str) -> str:
     """Snapshot directory (relative to the Lustre store root)."""
     clean = path.strip("/").replace("..", "_")
     return posixpath.join("ckpt", clean, f"db_{db_name}")
+
+
+def _gen_dir(snap: str, gen: int) -> str:
+    return posixpath.join(snap, f"gen{gen}")
+
+
+def _list_generations(lustre, snap: str) -> List[int]:
+    """Ascending generation numbers present under a snapshot dir."""
+    gens = []
+    for name in lustre.listdir(snap):
+        if name.startswith("gen"):
+            try:
+                gens.append(int(name[3:]))
+            except ValueError:
+                continue
+    return sorted(gens)
+
+
+def _read_json(lustre, rel: str) -> Optional[dict]:
+    """Parse a manifest file; None if absent or undecodable."""
+    if not lustre.exists(rel):
+        return None
+    try:
+        blob, _ = lustre.read(rel, 0.0)
+        return json.loads(blob.decode())
+    except (StorageError, ValueError):
+        return None
+
+
+def _rank_manifest(lustre, rank_dir: str) -> Optional[dict]:
+    return _read_json(lustre, posixpath.join(rank_dir, _RANK_MANIFEST))
+
+
+def _generation_complete(lustre, gen_dir: str) -> Optional[dict]:
+    """The generation's manifest if every recorded file is present.
+
+    Completeness is a metadata check (existence + exact length): all
+    snapshot writes are atomic renames, so an interrupted checkpoint
+    manifests as missing files, not torn ones.  Content checksums are
+    verified later, during the restore copy.
+    """
+    manifest = _read_json(lustre, posixpath.join(gen_dir, _GEN_MANIFEST))
+    if manifest is None:
+        return None
+    for rank in range(int(manifest.get("nranks", 0))):
+        rank_dir = posixpath.join(gen_dir, f"rank{rank}")
+        rman = _rank_manifest(lustre, rank_dir)
+        if rman is None:
+            return None
+        for fname, info in rman.get("files", {}).items():
+            rel = posixpath.join(rank_dir, fname)
+            if not lustre.exists(rel) or lustre.size(rel) != info["len"]:
+                return None
+    return manifest
 
 
 def checkpoint(db, path: str) -> Event:
@@ -34,46 +112,125 @@ def checkpoint(db, path: str) -> Event:
     db.barrier(config.SSTABLE)
     lustre = db.ctx.machine.lustre_store()
     snap = _snapshot_dir(path, db.name)
+    # every rank derives the new generation from the same pre-write
+    # state; the barrier keeps any rank from creating gen<k> before the
+    # slowest rank has finished listing
+    gens = _list_generations(lustre, snap)
+    gen = (gens[-1] + 1) if gens else 1
+    db.coll_comm.barrier()
+    gen_dir = _gen_dir(snap, gen)
     rank_src = db.rank_dir
-    rank_dst = posixpath.join(snap, f"rank{db.rank}")
+    rank_dst = posixpath.join(gen_dir, f"rank{db.rank}")
     ssids = list(db.ssids)
 
     # 2. background transfer NVM -> Lustre on the compaction timeline,
-    # staged out as one bulk streaming copy per rank
+    # staged out as one bulk streaming copy per rank; the rank manifest
+    # goes last so its presence certifies the files before it
     def job(start: float) -> float:
         paths = []
         for ssid in ssids:
             paths.extend(SSTableReader(db.store, rank_src, ssid).file_paths())
         blobs, t = db.store.bulk_read(paths, start)
-        out = {
-            posixpath.join(rank_dst, posixpath.basename(rel)): data
-            for rel, data in blobs.items()
-        }
+        out = {}
+        files = {}
+        for rel, data in blobs.items():
+            base = posixpath.basename(rel)
+            out[posixpath.join(rank_dst, base)] = data
+            files[base] = {"crc32c": crc32c(data), "len": len(data)}
         t = lustre.bulk_write(out, t)
-        if db.rank == 0:
-            manifest = {
-                "name": db.name,
-                "nranks": db.nranks,
-                "path": path,
-            }
-            t = lustre.write(
-                posixpath.join(snap, "manifest.json"),
-                json.dumps(manifest).encode(), t,
-            )
+        rman = {"rank": db.rank, "files": files}
+        t = lustre.write(
+            posixpath.join(rank_dst, _RANK_MANIFEST),
+            json.dumps(rman).encode(), t,
+        )
         return t
 
     end = db.compaction_worker.schedule(db.clock.now, job)
-    return Event(f"checkpoint:{db.name}:{path}").complete_at(end)
+    # 3. the generation manifest exists only once every rank's files and
+    # manifest have landed: it is the snapshot's commit record
+    db.coll_comm.barrier()
+    if db.rank == 0:
+        manifest = {
+            "name": db.name,
+            "nranks": db.nranks,
+            "path": path,
+            "generation": gen,
+            "format": CHECKPOINT_FORMAT,
+        }
+        end = lustre.write(
+            posixpath.join(gen_dir, _GEN_MANIFEST),
+            json.dumps(manifest).encode(), max(end, db.clock.now),
+        )
+    db.coll_comm.barrier()
+    return Event(f"checkpoint:{db.name}:{path}:gen{gen}").complete_at(end)
 
 
 def read_manifest(machine, path: str, name: str) -> dict:
-    """Load a snapshot manifest from the parallel FS."""
+    """Resolve a snapshot to its newest usable generation's manifest.
+
+    Preference order: the newest *complete* generation; failing that,
+    the newest generation with a readable manifest (best-effort restore
+    of whatever shards survive).  The returned dict always carries a
+    ``generation`` key.
+    """
     lustre = machine.lustre_store()
-    rel = posixpath.join(_snapshot_dir(path, name), "manifest.json")
-    if not lustre.exists(rel):
-        raise StorageError(f"no snapshot manifest at {rel}")
-    blob, _ = lustre.read(rel, 0.0)
-    return json.loads(blob.decode())
+    snap = _snapshot_dir(path, name)
+    gens = _list_generations(lustre, snap)
+    for gen in reversed(gens):
+        manifest = _generation_complete(lustre, _gen_dir(snap, gen))
+        if manifest is not None:
+            out = dict(manifest)
+            out["generation"] = gen
+            return out
+    for gen in reversed(gens):  # degraded: no generation is complete
+        manifest = _read_json(
+            lustre, posixpath.join(_gen_dir(snap, gen), _GEN_MANIFEST)
+        )
+        if manifest is not None:
+            out = dict(manifest)
+            out["generation"] = gen
+            return out
+    raise StorageError(f"no usable snapshot generation under {snap}")
+
+
+def restore_table_blobs(db, path: str, ssid: int) -> Optional[dict]:
+    """Fetch one SSTable's checksum-verified files from a checkpoint.
+
+    The recovery ladder's last rung: returns ``{filename: bytes}`` for
+    this rank's copy of ``ssid`` in the newest complete generation, or
+    ``None`` when the snapshot does not hold a clean copy.
+    """
+    from repro.sstable.format import sstable_filenames
+
+    try:
+        manifest = read_manifest(db.ctx.machine, path, db.name)
+    except StorageError:
+        return None
+    if int(manifest.get("nranks", -1)) != db.nranks:
+        return None  # different layout: this rank's shard moved
+    lustre = db.ctx.machine.lustre_store()
+    rank_dir = posixpath.join(
+        _gen_dir(_snapshot_dir(path, db.name), manifest["generation"]),
+        f"rank{db.rank}",
+    )
+    rman = _rank_manifest(lustre, rank_dir)
+    if rman is None:
+        return None
+    blobs = {}
+    t = db.clock.now
+    for name in sstable_filenames(ssid):
+        info = rman.get("files", {}).get(name)
+        if info is None:
+            return None
+        try:
+            data, t = lustre.read(posixpath.join(rank_dir, name), t)
+        except StorageError:
+            return None
+        if len(data) != info["len"] or crc32c(data) != info["crc32c"]:
+            return None  # the snapshot copy is itself damaged
+        blobs[name] = data
+    db.clock.advance_to(t)
+    return blobs
 
 
 def restart(env, path: str, name: str,
@@ -89,12 +246,14 @@ def restart(env, path: str, name: str,
     """
     manifest = read_manifest(env.ctx.machine, path, name)
     snap_nranks = int(manifest["nranks"])
+    gen = int(manifest["generation"])
     db = env.open(name, options)
+    db._last_checkpoint_path = path
     redistribute = force_redistribute or snap_nranks != db.nranks
     if redistribute:
-        end = _restart_redistribute(env, db, path, name, snap_nranks)
+        end = _restart_redistribute(env, db, path, name, snap_nranks, gen)
     else:
-        end = _restart_copy(env, db, path, name)
+        end = _restart_copy(env, db, path, name, gen)
     event = Event(f"restart:{name}:{path}").complete_at(end)
     event.on_wait(lambda: _refresh(db))
     return db, event
@@ -106,21 +265,37 @@ def _refresh(db) -> None:
         db._load_existing_sstables()
 
 
-def _restart_copy(env, db, path: str, name: str) -> float:
-    """Same rank count: copy SSTable files back as they are (zero reshuffle)."""
+def _restart_copy(env, db, path: str, name: str, gen: int) -> float:
+    """Same rank count: copy SSTable files back as they are (zero reshuffle).
+
+    Every file is checksum-verified against the rank manifest during the
+    copy; a mismatched or missing file is skipped and counted, leaving
+    the admission logic at reopen to rebuild sidecars or quarantine.
+    """
     lustre = env.ctx.machine.lustre_store()
     snap = _snapshot_dir(path, name)
-    rank_src = posixpath.join(snap, f"rank{db.rank}")
-    files = lustre.listdir(rank_src)
+    rank_src = posixpath.join(_gen_dir(snap, gen), f"rank{db.rank}")
+    rman = _rank_manifest(lustre, rank_src) or {"files": {}}
+    wanted = {
+        name: info for name, info in rman["files"].items()
+        if lustre.exists(posixpath.join(rank_src, name))
+    }
 
     def job(start: float) -> float:
         blobs, t = lustre.bulk_read(
-            [posixpath.join(rank_src, f) for f in files], start
+            [posixpath.join(rank_src, f) for f in wanted], start
         )
-        out = {
-            posixpath.join(db.rank_dir, posixpath.basename(rel)): data
-            for rel, data in blobs.items()
-        }
+        out = {}
+        skipped = 0
+        for rel, data in blobs.items():
+            base = posixpath.basename(rel)
+            info = wanted[base]
+            if len(data) != info["len"] or crc32c(data) != info["crc32c"]:
+                skipped += 1
+                continue
+            out[posixpath.join(db.rank_dir, base)] = data
+        if skipped:
+            db.stats.corruptions_detected += skipped
         return db.store.bulk_write(out, t)
 
     end = db.compaction_worker.schedule(db.clock.now, job)
@@ -129,7 +304,7 @@ def _restart_copy(env, db, path: str, name: str) -> float:
 
 
 def _restart_redistribute(env, db, path: str, name: str,
-                          snap_nranks: int) -> float:
+                          snap_nranks: int, gen: int) -> float:
     """Different rank count: re-put every pair through the hash path.
 
     "The compaction thread in each MPI rank reads the SSTables from the
@@ -141,7 +316,7 @@ def _restart_redistribute(env, db, path: str, name: str,
     snap = _snapshot_dir(path, name)
     # partition the snapshot's rank directories across the new ranks
     my_dirs: List[str] = [
-        posixpath.join(snap, f"rank{old}")
+        posixpath.join(_gen_dir(snap, gen), f"rank{old}")
         for old in range(snap_nranks)
         if old % db.nranks == db.rank
     ]
@@ -149,7 +324,14 @@ def _restart_redistribute(env, db, path: str, name: str,
     for d in my_dirs:
         for ssid in list_ssids(lustre, d):  # ascending: newest puts last win
             reader = SSTableReader(lustre, d, ssid)
-            records, t = reader.read_all(t)
+            try:
+                records, t = reader.read_all(t)
+            except CorruptionError:
+                # a damaged snapshot table: skip it rather than re-put
+                # possibly-wrong pairs; the rest of the shard survives
+                db.stats.corruptions_detected += 1
+                t = db.clock.now
+                continue
             db.clock.advance_to(t)
             for rec in records:
                 if rec.tombstone:

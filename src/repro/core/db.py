@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 from repro import config
 from repro.config import Options
 from repro.errors import (
+    CorruptionError,
     DatabaseClosedError,
     InvalidModeError,
     InvalidProtectionError,
@@ -33,6 +34,7 @@ from repro.errors import (
     InvalidKeyError,
     InvalidValueError,
     ProtectionError,
+    RemoteTimeoutError,
     StorageError,
 )
 from repro.core import messages as msg
@@ -42,14 +44,67 @@ from repro.nvm.posixfs import PosixStore
 from repro.nvm.storage import StorageLayout
 from repro.simtime.resources import BackgroundWorker
 from repro.sstable.compaction import compact
-from repro.sstable.format import Record
+from repro.sstable.format import (
+    QUARANTINE_SUFFIX,
+    Record,
+    decode_records,
+    parse_index,
+    sstable_filenames,
+)
+from repro.util.checksum import crc32c
 from repro.sstable.reader import SSTableReader, list_ssids
-from repro.sstable.writer import write_sstable
+from repro.sstable.writer import encode_table, write_sstable
 from repro.util.hashing import owner_rank
 from repro.util.lru import LRUCache
 
 #: tag used on the ack comm for migration acknowledgements
 ACK_TAG = 7
+
+
+@dataclass(frozen=True)
+class QuarantinedTable:
+    """A damaged SSTable pulled out of the search order.
+
+    The key range it may have covered is *poisoned*: a lookup that
+    would have reached it (no newer table answered first) raises
+    instead of silently serving an older version.
+    """
+
+    ssid: int
+    min_key: Optional[bytes]
+    max_key: Optional[bytes]
+    reason: str
+
+    def may_cover(self, key: bytes) -> bool:
+        """Whether ``key`` could live in this table (unknown = yes)."""
+        if self.min_key is None or self.max_key is None:
+            return True
+        return self.min_key <= key <= self.max_key
+
+
+class _SeqWindow:
+    """Bounded per-source memory of applied sequence numbers.
+
+    Makes duplicate delivery of mutating messages (retries, injected
+    duplicates) idempotent: the handler applies each (source, seq) once
+    and just re-acks repeats.
+    """
+
+    CAPACITY = 4096
+
+    def __init__(self) -> None:
+        self._seen: set = set()
+        self._order: List[int] = []
+
+    def check_and_add(self, seq: int) -> bool:
+        """True if ``seq`` was already applied; records it otherwise."""
+        if seq in self._seen:
+            return True
+        self._seen.add(seq)
+        self._order.append(seq)
+        if len(self._order) > self.CAPACITY:
+            self._seen.discard(self._order.pop(0))
+        return False
 
 
 @dataclass
@@ -80,6 +135,12 @@ class DbStats:
     bulk_batches: int = 0
     bulk_keys: int = 0
     bulk_owner_msgs: int = 0
+    #: robustness counters (corruption detection / recovery ladder)
+    corruptions_detected: int = 0
+    tables_quarantined: int = 0
+    tables_rebuilt: int = 0
+    remote_retries: int = 0
+    remote_timeouts: int = 0
     get_tiers: Dict[str, int] = field(default_factory=dict)
 
     def hit(self, tier: str) -> None:
@@ -190,14 +251,23 @@ class Database:
         self.remote_mt = MemTable(options.remote_memtable_capacity, "remote")
         #: flushing queue: (immutable MemTable, virtual flush-completion time)
         self.flushing: List[Tuple[MemTable, float]] = []
-        #: migrated-but-unacked chunks, newest last: (seq, {key: (val, tomb)})
-        self.inflight: List[Tuple[int, Dict[bytes, Tuple[bytes, bool]]]] = []
+        #: migrated-but-unacked chunks, newest last:
+        #: (seq, owner, {key: (val, tomb)}) — owner kept for retransmission
+        self.inflight: List[
+            Tuple[int, int, Dict[bytes, Tuple[bytes, bool]]]
+        ] = []
         self._pending_acks: set = set()
         self._next_seq = self.rank + 1  # distinct across ranks for debugging
+        #: handler-side dedup of applied mutating seqs, per source rank
+        self._seq_dedup: Dict[int, _SeqWindow] = {}
 
         self.ssids: List[int] = []
         self._next_ssid = 1
         self._readers: Dict[int, SSTableReader] = {}
+        #: damaged tables pulled from the search order (poisoned ranges)
+        self._quarantined: List[QuarantinedTable] = []
+        #: newest checkpoint target (recovery ladder's last rung)
+        self._last_checkpoint_path: Optional[str] = None
         #: cached view of group peers' SSTable sets: owner -> (newest, ssids)
         self._peer_readers: Dict[int, Tuple[int, List[int]]] = {}
         #: reader objects per (owner, ssid) — SSTables are immutable, so
@@ -226,11 +296,155 @@ class Database:
 
     # ------------------------------------------------------------ lifecycle
     def _load_existing_sstables(self) -> None:
-        """Zero-copy workflow: compose the DB from retained SSTables."""
+        """Zero-copy workflow: compose the DB from retained SSTables.
+
+        Each retained table is *admitted*: all three files must exist
+        (a crash between the writer's atomic renames can leave a
+        complete SSData without its sidecars — those are rebuilt from
+        the data), and with ``verify_on_open`` the checksums are
+        verified too.  Tables that fail admission are quarantined.
+        """
         existing = list_ssids(self.store, self.rank_dir)
+        admitted: List[int] = []
+        for ssid in existing:
+            if self._admit_sstable(ssid):
+                admitted.append(ssid)
         if existing:
-            self.ssids = existing
             self._next_ssid = existing[-1] + 1
+        self.ssids = admitted
+
+    def _admit_sstable(self, ssid: int) -> bool:
+        """Validate/repair one retained table; False means quarantined."""
+        data_name, index_name, bloom_name = sstable_filenames(ssid)
+        data_p = f"{self.rank_dir}/{data_name}"
+        index_p = f"{self.rank_dir}/{index_name}"
+        bloom_p = f"{self.rank_dir}/{bloom_name}"
+        missing = [p for p in (index_p, bloom_p) if not self.store.exists(p)]
+        if missing:
+            # writer order is data -> index -> bloom, each atomic: an
+            # intact SSData with missing sidecars is a mid-flush crash,
+            # and the sidecars are pure functions of the data
+            try:
+                self._rebuild_sidecars(ssid, data_p)
+                self.stats.tables_rebuilt += 1
+                return True
+            except (StorageError, ValueError) as exc:
+                self._quarantine_table(ssid, f"sidecar rebuild failed: {exc}")
+                return False
+        if self.options.verify_on_open:
+            try:
+                t = SSTableReader(self.store, self.rank_dir, ssid).verify(
+                    self.clock.now
+                )
+                self.clock.advance_to(t)
+            except StorageError as exc:
+                self.stats.corruptions_detected += 1
+                self._quarantine_table(ssid, str(exc))
+                return False
+        return True
+
+    def _rebuild_sidecars(self, ssid: int, data_p: str) -> None:
+        """Recompute the index and bloom files from an intact SSData.
+
+        Both sidecars are rewritten even if one survived, so the index
+        footer's bloom checksum always matches the bloom file on disk.
+        """
+        blob, t = self.store.read(data_p, self.clock.now)
+        records = list(decode_records(blob))  # raises CorruptionError if torn
+        blobs = encode_table(records, self.options.bloom_fp_rate)
+        if blobs["data"] != blob:
+            raise CorruptionError(
+                f"sstable {ssid}: SSData does not round-trip; refusing rebuild"
+            )
+        _, index_name, bloom_name = sstable_filenames(ssid)
+        t = self.store.write(f"{self.rank_dir}/{index_name}", blobs["index"], t)
+        t = self.store.write(f"{self.rank_dir}/{bloom_name}", blobs["bloom"], t)
+        self.clock.advance_to(t)
+
+    def _poison_range(
+        self, ssid: int
+    ) -> Tuple[Optional[bytes], Optional[bytes]]:
+        """Tightest trustworthy [min, max] bound on the keys a damaged
+        table may cover.
+
+        Only bytes in data blocks whose footer CRC still verifies are
+        trusted; the suspect region is bracketed by the nearest verified
+        keys on either side (over-poisoning by one key is safe, serving
+        a stale value because a damaged key escaped the range is not).
+        ``(None, None)`` means the whole keyspace is poisoned.
+        """
+        data_name, index_name, _ = sstable_filenames(ssid)
+        t = self.clock.now
+        try:
+            idx_blob, t = self.store.read(f"{self.rank_dir}/{index_name}", t)
+            entries, footer = parse_index(idx_blob)
+            data, t = self.store.read(f"{self.rank_dir}/{data_name}", t)
+            self.clock.advance_to(t)
+        except (StorageError, ValueError):
+            return None, None  # no trustworthy metadata at all
+        if footer is None:  # v1 table: no CRCs, decode best-effort
+            try:
+                keys = [r.key for r in decode_records(data)]
+            except (StorageError, ValueError):
+                return None, None
+            return (min(keys), max(keys)) if keys else (None, None)
+        bs = footer.block_size
+        bad = {
+            i for i, want in enumerate(footer.block_crcs)
+            if crc32c(data[i * bs:(i + 1) * bs]) != want
+        }
+        if len(data) != footer.data_len:
+            bad.add(max(0, (footer.data_len - 1) // bs))
+
+        def key_of(e):
+            return bytes(data[e.key_offset:e.key_offset + e.keylen])
+
+        suspect = [
+            j for j, e in enumerate(entries)
+            if any(
+                b in bad
+                for b in range(
+                    e.offset // bs, (e.offset + e.record_len - 1) // bs + 1
+                )
+            )
+        ]
+        if not suspect:  # sidecar damage only: data keys are all verified
+            if not entries:
+                return None, None
+            return key_of(entries[0]), key_of(entries[-1])
+        lo, hi = suspect[0], suspect[-1]
+        # at the table's edges, fall back to the footer's CRC-protected
+        # key fences so even a fully-damaged data file poisons only the
+        # range this table actually covered
+        min_key = (
+            key_of(entries[lo - 1]) if lo > 0 else (footer.min_key or None)
+        )
+        max_key = (
+            key_of(entries[hi + 1]) if hi + 1 < len(entries)
+            else (footer.max_key or None)
+        )
+        return min_key, max_key
+
+    def _quarantine_table(self, ssid: int, reason: str) -> None:
+        """Move a damaged table out of the SSID namespace and poison
+        the key range it may have covered."""
+        min_key, max_key = self._poison_range(ssid)
+        data_name, index_name, bloom_name = sstable_filenames(ssid)
+        data_p = f"{self.rank_dir}/{data_name}"
+        t = self.clock.now
+        for rel in (data_p, f"{self.rank_dir}/{index_name}",
+                    f"{self.rank_dir}/{bloom_name}"):
+            if self.store.exists(rel):
+                t = self.store.rename(rel, rel + QUARANTINE_SUFFIX, t)
+        self.clock.advance_to(t)
+        with self._lock:
+            self._readers.pop(ssid, None)
+            if ssid in self.ssids:
+                self.ssids.remove(ssid)
+            self._quarantined = [
+                q for q in self._quarantined if q.ssid != ssid
+            ] + [QuarantinedTable(ssid, min_key, max_key, reason)]
+        self.stats.tables_quarantined += 1
 
     def _start_handler(self) -> None:
         from repro.core.handler import handler_main
@@ -440,7 +654,7 @@ class Database:
                 pairs = groups[owner]
                 self._pending_acks.add(seq)
                 self.inflight.append(
-                    (seq, {k: (v, tomb) for k, v, tomb in pairs})
+                    (seq, owner, {k: (v, tomb) for k, v, tomb in pairs})
                 )
         self.stats.migrations += len(chunk_seqs)
         cpu = self.ctx.system.cpu
@@ -460,13 +674,45 @@ class Database:
         self.dispatcher_worker.schedule(self.clock.now, job)
 
     def _drain_acks(self, blocking: bool, at_most: Optional[int] = None) -> None:
-        """Consume migration acks; blocking mode waits for them."""
+        """Consume migration acks; blocking mode waits for them.
+
+        With ``Options.remote_timeout`` set, a blocking drain that stalls
+        retransmits every unacked chunk (the handler's seq dedup makes
+        the replay idempotent) up to ``remote_retries`` times before
+        raising :class:`RemoteTimeoutError`.
+        """
+        timeout = self.options.remote_timeout
+        rounds = 0
         drained = 0
         while self._pending_acks:
             if at_most is not None and drained >= at_most:
                 return
             if blocking:
-                ack = self.ack_comm.recv(ANY_SOURCE, ACK_TAG)
+                try:
+                    ack = self.ack_comm.recv(ANY_SOURCE, ACK_TAG,
+                                             timeout=timeout)
+                except TimeoutError:
+                    self.stats.remote_timeouts += 1
+                    if rounds >= self.options.remote_retries:
+                        raise RemoteTimeoutError(
+                            f"{len(self._pending_acks)} migration ack(s) "
+                            f"missing after {rounds + 1} round(s) of "
+                            f"{timeout}s"
+                        ) from None
+                    rounds += 1
+                    self.stats.remote_retries += 1
+                    self.clock.advance(timeout * (2 ** (rounds - 1)))
+                    with self._lock:
+                        resend = [
+                            (s, o, dict(d)) for s, o, d in self.inflight
+                            if s in self._pending_acks
+                        ]
+                    for seq, owner, chunk in resend:
+                        pairs = [(k, v, tomb)
+                                 for k, (v, tomb) in chunk.items()]
+                        self.srv_comm.send(msg.MigrateMsg(pairs, seq),
+                                           owner, tag=0)
+                    continue
             else:
                 if not self.ack_comm.iprobe(ANY_SOURCE, ACK_TAG):
                     return
@@ -474,19 +720,61 @@ class Database:
             with self._lock:
                 self._pending_acks.discard(ack.seq)
                 self.inflight = [
-                    (s, d) for s, d in self.inflight if s != ack.seq
+                    entry for entry in self.inflight if entry[0] != ack.seq
                 ]
             drained += 1
+
+    def _await_reply(self, owner: int, payload, seq: int):
+        """Receive the reply to a request, retrying on timeout.
+
+        With ``Options.remote_timeout`` unset (the default) this is a
+        plain blocking receive.  Otherwise a lost request or reply is
+        retried with exponential backoff — resending the *same* payload
+        under the *same* seq, which the handler's sequence-number dedup
+        makes idempotent — until the retry budget is exhausted and
+        :class:`RemoteTimeoutError` is raised.
+        """
+        timeout = self.options.remote_timeout
+        attempt = 0
+        while True:
+            try:
+                return self.rsp_comm.recv(source=owner, tag=seq,
+                                          timeout=timeout)
+            except RemoteTimeoutError:
+                raise
+            except TimeoutError:
+                self.stats.remote_timeouts += 1
+                if attempt >= self.options.remote_retries:
+                    raise RemoteTimeoutError(
+                        f"rank {owner} did not answer seq {seq} after "
+                        f"{attempt + 1} attempt(s) of {timeout}s"
+                    ) from None
+                attempt += 1
+                self.stats.remote_retries += 1
+                # backoff on the virtual timeline; the wall-clock wait
+                # already happened inside the timed-out recv
+                self.clock.advance(timeout * (2 ** (attempt - 1)))
+                self.srv_comm.send(payload, owner, tag=0)
+
+    def _already_applied(self, source: int, seq: int) -> bool:
+        """Handler-side: has this (source, seq) mutation been applied?
+
+        Records the seq as applied when first seen.  Only the handler
+        thread touches the per-source windows, so no lock is needed.
+        """
+        window = self._seq_dedup.get(source)
+        if window is None:
+            window = self._seq_dedup[source] = _SeqWindow()
+        return window.check_and_add(seq)
 
     def _put_sync(self, owner: int, key: bytes, value: bytes,
                   tombstone: bool) -> None:
         """Sequential mode: migrate one put synchronously (§3.1)."""
         seq = self._next_seq
         self._next_seq += self.nranks
-        self.srv_comm.send(
-            msg.PutSyncMsg(key, value, tombstone, seq), owner, tag=0
-        )
-        reply = self.rsp_comm.recv(source=owner, tag=seq)
+        payload = msg.PutSyncMsg(key, value, tombstone, seq)
+        self.srv_comm.send(payload, owner, tag=0)
+        reply = self._await_reply(owner, payload, seq)
         assert isinstance(reply, msg.AckMsg) and reply.seq == seq
 
     # ==================================================================== GET
@@ -603,8 +891,25 @@ class Database:
         t: float,
         own: bool,
     ) -> Tuple[Optional[Record], float]:
-        """Walk SSTables highest-SSID-first with bloom skipping (§2.6)."""
-        for ssid in reversed(ssids):
+        """Walk SSTables highest-SSID-first with bloom skipping (§2.6).
+
+        Quarantined tables participate in the walk as *poisoned holes*:
+        if no newer table answered by the time the walk reaches one
+        whose range may cover the key, the true newest version might
+        have lived there — raising beats silently serving older data.
+        """
+        quarantined = self._quarantined if own else ()
+        walk: List[Tuple[int, object]] = [(s, None) for s in ssids]
+        walk.extend((q.ssid, q) for q in quarantined)
+        walk.sort(key=lambda x: x[0], reverse=True)
+        for ssid, quar in walk:
+            if quar is not None:
+                if quar.may_cover(key):
+                    raise CorruptionError(
+                        f"key range degraded: sstable {ssid} is quarantined "
+                        f"({quar.reason})"
+                    )
+                continue
             reader = (
                 self._reader(ssid) if own
                 else SSTableReader(store, directory, ssid)
@@ -623,7 +928,7 @@ class Database:
         entry = self.remote_mt.get(key)
         if entry is not None:
             return entry, "remote_mt"
-        for _seq, chunk in reversed(self.inflight):
+        for _seq, _owner, chunk in reversed(self.inflight):
             if key in chunk:
                 value, tomb = chunk[key]
                 return Entry(value, tomb), "inflight"
@@ -646,6 +951,11 @@ class Database:
             reply = self._request_get(owner, key, force)
             if reply.status == msg.NOT_FOUND:
                 return None
+            if reply.status == msg.DEGRADED:
+                raise CorruptionError(
+                    f"owner rank {owner} has quarantined the range covering "
+                    f"key {key!r}"
+                )
             if reply.status == msg.FOUND:
                 if reply.tombstone:
                     return None
@@ -676,10 +986,9 @@ class Database:
     def _request_get(self, owner: int, key: bytes, force: bool) -> msg.GetReply:
         seq = self._next_seq
         self._next_seq += self.nranks
-        self.srv_comm.send(
-            msg.GetMsg(key, self.group, seq, force_data=force), owner, tag=0
-        )
-        reply = self.rsp_comm.recv(source=owner, tag=seq)
+        payload = msg.GetMsg(key, self.group, seq, force_data=force)
+        self.srv_comm.send(payload, owner, tag=0)
+        reply = self._await_reply(owner, payload, seq)
         assert isinstance(reply, msg.GetReply)
         return reply
 
@@ -816,7 +1125,7 @@ class Database:
         self.srv_comm.fanout(payloads, tag=0)
         self.stats.bulk_owner_msgs += len(payloads)
         for owner in sorted(groups):
-            reply = self.rsp_comm.recv(source=owner, tag=seqs[owner])
+            reply = self._await_reply(owner, payloads[owner], seqs[owner])
             assert isinstance(reply, msg.AckMsg) and reply.seq == seqs[owner]
 
     def get_bulk(self, keys) -> List[Optional[bytes]]:
@@ -956,7 +1265,7 @@ class Database:
         self.srv_comm.fanout(payloads, tag=0)
         self.stats.bulk_owner_msgs += len(payloads)
         for owner in sorted(need):
-            reply = self.rsp_comm.recv(source=owner, tag=seqs[owner])
+            reply = self._await_reply(owner, payloads[owner], seqs[owner])
             assert isinstance(reply, msg.MGetReply)
             for key, (status, value, tombstone) in zip(
                 need[owner], reply.results
@@ -971,6 +1280,11 @@ class Database:
                     self.stats.hit("remote")
                 elif status == msg.NOT_FOUND:
                     out[key] = None
+                elif status == msg.DEGRADED:
+                    raise CorruptionError(
+                        f"owner rank {owner} has quarantined the range "
+                        f"covering key {key!r}"
+                    )
                 else:  # NOT_IN_MEMORY: read the shared SSTables myself
                     out[key] = self._shared_get_fallback(owner, key, reply)
         return out
@@ -1114,11 +1428,113 @@ class Database:
             out.extend(reader.file_paths())
         return out
 
+    # ============================================================== SCRUBBING
+    def verify(self, checkpoint_path: Optional[str] = None,
+               repair: bool = True) -> Dict[str, List[int]]:
+        """Scrub this rank's SSTables; repair damage via the recovery ladder.
+
+        Every retained table is fully checked (sizes, per-block CRCs,
+        index and bloom checksums, record/index agreement).  A table
+        that fails is repaired by climbing the ladder: re-read locally
+        (transient device faults), fetch from a storage-group peer,
+        restore from the newest complete checkpoint generation (the
+        ``checkpoint_path`` argument, or the last path this database
+        checkpointed to).  A table no rung can save is quarantined and
+        its key range degrades to :class:`CorruptionError` on access.
+
+        Returns ``{"ok": [...], "rebuilt": [...], "quarantined": [...]}``
+        (SSIDs per outcome).
+        """
+        self._check_open()
+        report: Dict[str, List[int]] = {"ok": [], "rebuilt": [],
+                                        "quarantined": []}
+        with self._lock:
+            ssids = list(self.ssids)
+        for ssid in ssids:
+            if self._table_verifies(ssid):
+                report["ok"].append(ssid)
+                continue
+            self.stats.corruptions_detected += 1
+            if repair and self._repair_table(ssid, checkpoint_path):
+                self.stats.tables_rebuilt += 1
+                report["rebuilt"].append(ssid)
+            else:
+                self._quarantine_table(ssid, "failed verification and repair")
+                report["quarantined"].append(ssid)
+        return report
+
+    #: alias: ``db.scrub()`` reads like the maintenance operation it is
+    scrub = verify
+
+    def _table_verifies(self, ssid: int) -> bool:
+        """Full check of one table with a fresh reader (no cached state)."""
+        try:
+            t = SSTableReader(self.store, self.rank_dir, ssid).verify(
+                self.clock.now
+            )
+        except StorageError:
+            return False
+        self.clock.advance_to(t)
+        with self._lock:
+            self._readers.pop(ssid, None)  # drop any poisoned cached view
+        return True
+
+    def _repair_table(self, ssid: int,
+                      checkpoint_path: Optional[str]) -> bool:
+        """Climb the recovery ladder for one damaged table."""
+        # rung 1: one local re-read — transient device faults heal here
+        if self._table_verifies(ssid):
+            return True
+        # rung 2: a storage-group peer ships the files through its own path
+        if self._fetch_table_from_peer(ssid):
+            return True
+        # rung 3: restore from the newest complete checkpoint generation
+        path = checkpoint_path or self._last_checkpoint_path
+        if path is not None:
+            from repro.core.checkpoint import restore_table_blobs
+
+            blobs = restore_table_blobs(self, path, ssid)
+            if blobs is not None and self._install_table_blobs(ssid, blobs):
+                return True
+        return False
+
+    def _fetch_table_from_peer(self, ssid: int) -> bool:
+        """Ask each storage-group peer to ship the table's three files."""
+        peers = [r for r in range(self.nranks)
+                 if r != self.rank and self.shares_storage_with(r)]
+        for peer in peers:
+            seq = self._next_seq
+            self._next_seq += self.nranks
+            payload = msg.FetchTableMsg(self.rank_dir, ssid, seq)
+            self.srv_comm.send(payload, peer, tag=0)
+            try:
+                reply = self._await_reply(peer, payload, seq)
+            except RemoteTimeoutError:
+                continue
+            if not isinstance(reply, msg.FetchTableReply) or not reply.blobs:
+                continue
+            if self._install_table_blobs(ssid, reply.blobs):
+                return True
+        return False
+
+    def _install_table_blobs(self, ssid: int, blobs: Dict[str, bytes]) -> bool:
+        """Atomically rewrite a table from shipped blobs, then re-verify."""
+        names = sstable_filenames(ssid)
+        if not all(name in blobs for name in names):
+            return False
+        t = self.clock.now
+        for name in names:
+            t = self.store.write(f"{self.rank_dir}/{name}", blobs[name], t)
+        self.clock.advance_to(t)
+        return self._table_verifies(ssid)
+
     def checkpoint(self, path: str):
         """Asynchronous snapshot to the parallel FS (``papyruskv_checkpoint``)."""
         from repro.core.checkpoint import checkpoint
 
-        return checkpoint(self, path)
+        result = checkpoint(self, path)
+        self._last_checkpoint_path = path
+        return result
 
     def destroy(self):
         """Remove the database and all its data from NVM (async)."""

@@ -15,6 +15,12 @@ The handler serves three request kinds:
   storage-group shortcut (§2.7): if the requester shares this rank's
   NVM and the pair is not in memory, reply NOT_IN_MEMORY so the
   requester reads the SSTables itself.
+
+Mutating requests carry rank-unique sequence numbers and are
+deduplicated (``db._already_applied``): when a timed-out requester
+retransmits, the replayed message re-acks without re-applying, so
+retries are idempotent.  ``FetchTableMsg`` ships an SSTable's files to
+a storage-group peer climbing its recovery ladder.
 """
 
 from __future__ import annotations
@@ -74,6 +80,10 @@ def handler_main(db: Database) -> None:
                 _serve_mget(db, m, source, hclock, cpu)
                 db._trace(f"serve mget({len(m.keys)})", "handler",
                           t_service, hclock.now)
+            elif isinstance(m, msg.FetchTableMsg):
+                _serve_fetch_table(db, m, source, hclock, cpu)
+                db._trace(f"serve fetch_table({m.ssid})", "handler",
+                          t_service, hclock.now)
             else:  # pragma: no cover - protocol error
                 raise TypeError(f"handler got unexpected message {m!r}")
     except AbortedError:  # run torn down mid-service
@@ -96,26 +106,52 @@ def handler_main(db: Database) -> None:
 def _serve_migrate(db: Database, m: msg.MigrateMsg, source: int,
                    hclock: VirtualClock, cpu) -> None:
     """Extract pairs and insert them into the local MemTable (§2.4)."""
-    for key, value, tombstone in m.pairs:
-        hclock.advance(cpu.kv_op_s + len(key + value) / cpu.memcpy_Bps)
-        db._local_insert(key, value, tombstone, hclock)
+    if not db._already_applied(source, m.seq):
+        for key, value, tombstone in m.pairs:
+            hclock.advance(cpu.kv_op_s + len(key + value) / cpu.memcpy_Bps)
+            db._local_insert(key, value, tombstone, hclock)
     db.ack_comm.send(msg.AckMsg(m.seq), source, tag=ACK_TAG)
 
 
 def _serve_put_sync(db: Database, m: msg.PutSyncMsg, source: int,
                     hclock: VirtualClock, cpu) -> None:
-    hclock.advance(cpu.kv_op_s + len(m.key + m.value) / cpu.memcpy_Bps)
-    db._local_insert(m.key, m.value, m.tombstone, hclock)
+    if not db._already_applied(source, m.seq):
+        hclock.advance(cpu.kv_op_s + len(m.key + m.value) / cpu.memcpy_Bps)
+        db._local_insert(m.key, m.value, m.tombstone, hclock)
     db.rsp_comm.send(msg.AckMsg(m.seq), source, tag=m.seq)
 
 
 def _serve_put_sync_batch(db: Database, m: msg.PutSyncBatchMsg,
                           source: int, hclock: VirtualClock, cpu) -> None:
     """A whole per-owner batch of synchronous puts, one ack for all."""
-    for key, value, tombstone in m.pairs:
-        hclock.advance(cpu.kv_op_s + len(key + value) / cpu.memcpy_Bps)
-        db._local_insert(key, value, tombstone, hclock)
+    if not db._already_applied(source, m.seq):
+        for key, value, tombstone in m.pairs:
+            hclock.advance(cpu.kv_op_s + len(key + value) / cpu.memcpy_Bps)
+            db._local_insert(key, value, tombstone, hclock)
     db.rsp_comm.send(msg.AckMsg(m.seq), source, tag=m.seq)
+
+
+def _serve_fetch_table(db: Database, m: msg.FetchTableMsg, source: int,
+                       hclock: VirtualClock, cpu) -> None:
+    """Ship an SSTable's files to a peer rebuilding its copy.
+
+    The peer validates (and re-verifies after install), so this side
+    only best-effort reads the three files; any failure answers
+    ``blobs=None`` and the peer climbs to the next recovery rung.
+    """
+    from repro.errors import StorageError
+    from repro.sstable.format import sstable_filenames
+
+    blobs = {}
+    t = hclock.now
+    try:
+        for name in sstable_filenames(m.ssid):
+            blob, t = db.store.read(f"{m.directory}/{name}", t)
+            blobs[name] = blob
+    except StorageError:
+        blobs = None
+    hclock.advance_to(t)
+    db.rsp_comm.send(msg.FetchTableReply(blobs, m.seq), source, tag=m.seq)
 
 
 def _lookup_one(db: Database, key: bytes, source: int,
@@ -141,29 +177,39 @@ def _lookup_one(db: Database, key: bytes, source: int,
     if entry is not None:
         return msg.FOUND, entry.value, entry.tombstone, newest
     # not in memory: same storage group -> let the requester read the
-    # shared SSTables itself (saves the value transfer, §2.7)
+    # shared SSTables itself (saves the value transfer, §2.7) — unless
+    # this rank has quarantined tables: the requester cannot see the
+    # quarantine list, so the owner must answer (or degrade) itself
     if (
         not force_data
         and requester_group == db.group
         and db.shares_storage_with(source)
+        and not db._quarantined
     ):
         return msg.NOT_IN_MEMORY, None, False, newest
     # different group (or forced): do the full local get, including my
     # SSTables, and ship the value back over the network
-    from repro.errors import StorageError
+    from repro.errors import CorruptionError, StorageError
 
     try:
-        rec, t_end = db._search_sstables(
-            db.store, db.rank_dir, ssids, key, hclock.now, own=True
-        )
-    except StorageError:
-        # raced a compaction on this rank; retry on the fresh SSID list
-        with db._lock:
-            db._readers.clear()
-            ssids = list(db.ssids)
-        rec, t_end = db._search_sstables(
-            db.store, db.rank_dir, ssids, key, hclock.now, own=True
-        )
+        try:
+            rec, t_end = db._search_sstables(
+                db.store, db.rank_dir, ssids, key, hclock.now, own=True
+            )
+        except CorruptionError:
+            raise
+        except StorageError:
+            # raced a compaction on this rank; retry on the fresh SSID list
+            with db._lock:
+                db._readers.clear()
+                ssids = list(db.ssids)
+            rec, t_end = db._search_sstables(
+                db.store, db.rank_dir, ssids, key, hclock.now, own=True
+            )
+    except CorruptionError:
+        # this key's range is quarantined (or the table is corrupt):
+        # never ship a possibly-stale older version — degrade loudly
+        return msg.DEGRADED, None, False, newest
     hclock.advance_to(t_end)
     if rec is None:
         return msg.NOT_FOUND, None, False, newest

@@ -22,11 +22,13 @@ STOP = 4          # handler shutdown
 CHECKPOINT_MARK = 5  # reserved for future coordinated snapshot protocols
 MGET = 6          # batched multi-get (one request per owner per bulk get)
 PUT_SYNC_BATCH = 7  # per-owner batch of synchronous puts (bulk pipeline)
+FETCH_TABLE = 8   # ship a whole SSTable's files (peer rebuild)
 
 # GET reply status
 FOUND = 0
 NOT_FOUND = 1
 NOT_IN_MEMORY = 2  # same storage group: read my SSTables yourself
+DEGRADED = 3       # the owner's key range is quarantined (corruption)
 
 #: (key, value, tombstone)
 Pair = Tuple[bytes, bytes, bool]
@@ -149,6 +151,37 @@ class MGetReply:
         return 24 + sum(
             9 + (len(v) if v else 0) for _status, v, _tomb in self.results
         )
+
+
+@dataclass
+class FetchTableMsg:
+    """Ask a storage-group peer to ship an SSTable's three files.
+
+    Used by the recovery ladder: when a rank's own reads of a table
+    fail (transient device fault), a peer that reaches the same storage
+    through its own path reads the files and ships the bytes back.
+    """
+
+    directory: str
+    ssid: int
+    seq: int
+
+    def wire_nbytes(self) -> int:
+        """Wire size of a fetch request."""
+        return 24 + len(self.directory)
+
+
+@dataclass
+class FetchTableReply:
+    """The shipped SSTable files, or ``None`` if the peer failed too."""
+
+    blobs: Optional[dict]  # filename -> bytes
+    seq: int
+
+    def wire_nbytes(self) -> int:
+        """Wire size: the three shipped files dominate."""
+        blobs = self.blobs or {}
+        return 16 + sum(len(b) for b in blobs.values())
 
 
 @dataclass

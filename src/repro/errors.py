@@ -29,6 +29,8 @@ class ErrorCode(enum.IntEnum):
     IO_ERROR = 12
     NOT_INITIALIZED = 13
     INTERNAL = 14
+    CORRUPTED = 15
+    TIMEOUT = 16
 
 
 #: Aliases matching the paper's spelling.
@@ -116,12 +118,38 @@ class StorageError(PapyrusError, OSError):
     code = ErrorCode.IO_ERROR
 
 
+class CorruptionError(StorageError, ValueError):
+    """On-disk bytes failed checksum or structural validation.
+
+    Subclasses :class:`StorageError` (it is a storage-layer failure and
+    degrades like one) and :class:`ValueError` (pre-v2 callers caught
+    the format layer's bare ``ValueError``).
+    """
+
+    code = ErrorCode.CORRUPTED
+
+
+class TornWriteError(CorruptionError):
+    """A file is shorter than its committed metadata says it must be —
+    the signature of a write torn by a crash or a lying fsync."""
+
+    code = ErrorCode.CORRUPTED
+
+
+class RemoteTimeoutError(PapyrusError, TimeoutError):
+    """A remote rank did not reply within the retry budget."""
+
+    code = ErrorCode.TIMEOUT
+
+
 def code_of(exc: BaseException) -> ErrorCode:
     """Map an exception to the closest :class:`ErrorCode`."""
     if isinstance(exc, PapyrusError):
         return exc.code
     if isinstance(exc, KeyError):
         return ErrorCode.NOT_FOUND
+    if isinstance(exc, TimeoutError):
+        return ErrorCode.TIMEOUT
     if isinstance(exc, (OSError, IOError)):
         return ErrorCode.IO_ERROR
     return ErrorCode.INTERNAL

@@ -1,0 +1,216 @@
+"""Deterministic fault injection for the simulated store and network.
+
+A :class:`FaultPlan` is a seedable, thread-safe schedule of faults that
+the storage layer (:class:`repro.nvm.posixfs.PosixStore`) and the
+message layer (:class:`repro.mpi.comm.Comm`) consult at well-defined
+hook points.  Faults default to **off**: a store or world whose
+``faults`` attribute is ``None`` pays exactly one attribute check on
+the hot path and nothing else.
+
+Supported faults
+----------------
+
+* ``torn_write(match, at_byte=N)`` — the nth write of a file whose
+  relative path contains ``match`` persists only its first ``N`` bytes
+  (default: half).  The write *appears to succeed*; detection is the
+  reader's job (size/CRC mismatch -> ``TornWriteError``).
+* ``bit_flip(match)`` — one deterministic bit of the written payload is
+  inverted before it hits the disk.  Again silent at write time.
+* ``io_error(match, op="write"|"read", count=k)`` — the matching
+  operation raises :class:`~repro.errors.StorageError` ``k`` times,
+  modelling a transient device fault.
+* ``crash(site, rank=r)`` — raise :class:`RankCrashError` when rank
+  ``r`` reaches the named crash site (sites are emitted by the store
+  around every durable write: ``posix.write:<path>``,
+  ``posix.rename:<path>``, ``posix.synced:<path>``).
+* ``drop/delay/duplicate(message_type)`` — the nth sent message whose
+  class name matches is dropped, delivered late (virtual time), or
+  delivered twice.
+
+Every rule fires on the ``nth`` matching event (1-based) and then for
+``count`` consecutive matches.  With ``record_sites=True`` the plan
+additionally records the ordered set of crash sites it passes, so a
+test can enumerate "every write site" from a clean recording run and
+then replay the workload crashing at each site in turn.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import StorageError
+
+__all__ = ["FaultPlan", "RankCrashError"]
+
+
+class RankCrashError(RuntimeError):
+    """Injected rank crash; propagates out of the rank's main function
+    and surfaces through :class:`repro.mpi.launcher.RankFailure`."""
+
+
+@dataclass
+class _Rule:
+    kind: str
+    match: str
+    nth: int = 1
+    count: int = 1
+    rank: Optional[int] = None
+    op: str = "write"
+    at_byte: Optional[int] = None
+    delay_s: float = 0.0
+    seen: int = 0
+    fired: int = 0
+    log: List[str] = field(default_factory=list)
+
+    def applies(self, text: str, rank: Optional[int]) -> bool:
+        """Advance this rule's match counter; True if it fires now."""
+        if self.rank is not None and rank != self.rank:
+            return False
+        if self.match != "*" and self.match not in text:
+            return False
+        self.seen += 1
+        if self.seen < self.nth or self.fired >= self.count:
+            return False
+        self.fired += 1
+        return True
+
+
+class FaultPlan:
+    """A deterministic, seedable schedule of injected faults."""
+
+    def __init__(self, seed: int = 0, record_sites: bool = False):
+        self.seed = seed
+        self.record_sites = record_sites
+        self.sites_seen: List[str] = []
+        self.fired: List[str] = []
+        self._site_set: set = set()
+        self._rng = random.Random(seed)
+        self._rules: List[_Rule] = []
+        self._lock = threading.Lock()
+
+    # -- arming --------------------------------------------------------
+
+    def torn_write(self, match: str, at_byte: Optional[int] = None,
+                   nth: int = 1, rank: Optional[int] = None) -> "FaultPlan":
+        """Persist only the first ``at_byte`` bytes of the matching write."""
+        self._rules.append(_Rule("torn_write", match, nth=nth, rank=rank,
+                                 at_byte=at_byte))
+        return self
+
+    def bit_flip(self, match: str, nth: int = 1,
+                 rank: Optional[int] = None) -> "FaultPlan":
+        """Invert one deterministic bit of the matching write's payload."""
+        self._rules.append(_Rule("bit_flip", match, nth=nth, rank=rank))
+        return self
+
+    def io_error(self, match: str, op: str = "write", nth: int = 1,
+                 count: int = 1, rank: Optional[int] = None) -> "FaultPlan":
+        """Raise ``StorageError`` from the matching read/write ``count`` times."""
+        if op not in ("read", "write"):
+            raise ValueError(f"io_error op must be read|write, got {op!r}")
+        self._rules.append(_Rule("io_error", match, nth=nth, count=count,
+                                 rank=rank, op=op))
+        return self
+
+    def crash(self, site: str, nth: int = 1,
+              rank: Optional[int] = None) -> "FaultPlan":
+        """Raise :class:`RankCrashError` at the named crash site."""
+        self._rules.append(_Rule("crash", site, nth=nth, rank=rank))
+        return self
+
+    def drop(self, message_type: str, nth: int = 1,
+             count: int = 1) -> "FaultPlan":
+        """Silently drop the nth sent message of the given class name."""
+        self._rules.append(_Rule("drop", message_type, nth=nth, count=count))
+        return self
+
+    def delay(self, message_type: str, delay_s: float, nth: int = 1,
+              count: int = 1) -> "FaultPlan":
+        """Deliver the matching message ``delay_s`` virtual seconds late."""
+        self._rules.append(_Rule("delay", message_type, nth=nth, count=count,
+                                 delay_s=delay_s))
+        return self
+
+    def duplicate(self, message_type: str, nth: int = 1,
+                  count: int = 1) -> "FaultPlan":
+        """Deliver the matching message twice."""
+        self._rules.append(_Rule("duplicate", message_type, nth=nth,
+                                 count=count))
+        return self
+
+    # -- hook points ---------------------------------------------------
+
+    @staticmethod
+    def _current_rank() -> Optional[int]:
+        # Late import: faults.py sits below the MPI layer.
+        from repro.mpi.launcher import current_rank_context
+
+        try:
+            return current_rank_context().world_rank
+        except Exception:
+            return None  # outside any simulated rank (e.g. offline fsck)
+
+    def at_site(self, site: str) -> None:
+        """Crash-site hook; called by the store around durable writes."""
+        rank = self._current_rank()
+        with self._lock:
+            if self.record_sites and site not in self._site_set:
+                self._site_set.add(site)
+                self.sites_seen.append(site)
+            for rule in self._rules:
+                if rule.kind == "crash" and rule.applies(site, rank):
+                    self.fired.append(f"crash@{site} rank={rank}")
+                    raise RankCrashError(site)
+
+    def filter_write(self, relpath: str, data: bytes) -> bytes:
+        """Write hook; may mutate the payload or raise ``StorageError``."""
+        rank = self._current_rank()
+        with self._lock:
+            for rule in self._rules:
+                if rule.kind == "io_error" and rule.op == "write" \
+                        and rule.applies(relpath, rank):
+                    self.fired.append(f"io_error:write {relpath}")
+                    raise StorageError(f"injected I/O error writing {relpath}")
+                if rule.kind == "torn_write" and rule.applies(relpath, rank):
+                    cut = rule.at_byte if rule.at_byte is not None \
+                        else len(data) // 2
+                    cut = max(0, min(cut, len(data)))
+                    self.fired.append(f"torn_write {relpath} at {cut}")
+                    data = data[:cut]
+                elif rule.kind == "bit_flip" and rule.applies(relpath, rank):
+                    if data:
+                        pos = self._rng.randrange(len(data) * 8)
+                        buf = bytearray(data)
+                        buf[pos // 8] ^= 1 << (pos % 8)
+                        data = bytes(buf)
+                        self.fired.append(f"bit_flip {relpath} bit {pos}")
+        return data
+
+    def check_read(self, relpath: str) -> None:
+        """Read hook; may raise ``StorageError``."""
+        rank = self._current_rank()
+        with self._lock:
+            for rule in self._rules:
+                if rule.kind == "io_error" and rule.op == "read" \
+                        and rule.applies(relpath, rank):
+                    self.fired.append(f"io_error:read {relpath}")
+                    raise StorageError(f"injected I/O error reading {relpath}")
+
+    def on_message(self, obj, src: int, dst: int) \
+            -> Union[None, str, Tuple[str, float]]:
+        """Message-send hook; returns ``None`` (deliver normally),
+        ``"drop"``, ``"duplicate"``, or ``("delay", seconds)``."""
+        name = type(obj).__name__
+        with self._lock:
+            for rule in self._rules:
+                if rule.kind not in ("drop", "delay", "duplicate"):
+                    continue
+                if rule.applies(name, None):
+                    self.fired.append(f"{rule.kind} {name} {src}->{dst}")
+                    if rule.kind == "delay":
+                        return ("delay", rule.delay_s)
+                    return rule.kind
+        return None

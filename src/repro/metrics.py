@@ -51,6 +51,11 @@ def database_metrics(db) -> Dict[str, Any]:
         "bulk_batches": stats.bulk_batches,
         "bulk_keys": stats.bulk_keys,
         "bulk_owner_msgs": stats.bulk_owner_msgs,
+        "corruptions_detected": stats.corruptions_detected,
+        "tables_quarantined": stats.tables_quarantined,
+        "tables_rebuilt": stats.tables_rebuilt,
+        "remote_retries": stats.remote_retries,
+        "remote_timeouts": stats.remote_timeouts,
         "get_tiers": dict(stats.get_tiers),
         "sstables": len(db.ssids),
         "memtable_bytes": db.local_mt.size_bytes,
@@ -108,6 +113,15 @@ def format_report(db_metrics: Dict[str, Any]) -> str:
         lines.append(
             f"  bulk: {m['bulk_batches']} batches, {m['bulk_keys']} keys, "
             f"{m['bulk_owner_msgs']} per-owner messages"
+        )
+    if (m.get("corruptions_detected") or m.get("tables_quarantined")
+            or m.get("tables_rebuilt") or m.get("remote_timeouts")):
+        lines.append(
+            f"  robustness: {m['corruptions_detected']} corruptions "
+            f"detected, {m['tables_rebuilt']} tables rebuilt, "
+            f"{m['tables_quarantined']} quarantined, "
+            f"{m['remote_retries']} remote retries "
+            f"({m['remote_timeouts']} timeouts)"
         )
     if m.get("get_tiers"):
         tiers = ", ".join(f"{k}={v}" for k, v in sorted(m["get_tiers"].items()))

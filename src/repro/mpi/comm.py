@@ -130,6 +130,7 @@ class World:
         self._mbx_lock = threading.Lock()
         self.abort_event = threading.Event()
         self._coll_states: List[_CollectiveState] = []
+        self.faults = None  # Optional[repro.faults.FaultPlan]
 
     def register_coll(self, coll: "_CollectiveState") -> "_CollectiveState":
         """Track a collective state so abort() can break its barrier."""
@@ -269,6 +270,27 @@ class Comm:
         """Translate a communicator rank to its world rank."""
         return self._group[comm_rank]
 
+    def _deliver(self, src_w: int, dst_w: int, env: Envelope) -> None:
+        """Deposit an envelope, consulting the fault plan if one is armed.
+
+        A dropped message still paid its clock/fabric charges on the
+        sender side — the bytes left the NIC and vanished.  A duplicate
+        is delivered as two distinct envelopes (the receiver must
+        dedupe); a delay shifts only the virtual arrival time.
+        """
+        plan = self._world.faults
+        box = self._world.mailbox(self._comm_id, dst_w)
+        if plan is not None:
+            action = plan.on_message(env.payload, src_w, dst_w)
+            if action == "drop":
+                return
+            if action == "duplicate":
+                box.deliver(env)
+            elif isinstance(action, tuple) and action[0] == "delay":
+                env = Envelope(env.source, env.dest, env.tag, env.payload,
+                               env.arrival + action[1], env.nbytes)
+        box.deliver(env)
+
     # ------------------------------------------------------------------- p2p
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         """Buffered send: deposits the message and returns immediately."""
@@ -281,7 +303,7 @@ class Comm:
         nbytes = payload_nbytes(obj)
         arrival = self._world.transfer_complete(src_w, dst_w, clock.now, nbytes)
         env = Envelope(self.rank, dest, tag, obj, arrival, nbytes)
-        self._world.mailbox(self._comm_id, dst_w).deliver(env)
+        self._deliver(src_w, dst_w, env)
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
         """Nonblocking send (buffered: completes immediately)."""
@@ -304,7 +326,7 @@ class Comm:
             src_w, dst_w, t_send + self._world.network.sw_overhead_s, nbytes
         )
         env = Envelope(self.rank, dest, tag, obj, arrival, nbytes)
-        self._world.mailbox(self._comm_id, dst_w).deliver(env)
+        self._deliver(src_w, dst_w, env)
         return arrival
 
     def fanout(self, payloads: Mapping[int, Any], tag: int = 0
@@ -332,7 +354,7 @@ class Comm:
                 src_w, dst_w, clock.now, nbytes
             )
             env = Envelope(self.rank, dest, tag, obj, arrival, nbytes)
-            self._world.mailbox(self._comm_id, dst_w).deliver(env)
+            self._deliver(src_w, dst_w, env)
             arrivals[dest] = arrival
         return arrivals
 

@@ -33,6 +33,7 @@ class RankContext:
     comm: Comm
     system: SystemProfile
     machine: Any = None  # repro.nvm.storage.Machine (set by the launcher)
+    faults: Any = None  # repro.faults.FaultPlan (set by the launcher)
     #: scratch dict for application use (e.g. returning results)
     user: dict = field(default_factory=dict)
 
@@ -74,6 +75,7 @@ def spmd_run(
     *,
     system: SystemProfile = SUMMITDEV,
     machine: Any = None,
+    faults: Any = None,
     timeout: Optional[float] = 300.0,
     collect: bool = True,
 ) -> List[Any]:
@@ -84,6 +86,8 @@ def spmd_run(
     system: platform profile controlling topology and cost model.
     machine: optional pre-built :class:`repro.nvm.storage.Machine`;
         by default one is created for this run (in a temp directory).
+    faults: optional :class:`repro.faults.FaultPlan` injected into the
+        run's stores and message layer for this run only.
     timeout: wall-clock seconds to wait for completion before aborting.
     collect: if True, return the list of per-rank return values.
     """
@@ -97,6 +101,9 @@ def spmd_run(
         from repro.nvm.storage import Machine
 
         machine = Machine(system, nranks)
+    if faults is not None:
+        world.faults = faults
+        machine.set_faults(faults)
 
     results: List[Any] = [None] * nranks
     failures: List[tuple] = []
@@ -110,6 +117,7 @@ def spmd_run(
             comm=comms[rank],
             system=system,
             machine=machine,
+            faults=faults,
         )
         bind_context(ctx)
         try:
@@ -137,6 +145,8 @@ def spmd_run(
             t.join(10.0)
     if own_machine:
         machine.close()
+    elif faults is not None:
+        machine.set_faults(None)  # don't leak this run's plan into the next
     if failures:
         failures.sort(key=lambda f: f[0])
         raise RankFailure(failures)

@@ -6,10 +6,19 @@ real file I/O under a base directory while charging virtual time to a
 timed device resource.  Each call returns the *virtual completion time*
 so callers can charge it to the right timeline (main rank clock or the
 background compaction worker).
+
+Durability discipline: every :meth:`write` (and each file of a
+:meth:`bulk_write`) goes through a unique tmp file, ``fsync``, atomic
+``os.replace``, and a directory ``fsync`` — a crash can only ever leave
+the old file or the new file, never a torn hybrid.  A non-``None``
+``faults`` attribute (a :class:`repro.faults.FaultPlan`) is consulted
+around these steps; with faults off the hot path pays one attribute
+check.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
 import threading
 from typing import List, Optional, Tuple, Union
@@ -18,6 +27,23 @@ from repro.errors import StorageError
 from repro.simtime.resources import StripedResource, TimedResource
 
 Device = Union[TimedResource, StripedResource]
+
+#: process-wide counter making concurrent tmp files collision-free
+_TMP_IDS = itertools.count()
+
+
+def _fsync_dir(path: str) -> None:
+    """Flush a directory's metadata (rename durability); best effort."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 class PosixStore:
@@ -38,6 +64,7 @@ class PosixStore:
         self.device = device
         self.read_device = read_device if read_device is not None else device
         self.extra_latency_s = extra_latency_s
+        self.faults = None  # Optional[repro.faults.FaultPlan]
         os.makedirs(root, exist_ok=True)
         self._lock = threading.Lock()
 
@@ -57,17 +84,39 @@ class PosixStore:
         return p
 
     # ------------------------------------------------------------------ write
-    def write(self, relpath: str, data: bytes, t: float) -> float:
-        """Create/overwrite a file; returns virtual completion time."""
+    def _atomic_write(self, relpath: str, data: bytes) -> None:
+        """tmp file + fsync + atomic rename + dir fsync, with crash sites."""
+        plan = self.faults
         p = self.path(relpath)
         os.makedirs(os.path.dirname(p), exist_ok=True)
-        tmp = p + ".tmp"
+        if plan is not None:
+            plan.at_site(f"posix.write:{relpath}")
+            data = plan.filter_write(relpath, data)
+        tmp = f"{p}.tmp{next(_TMP_IDS)}"
         try:
             with open(tmp, "wb") as f:
                 f.write(data)
+                f.flush()
+                os.fsync(f.fileno())
+            if plan is not None:
+                plan.at_site(f"posix.rename:{relpath}")
             os.replace(tmp, p)
+            _fsync_dir(os.path.dirname(p))
         except OSError as exc:
             raise StorageError(str(exc)) from exc
+        finally:
+            if os.path.exists(tmp):
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+        if plan is not None:
+            plan.at_site(f"posix.synced:{relpath}")
+
+    def write(self, relpath: str, data: bytes, t: float) -> float:
+        """Create/overwrite a file atomically and durably; returns the
+        virtual completion time."""
+        self._atomic_write(relpath, data)
         return self._charge_write(t, len(data))
 
     def append(self, relpath: str, data: bytes, t: float) -> float:
@@ -90,6 +139,8 @@ class PosixStore:
         device's read latency plus the transfer of just those bytes —
         the property that makes SSTable binary search profitable on NVM.
         """
+        if self.faults is not None:
+            self.faults.check_read(relpath)
         p = self.path(relpath)
         try:
             with open(p, "rb") as f:
@@ -118,6 +169,15 @@ class PosixStore:
             return sorted(os.listdir(p))
         except FileNotFoundError:
             return []
+
+    def rename(self, old_rel: str, new_rel: str, t: float) -> float:
+        """Atomically rename a file (quarantine); returns completion time."""
+        try:
+            os.replace(self.path(old_rel), self.path(new_rel))
+            _fsync_dir(os.path.dirname(self.path(new_rel)))
+        except OSError as exc:
+            raise StorageError(str(exc)) from exc
+        return self._charge_meta(t)
 
     def delete(self, relpath: str, t: float) -> float:
         """Remove a file (idempotent); returns the completion time."""
@@ -152,9 +212,12 @@ class PosixStore:
         bandwidth, not a metadata round-trip per file.  Returns
         ``({relpath: data}, completion_time)``.
         """
+        plan = self.faults
         blobs = {}
         total = 0
         for rel in relpaths:
+            if plan is not None:
+                plan.check_read(rel)
             p = self.path(rel)
             try:
                 with open(p, "rb") as f:
@@ -165,16 +228,15 @@ class PosixStore:
         return blobs, self._charge_read(t, total)
 
     def bulk_write(self, blobs, t: float) -> float:
-        """Stream several files out as one bulk transfer."""
+        """Stream several files out as one bulk transfer.
+
+        Each file still lands via the atomic tmp+fsync+rename path —
+        staging performance is a virtual-time property here, durability
+        a real one.
+        """
         total = 0
         for rel, data in blobs.items():
-            p = self.path(rel)
-            os.makedirs(os.path.dirname(p), exist_ok=True)
-            try:
-                with open(p, "wb") as f:
-                    f.write(data)
-            except OSError as exc:
-                raise StorageError(str(exc)) from exc
+            self._atomic_write(rel, data)
             total += len(data)
         return self._charge_write(t, total)
 

@@ -83,6 +83,7 @@ class Machine:
         os.makedirs(self.base_dir, exist_ok=True)
         self._lock = threading.Lock()
         self._nvm_stores: Dict[int, PosixStore] = {}
+        self._faults = None  # Optional[repro.faults.FaultPlan]
 
         nnodes = system.nodes_for(nranks)
         self.nnodes = nnodes
@@ -130,6 +131,7 @@ class Machine:
                     extra_latency_s=self._nvm_extra_latency,
                     read_device=self._nvm_read[domain],
                 )
+                store.faults = self._faults
                 self._nvm_stores[domain] = store
             return store
 
@@ -143,7 +145,18 @@ class Machine:
                     extra_latency_s=self._lustre_extra,
                     read_device=self._lustre_read,
                 )
+                self._lustre.faults = self._faults
             return self._lustre
+
+    def set_faults(self, plan) -> None:
+        """Attach a :class:`repro.faults.FaultPlan` (or ``None``) to every
+        store this machine has created or will create."""
+        with self._lock:
+            self._faults = plan
+            for store in self._nvm_stores.values():
+                store.faults = plan
+            if hasattr(self, "_lustre"):
+                self._lustre.faults = plan
 
     def layout(self, group_size: Optional[int] = None) -> StorageLayout:
         """Storage-group layout; defaults to the architecture's natural one."""

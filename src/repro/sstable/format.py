@@ -1,6 +1,6 @@
 """Binary on-disk format of the three SSTable files.
 
-SSData record layout (little-endian)::
+SSData record layout (identical in v1 and v2, little-endian)::
 
     keylen   u32
     vallen   u32
@@ -8,32 +8,67 @@ SSData record layout (little-endian)::
     key      keylen bytes
     value    vallen bytes
 
-SSIndex layout::
+SSIndex v1 layout::
 
     magic    u32  = 0x50414B56  ("PAKV")
     count    u64
     entries  count * 17 bytes: offset u64, keylen u32, vallen u32, flags u8
 
-The bloom-filter file is the serialized :class:`repro.util.bloom.BloomFilter`.
-Keys live only in SSData — a binary-search probe must touch SSData at the
-indexed offset, which is the access pattern whose cost the paper's
-"SSTable binary search" optimization targets.
+SSIndex v2 layout (``format 2``)::
+
+    magic      u32  = 0x32564B50  ("PKV2")
+    count      u64
+    entries    count * 17 bytes             (same as v1)
+    footer:
+        data_len    u64    committed SSData file length
+        block_size  u32    CRC block granularity over SSData
+        nblocks     u32
+        block_crcs  nblocks * u32   CRC32C of each SSData block
+        bloom_crc   u32    CRC32C of the whole bloom *file*
+        bloom_len   u32    committed bloom file length
+    index_crc  u32   CRC32C over every preceding byte of this file
+
+The v1 bloom file is the raw serialized
+:class:`repro.util.bloom.BloomFilter`; v2 prefixes it with a
+self-checking header (``magic u32 = "PKVB"``, ``body_crc u32``) so the
+bloom can be verified before the index is ever read (gets consult the
+bloom first).  Keys live only in SSData — a binary-search probe must
+touch SSData at the indexed offset, which is the access pattern whose
+cost the paper's "SSTable binary search" optimization targets.
+
+All parse errors raise :class:`repro.errors.CorruptionError` (a
+``ValueError`` subclass, so pre-v2 callers keep working).
 """
 
 from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import CorruptionError
+from repro.util.bloom import BloomFilter
+from repro.util.checksum import crc32c
 
 DATA_SUFFIX = ".ssd"
 INDEX_SUFFIX = ".ssi"
 BLOOM_SUFFIX = ".bf"
+QUARANTINE_SUFFIX = ".quar"
 
-MAGIC = 0x50414B56
+MAGIC = 0x50414B56  # v1 "PAKV"
+MAGIC_V2 = 0x32564B50  # "PKV2"
+BLOOM_MAGIC_V2 = 0x42564B50  # "PKVB"
+FORMAT_V1 = 1
+FORMAT_V2 = 2
+DATA_BLOCK_SIZE = 64 * 1024
+
 _HDR = struct.Struct("<IQ")
 _ENTRY = struct.Struct("<QIIB")
 _REC_HDR = struct.Struct("<IIB")
+_FOOTER_FIXED = struct.Struct("<QII")  # data_len, block_size, nblocks
+_FOOTER_TAIL = struct.Struct("<II")  # bloom_crc, bloom_len
+_U32 = struct.Struct("<I")
+_BLOOM_HDR = struct.Struct("<II")  # magic, body_crc
 
 RECORD_HEADER_LEN = _REC_HDR.size  # 9
 INDEX_ENTRY_LEN = _ENTRY.size  # 17
@@ -75,6 +110,24 @@ class IndexEntry:
         return RECORD_HEADER_LEN + self.keylen + self.vallen
 
 
+@dataclass(frozen=True)
+class TableFooter:
+    """v2 integrity metadata carried at the end of the SSIndex file.
+
+    ``min_key``/``max_key`` are the table's smallest and largest keys
+    (empty for an empty table) — CRC-protected fences that bound the
+    poisoned range when the data file itself is too damaged to trust.
+    """
+
+    data_len: int
+    block_size: int
+    block_crcs: Tuple[int, ...]
+    bloom_crc: int
+    bloom_len: int
+    min_key: bytes = b""
+    max_key: bytes = b""
+
+
 def encode_record(rec: Record) -> bytes:
     """Serialize one record in SSData layout."""
     flags = TOMBSTONE_FLAG if rec.tombstone else 0
@@ -83,14 +136,20 @@ def encode_record(rec: Record) -> bytes:
 
 def decode_record_at(buf: bytes, offset: int) -> Tuple[Record, int]:
     """Decode one record at ``offset``; returns (record, next_offset)."""
-    keylen, vallen, flags = _REC_HDR.unpack_from(buf, offset)
+    try:
+        keylen, vallen, flags = _REC_HDR.unpack_from(buf, offset)
+    except struct.error as exc:
+        raise CorruptionError(f"SSData record header truncated at {offset}") from exc
     ko = offset + RECORD_HEADER_LEN
+    end = ko + keylen + vallen
+    if end > len(buf):
+        raise CorruptionError(
+            f"SSData record at {offset} overruns the file "
+            f"(needs {end} bytes, have {len(buf)})"
+        )
     key = bytes(buf[ko:ko + keylen])
-    value = bytes(buf[ko + keylen:ko + keylen + vallen])
-    return (
-        Record(key, value, bool(flags & TOMBSTONE_FLAG)),
-        ko + keylen + vallen,
-    )
+    value = bytes(buf[ko + keylen:end])
+    return Record(key, value, bool(flags & TOMBSTONE_FLAG)), end
 
 
 def decode_records(buf: bytes) -> Iterator[Record]:
@@ -103,7 +162,7 @@ def decode_records(buf: bytes) -> Iterator[Record]:
 
 
 def encode_index(entries: List[IndexEntry]) -> bytes:
-    """Serialize an SSIndex file (magic + count + fixed entries)."""
+    """Serialize a v1 SSIndex file (magic + count + fixed entries)."""
     out = bytearray(_HDR.pack(MAGIC, len(entries)))
     for e in entries:
         out += _ENTRY.pack(
@@ -112,25 +171,131 @@ def encode_index(entries: List[IndexEntry]) -> bytes:
     return bytes(out)
 
 
-def decode_index(buf: bytes) -> List[IndexEntry]:
-    """Parse an SSIndex file; raises ValueError on corruption."""
-    if len(buf) < _HDR.size:
-        raise ValueError("SSIndex truncated")
-    magic, count = _HDR.unpack_from(buf, 0)
-    if magic != MAGIC:
-        raise ValueError(f"bad SSIndex magic {magic:#x}")
-    expected = _HDR.size + count * INDEX_ENTRY_LEN
+def encode_index_v2(entries: List[IndexEntry], footer: TableFooter) -> bytes:
+    """Serialize a v2 SSIndex file (entries + footer + trailing CRC)."""
+    out = bytearray(_HDR.pack(MAGIC_V2, len(entries)))
+    for e in entries:
+        out += _ENTRY.pack(
+            e.offset, e.keylen, e.vallen, TOMBSTONE_FLAG if e.tombstone else 0
+        )
+    out += _FOOTER_FIXED.pack(footer.data_len, footer.block_size,
+                              len(footer.block_crcs))
+    for c in footer.block_crcs:
+        out += _U32.pack(c)
+    out += _FOOTER_TAIL.pack(footer.bloom_crc, footer.bloom_len)
+    out += _U32.pack(len(footer.min_key)) + footer.min_key
+    out += _U32.pack(len(footer.max_key)) + footer.max_key
+    out += _U32.pack(crc32c(bytes(out)))
+    return bytes(out)
+
+
+def _decode_entries(buf: bytes, count: int, pos: int) -> Tuple[List[IndexEntry], int]:
+    expected = pos + count * INDEX_ENTRY_LEN
     if len(buf) < expected:
-        raise ValueError("SSIndex shorter than its count claims")
+        raise CorruptionError("SSIndex shorter than its count claims")
     entries: List[IndexEntry] = []
-    pos = _HDR.size
     for _ in range(count):
         offset, keylen, vallen, flags = _ENTRY.unpack_from(buf, pos)
         entries.append(
             IndexEntry(offset, keylen, vallen, bool(flags & TOMBSTONE_FLAG))
         )
         pos += INDEX_ENTRY_LEN
-    return entries
+    return entries, pos
+
+
+def parse_index(buf: bytes) -> Tuple[List[IndexEntry], Optional[TableFooter]]:
+    """Parse a v1 or v2 SSIndex file.
+
+    Returns ``(entries, footer)``; the footer is ``None`` for v1 files.
+    v2 files are verified against their trailing CRC before any field
+    is trusted.  Raises :class:`CorruptionError` on any mismatch.
+    """
+    if len(buf) < _HDR.size:
+        raise CorruptionError("SSIndex truncated")
+    magic, count = _HDR.unpack_from(buf, 0)
+    if magic == MAGIC:
+        entries, _ = _decode_entries(buf, count, _HDR.size)
+        return entries, None
+    if magic != MAGIC_V2:
+        raise CorruptionError(f"bad SSIndex magic {magic:#x}")
+    if len(buf) < _U32.size:
+        raise CorruptionError("SSIndex v2 truncated")
+    (stored_crc,) = _U32.unpack_from(buf, len(buf) - _U32.size)
+    if crc32c(buf[:-_U32.size]) != stored_crc:
+        raise CorruptionError("SSIndex v2 checksum mismatch")
+    entries, pos = _decode_entries(buf, count, _HDR.size)
+    try:
+        data_len, block_size, nblocks = _FOOTER_FIXED.unpack_from(buf, pos)
+        pos += _FOOTER_FIXED.size
+        block_crcs = struct.unpack_from(f"<{nblocks}I", buf, pos)
+        pos += nblocks * _U32.size
+        bloom_crc, bloom_len = _FOOTER_TAIL.unpack_from(buf, pos)
+        pos += _FOOTER_TAIL.size
+        fences = []
+        for _ in range(2):
+            (klen,) = _U32.unpack_from(buf, pos)
+            pos += _U32.size
+            if pos + klen > len(buf) - _U32.size:
+                raise CorruptionError("SSIndex v2 key fence overruns footer")
+            fences.append(bytes(buf[pos:pos + klen]))
+            pos += klen
+    except struct.error as exc:
+        raise CorruptionError("SSIndex v2 footer truncated") from exc
+    footer = TableFooter(data_len, block_size, block_crcs, bloom_crc,
+                         bloom_len, fences[0], fences[1])
+    return entries, footer
+
+
+def decode_index(buf: bytes) -> List[IndexEntry]:
+    """Parse an SSIndex file (v1 or v2); raises CorruptionError."""
+    return parse_index(buf)[0]
+
+
+def data_block_crcs(data: bytes, block_size: int = DATA_BLOCK_SIZE) -> Tuple[int, ...]:
+    """CRC32C of each ``block_size`` chunk of an SSData buffer."""
+    return tuple(
+        crc32c(data[off:off + block_size])
+        for off in range(0, len(data), block_size)
+    ) or (crc32c(b""),)
+
+
+def make_footer(data: bytes, bloom_blob: bytes,
+                block_size: int = DATA_BLOCK_SIZE,
+                min_key: bytes = b"", max_key: bytes = b"") -> TableFooter:
+    """Build the v2 footer for an SSData buffer and bloom file blob."""
+    return TableFooter(
+        data_len=len(data),
+        block_size=block_size,
+        block_crcs=data_block_crcs(data, block_size),
+        bloom_crc=crc32c(bloom_blob),
+        bloom_len=len(bloom_blob),
+        min_key=min_key,
+        max_key=max_key,
+    )
+
+
+def encode_bloom_file(bloom: BloomFilter) -> bytes:
+    """Serialize a bloom filter as a self-checking v2 file blob."""
+    body = bloom.to_bytes()
+    return _BLOOM_HDR.pack(BLOOM_MAGIC_V2, crc32c(body)) + body
+
+
+def decode_bloom_file(blob: bytes) -> BloomFilter:
+    """Parse a v1 or v2 bloom file; raises CorruptionError."""
+    if len(blob) >= _BLOOM_HDR.size:
+        magic, body_crc = _BLOOM_HDR.unpack_from(blob, 0)
+        if magic == BLOOM_MAGIC_V2:
+            body = blob[_BLOOM_HDR.size:]
+            if crc32c(body) != body_crc:
+                raise CorruptionError("bloom filter checksum mismatch")
+            try:
+                return BloomFilter.from_bytes(body)
+            except ValueError as exc:
+                raise CorruptionError(f"bloom filter malformed: {exc}") from exc
+    try:
+        return BloomFilter.from_bytes(blob)
+    except ValueError as exc:
+        raise CorruptionError(f"bloom filter malformed: {exc}") from exc
 
 
 def sstable_filenames(ssid: int) -> Tuple[str, str, str]:

@@ -7,14 +7,22 @@ binary search enabled each probe is a small random read of just the key
 bytes at an indexed offset — cheap on NVM, which is the point of the
 optimization.  With it disabled the reader scans SSData from the front
 (the ``Default`` configuration in Figure 8).
+
+Verification (format v2) is lazy: the bloom and index files check their
+own CRCs when first loaded, and SSData blocks are checked the first
+time a probe touches them, against the footer committed in the SSIndex.
+A mismatch raises :class:`repro.errors.CorruptionError` (or
+:class:`repro.errors.TornWriteError` when the file is short) — the
+reader never returns bytes that failed their checksum.  v1 tables have
+no checksums and are served with structural validation only.
 """
 
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Tuple
+from typing import List, Optional, Set, Tuple
 
-from repro.errors import StorageError
+from repro.errors import CorruptionError, StorageError, TornWriteError
 from repro.nvm.posixfs import PosixStore
 from repro.sstable.format import (
     BLOOM_SUFFIX,
@@ -23,11 +31,15 @@ from repro.sstable.format import (
     RECORD_HEADER_LEN,
     IndexEntry,
     Record,
-    decode_index,
+    TableFooter,
+    decode_bloom_file,
     decode_record_at,
+    decode_records,
+    parse_index,
     sstable_filenames,
 )
 from repro.util.bloom import BloomFilter
+from repro.util.checksum import crc32c
 
 _SSID_RE = re.compile(r"^(\d{10})" + re.escape(DATA_SUFFIX) + "$")
 
@@ -63,26 +75,80 @@ class SSTableReader:
         self._bloom_path = f"{directory}/{b}"
         self._bloom: Optional[BloomFilter] = None
         self._index: Optional[List[IndexEntry]] = None
+        self._footer: Optional[TableFooter] = None
+        self._verified_blocks: Set[int] = set()
+        self._size_checked = False
+
+    def _corrupt(self, detail: str) -> CorruptionError:
+        return CorruptionError(f"sstable {self.ssid} ({self.directory}): {detail}")
 
     # ----------------------------------------------------------------- loads
     def load_bloom(self, t: float) -> Tuple[BloomFilter, float]:
-        """Load (once) and return the bloom filter."""
+        """Load (once), verify, and return the bloom filter."""
         if self._bloom is None:
             blob, t = self.store.read(self._bloom_path, t)
-            self._bloom = BloomFilter.from_bytes(blob)
+            try:
+                self._bloom = decode_bloom_file(blob)
+            except CorruptionError as exc:
+                raise self._corrupt(str(exc)) from exc
         return self._bloom, t
 
     def load_index(self, t: float) -> Tuple[List[IndexEntry], float]:
-        """Load (once) and return the SSIndex entries."""
+        """Load (once), verify, and return the SSIndex entries."""
         if self._index is None:
             blob, t = self.store.read(self._index_path, t)
-            self._index = decode_index(blob)
+            try:
+                self._index, self._footer = parse_index(blob)
+            except CorruptionError as exc:
+                raise self._corrupt(str(exc)) from exc
         return self._index, t
+
+    def footer(self, t: float) -> Tuple[Optional[TableFooter], float]:
+        """The v2 footer, loading the index if needed (None for v1)."""
+        _, t = self.load_index(t)
+        return self._footer, t
 
     def may_contain(self, key: bytes, t: float) -> Tuple[bool, float]:
         """Bloom membership test; False means definitely absent."""
         bloom, t = self.load_bloom(t)
         return key in bloom, t
+
+    # -------------------------------------------------------- data integrity
+    def _check_data_size(self) -> None:
+        """First-touch check that SSData matches its committed length."""
+        if self._size_checked or self._footer is None:
+            return
+        size = self.store.size(self._data_path)
+        if size != self._footer.data_len:
+            raise TornWriteError(
+                f"sstable {self.ssid} ({self.directory}): SSData is "
+                f"{size} bytes, footer committed {self._footer.data_len}"
+            )
+        self._size_checked = True
+
+    def _verify_span(self, lo: int, hi: int, t: float) -> float:
+        """Verify (once) every data block overlapping ``[lo, hi)``."""
+        footer = self._footer
+        if footer is None:
+            return t  # v1: no checksums on disk
+        self._check_data_size()
+        bs = footer.block_size
+        for blk in range(lo // bs, (max(hi, lo + 1) - 1) // bs + 1):
+            if blk in self._verified_blocks:
+                continue
+            if blk >= len(footer.block_crcs):
+                raise self._corrupt(f"index entry points past block {blk}")
+            blob, t = self.store.read(self._data_path, t, blk * bs, bs)
+            if crc32c(blob) != footer.block_crcs[blk]:
+                raise self._corrupt(f"SSData block {blk} checksum mismatch")
+            self._verified_blocks.add(blk)
+        return t
+
+    def _entry_bounds_ok(self, entry: IndexEntry) -> bool:
+        footer = self._footer
+        if footer is None:
+            return True
+        return entry.offset + entry.record_len <= footer.data_len
 
     # ---------------------------------------------------------------- lookup
     def get(self, key: bytes, t: float,
@@ -109,6 +175,10 @@ class SSTableReader:
         while lo <= hi:
             mid = (lo + hi) // 2
             entry = index[mid]
+            if not self._entry_bounds_ok(entry):
+                raise self._corrupt(f"index entry {mid} overruns SSData")
+            t = self._verify_span(entry.offset,
+                                  entry.offset + entry.record_len, t)
             probe, t = self.store.read(
                 self._data_path, t, entry.key_offset, entry.keylen
             )
@@ -130,18 +200,35 @@ class SSTableReader:
         costs one small read (header + key) before the scan can jump to
         the next offset — O(n) device operations against binary search's
         O(log n), which is exactly the gap the optimization closes.
+        The scan verifies blocks only when the footer is already cached
+        (it deliberately avoids loading the index, that being the whole
+        point of the ablation); structural decode errors still raise.
         """
         import struct as _struct
 
         size = self.store.size(self._data_path)
+        if self._footer is not None and size != self._footer.data_len:
+            raise TornWriteError(
+                f"sstable {self.ssid} ({self.directory}): SSData is "
+                f"{size} bytes, footer committed {self._footer.data_len}"
+            )
         offset = 0
         while offset < size:
             # speculative read: header plus enough bytes for typical keys
             probe, t = self.store.read(
                 self._data_path, t, offset, RECORD_HEADER_LEN + _SPEC_KEY
             )
-            keylen, vallen, flags = _struct.unpack_from("<IIB", probe, 0)
+            try:
+                keylen, vallen, flags = _struct.unpack_from("<IIB", probe, 0)
+            except _struct.error as exc:
+                raise self._corrupt(
+                    f"SSData record header truncated at {offset}"
+                ) from exc
             kend = RECORD_HEADER_LEN + keylen
+            if offset + kend + vallen > size:
+                raise self._corrupt(f"SSData record at {offset} overruns the file")
+            if self._footer is not None:
+                t = self._verify_span(offset, offset + kend + vallen, t)
             if keylen <= _SPEC_KEY:
                 rkey = probe[RECORD_HEADER_LEN:kend]
             else:  # long key: one more read
@@ -160,11 +247,70 @@ class SSTableReader:
 
     # --------------------------------------------------------------- full I/O
     def read_all(self, t: float) -> Tuple[List[Record], float]:
-        """Sequential read of the whole table (compaction, redistribution)."""
-        blob, t = self.store.read(self._data_path, t)
-        from repro.sstable.format import decode_records
+        """Sequential read of the whole table (compaction, redistribution).
 
-        return list(decode_records(blob)), t
+        For v2 tables the whole buffer is verified against the footer's
+        block CRCs before decoding; compaction therefore never launders
+        corrupt bytes into a fresh table.
+        """
+        blob, t = self.store.read(self._data_path, t)
+        try:
+            _, t = self.load_index(t)
+        except CorruptionError:
+            raise  # a corrupt index must not be silently ignored
+        except StorageError:
+            self._footer = None  # sidecar missing: structural checks only
+        footer = self._footer
+        if footer is not None:
+            if len(blob) != footer.data_len:
+                raise TornWriteError(
+                    f"sstable {self.ssid} ({self.directory}): SSData is "
+                    f"{len(blob)} bytes, footer committed {footer.data_len}"
+                )
+            bs = footer.block_size
+            for blk, want in enumerate(footer.block_crcs):
+                if crc32c(blob[blk * bs:(blk + 1) * bs]) != want:
+                    raise self._corrupt(f"SSData block {blk} checksum mismatch")
+                self._verified_blocks.add(blk)
+            self._size_checked = True
+        try:
+            return list(decode_records(blob)), t
+        except CorruptionError as exc:
+            raise self._corrupt(str(exc)) from exc
+
+    def verify(self, t: float) -> float:
+        """Full integrity check of all three files; returns completion time.
+
+        Raises :class:`CorruptionError` / :class:`TornWriteError` on the
+        first problem found.  For v2 this checks the index CRC, the
+        bloom file CRC against the footer, every SSData block CRC, and
+        that the decoded records agree with the index; v1 tables get the
+        structural subset.
+        """
+        index, t = self.load_index(t)
+        footer = self._footer
+        bloom_blob, t = self.store.read(self._bloom_path, t)
+        if footer is not None:
+            if len(bloom_blob) != footer.bloom_len:
+                raise TornWriteError(
+                    f"sstable {self.ssid} ({self.directory}): bloom is "
+                    f"{len(bloom_blob)} bytes, footer committed {footer.bloom_len}"
+                )
+            if crc32c(bloom_blob) != footer.bloom_crc:
+                raise self._corrupt("bloom file checksum mismatch")
+        try:
+            self._bloom = decode_bloom_file(bloom_blob)
+        except CorruptionError as exc:
+            raise self._corrupt(str(exc)) from exc
+        records, t = self.read_all(t)
+        if len(records) != len(index):
+            raise self._corrupt(
+                f"SSData holds {len(records)} records, index claims {len(index)}"
+            )
+        for rec, entry in zip(records, index):
+            if len(rec.key) != entry.keylen or len(rec.value) != entry.vallen:
+                raise self._corrupt("index entry disagrees with SSData record")
+        return t
 
     def nbytes(self) -> int:
         """Total on-disk size of the three files."""

@@ -1,34 +1,44 @@
-"""SSTable writer: flush sorted records to the three files."""
+"""SSTable writer: flush sorted records to the three files.
+
+Tables are written in format v2 by default: the SSIndex carries a
+footer with CRC32C checksums over the SSData blocks and the bloom file,
+and the bloom file carries its own self-checking header (see
+:mod:`repro.sstable.format`).  All three files go through the store's
+tmp-file + fsync + atomic-rename path, in the order SSData -> SSIndex
+-> bloom, so a crash leaves either no table, a complete data file whose
+sidecars can be rebuilt, or a complete table — never a torn one.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.nvm.posixfs import PosixStore
 from repro.sstable.format import (
+    FORMAT_V1,
+    FORMAT_V2,
     IndexEntry,
     Record,
+    encode_bloom_file,
     encode_index,
+    encode_index_v2,
     encode_record,
+    make_footer,
     sstable_filenames,
 )
 from repro.util.bloom import BloomFilter
 
 
-def write_sstable(
-    store: PosixStore,
-    directory: str,
-    ssid: int,
+def encode_table(
     records: Iterable[Record],
-    t: float,
     fp_rate: float = 0.01,
-) -> Tuple[int, float]:
-    """Write one SSTable under ``directory`` in ``store``.
+    format_version: int = FORMAT_V2,
+) -> Dict[str, bytes]:
+    """Encode sorted ``records`` into the three file blobs.
 
-    ``records`` must already be sorted by key (MemTables iterate in key
-    order).  Returns ``(bytes_written, virtual_completion_time)``.
-    Tombstones are written too — they must shadow older SSTables until a
-    compaction drops the dead keys.
+    Returns ``{"data": ..., "index": ..., "bloom": ...}``.  Factored out
+    of :func:`write_sstable` so recovery paths (sidecar rebuild from an
+    intact SSData file) can re-derive blobs without rewriting the data.
     """
     recs: List[Record] = list(records)
     prev_key = None
@@ -47,11 +57,42 @@ def write_sstable(
         data += encode_record(rec)
         bloom.add(rec.key)
 
-    data_name, index_name, bloom_name = sstable_filenames(ssid)
-    index_blob = encode_index(entries)
-    bloom_blob = bloom.to_bytes()
+    data_blob = bytes(data)
+    if format_version == FORMAT_V1:
+        return {
+            "data": data_blob,
+            "index": encode_index(entries),
+            "bloom": bloom.to_bytes(),
+        }
+    bloom_blob = encode_bloom_file(bloom)
+    footer = make_footer(
+        data_blob, bloom_blob,
+        min_key=recs[0].key if recs else b"",
+        max_key=recs[-1].key if recs else b"",
+    )
+    index_blob = encode_index_v2(entries, footer)
+    return {"data": data_blob, "index": index_blob, "bloom": bloom_blob}
 
-    end = store.write(f"{directory}/{data_name}", bytes(data), t)
-    end = store.write(f"{directory}/{index_name}", index_blob, end)
-    end = store.write(f"{directory}/{bloom_name}", bloom_blob, end)
-    return len(data) + len(index_blob) + len(bloom_blob), end
+
+def write_sstable(
+    store: PosixStore,
+    directory: str,
+    ssid: int,
+    records: Iterable[Record],
+    t: float,
+    fp_rate: float = 0.01,
+    format_version: int = FORMAT_V2,
+) -> Tuple[int, float]:
+    """Write one SSTable under ``directory`` in ``store``.
+
+    ``records`` must already be sorted by key (MemTables iterate in key
+    order).  Returns ``(bytes_written, virtual_completion_time)``.
+    Tombstones are written too — they must shadow older SSTables until a
+    compaction drops the dead keys.
+    """
+    blobs = encode_table(records, fp_rate, format_version)
+    data_name, index_name, bloom_name = sstable_filenames(ssid)
+    end = store.write(f"{directory}/{data_name}", blobs["data"], t)
+    end = store.write(f"{directory}/{index_name}", blobs["index"], end)
+    end = store.write(f"{directory}/{bloom_name}", blobs["bloom"], end)
+    return sum(len(b) for b in blobs.values()), end

@@ -5,6 +5,7 @@
     python -m repro.tools.cli inspect <repository-root>
     python -m repro.tools.cli dump <rank-dir> <ssid> [--limit N]
     python -m repro.tools.cli verify <rank-dir> <ssid>
+    python -m repro.tools.cli fsck <repository-root>
     python -m repro.tools.cli demo [--ranks N] [--system NAME]
     python -m repro.tools.cli systems
 """
@@ -59,6 +60,21 @@ def _cmd_verify(args) -> int:
         return 1
     print(f"sstable {args.ssid} in {args.rank_dir}: OK")
     return 0
+
+
+def _cmd_fsck(args) -> int:
+    """Offline integrity check of every SSTable in a repository."""
+    from repro.tools.dump import fsck_repository
+
+    report = fsck_repository(args.root)
+    if not report:
+        print(f"repository {args.root}: all tables verify clean")
+        return 0
+    for table, problems in sorted(report.items()):
+        for p in problems:
+            print(f"{table}: {p}")
+    print(f"{len(report)} damaged table(s)")
+    return 1
 
 
 def _cmd_demo(args) -> int:
@@ -181,6 +197,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("rank_dir")
     p.add_argument("ssid", type=int)
     p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser(
+        "fsck", help="verify every SSTable under a repository root"
+    )
+    p.add_argument("root")
+    p.set_defaults(fn=_cmd_fsck)
 
     p = sub.add_parser("demo", help="run a small SPMD demo")
     p.add_argument("--ranks", type=int, default=4)

@@ -22,11 +22,14 @@ from repro.sstable.format import (
     BLOOM_SUFFIX,
     DATA_SUFFIX,
     INDEX_SUFFIX,
+    QUARANTINE_SUFFIX,
     Record,
-    decode_index,
+    data_block_crcs,
+    decode_bloom_file,
     decode_records,
+    parse_index,
 )
-from repro.util.bloom import BloomFilter
+from repro.util.checksum import crc32c
 
 _DB_RE = re.compile(r"^db_(.+)$")
 _RANK_RE = re.compile(r"^rank(\d+)$")
@@ -145,7 +148,12 @@ def dump_sstable(rank_dir: str, ssid: int,
 
 
 def verify_sstable(rank_dir: str, ssid: int) -> List[str]:
-    """Cross-check one SSTable's three files; returns found problems."""
+    """Cross-check one SSTable's three files; returns found problems.
+
+    Understands both on-disk formats: v2 tables are additionally
+    checked against their footer (data length, per-block CRC32C, bloom
+    checksum); v1 tables get the structural checks only.
+    """
     problems: List[str] = []
     base = os.path.join(rank_dir, f"{ssid:010d}")
     try:
@@ -157,9 +165,16 @@ def verify_sstable(rank_dir: str, ssid: int) -> List[str]:
     keys = [r.key for r in records]
     if keys != sorted(set(keys)):
         problems.append("SSData keys not strictly sorted")
+    bloom_blob = None
+    try:
+        with open(base + BLOOM_SUFFIX, "rb") as f:
+            bloom_blob = f.read()
+    except OSError as exc:
+        problems.append(f"bloom filter unreadable: {exc}")
+    footer = None
     try:
         with open(base + INDEX_SUFFIX, "rb") as f:
-            entries = decode_index(f.read())
+            entries, footer = parse_index(f.read())
         if len(entries) != len(records):
             problems.append(
                 f"SSIndex count {len(entries)} != record count {len(records)}"
@@ -171,14 +186,68 @@ def verify_sstable(rank_dir: str, ssid: int) -> List[str]:
                 break
     except (OSError, ValueError) as exc:
         problems.append(f"SSIndex unreadable: {exc}")
-    try:
-        with open(base + BLOOM_SUFFIX, "rb") as f:
-            bloom = BloomFilter.from_bytes(f.read())
-        missing = [k for k in keys if k not in bloom]
-        if missing:
+    if footer is not None:  # format v2: checksum everything
+        if len(data) != footer.data_len:
             problems.append(
-                f"bloom filter false negatives: {len(missing)} keys"
+                f"SSData length {len(data)} != footer {footer.data_len} "
+                f"(torn write)"
             )
-    except (OSError, ValueError) as exc:
-        problems.append(f"bloom filter unreadable: {exc}")
+        elif tuple(data_block_crcs(data, footer.block_size)) != \
+                tuple(footer.block_crcs):
+            problems.append("SSData block checksum mismatch (corruption)")
+        if bloom_blob is not None:
+            if len(bloom_blob) != footer.bloom_len:
+                problems.append(
+                    f"bloom length {len(bloom_blob)} != footer "
+                    f"{footer.bloom_len} (torn write)"
+                )
+            elif crc32c(bloom_blob) != footer.bloom_crc:
+                problems.append("bloom file checksum mismatch (corruption)")
+    if bloom_blob is not None:
+        try:
+            bloom = decode_bloom_file(bloom_blob)
+            missing = [k for k in keys if k not in bloom]
+            if missing:
+                problems.append(
+                    f"bloom filter false negatives: {len(missing)} keys"
+                )
+        except ValueError as exc:
+            problems.append(f"bloom filter unreadable: {exc}")
     return problems
+
+
+def fsck_repository(root: str) -> Dict[str, List[str]]:
+    """Verify every SSTable of every database under a repository root.
+
+    Returns ``{"<db>/rank<r>/<ssid>": [problems...]}`` for each damaged
+    table; quarantined files are reported under their table's key.  An
+    empty dict means the repository is clean.
+    """
+    if not os.path.isdir(root):
+        raise FileNotFoundError(f"no repository at {root}")
+    report: Dict[str, List[str]] = {}
+    for entry in sorted(os.listdir(root)):
+        m = _DB_RE.match(entry)
+        if not m:
+            continue
+        db_dir = os.path.join(root, entry)
+        for sub in sorted(os.listdir(db_dir)):
+            rm = _RANK_RE.match(sub)
+            if not rm:
+                continue
+            rank_dir = os.path.join(db_dir, sub)
+            for fname in sorted(os.listdir(rank_dir)):
+                key = f"{m.group(1)}/{sub}/{fname}"
+                if fname.endswith(QUARANTINE_SUFFIX):
+                    report.setdefault(key, []).append(
+                        "quarantined (moved out of the search order)"
+                    )
+                    continue
+                sm = _SSID_RE.match(fname)
+                if not sm:
+                    continue
+                ssid = int(sm.group(1))
+                problems = verify_sstable(rank_dir, ssid)
+                if problems:
+                    report[f"{m.group(1)}/{sub}/{ssid}"] = problems
+    return report

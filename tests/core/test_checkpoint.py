@@ -39,12 +39,15 @@ class TestCheckpoint:
                 db.coll_comm.barrier()
                 lustre = ctx.machine.lustre_store()
                 files = lustre.listdir(
-                    f"ckpt/snap1/db_db/rank{ctx.world_rank}"
+                    f"ckpt/snap1/db_db/gen1/rank{ctx.world_rank}"
                 )
                 assert files, "rank snapshot dir is empty"
+                assert "MANIFEST.json" in files  # per-rank checksum record
                 if ctx.world_rank == 0:
                     m = read_manifest(ctx.machine, "snap1", "db")
                     assert m["nranks"] == ctx.nranks
+                    assert m["generation"] == 1
+                    assert m["format"] == 2
                 db.close()
 
         spmd_run(3, app)
@@ -234,3 +237,69 @@ class TestDestroy:
                 db2.close()
 
         spmd_run(2, app)
+
+
+class TestGenerations:
+    """Re-checkpointing to the same name must never overwrite the last
+    good snapshot in place; restart prefers the newest COMPLETE one."""
+
+    def test_second_checkpoint_is_new_generation(self, tmp_path):
+        machine = Machine(SUMMITDEV, 2, base_dir=str(tmp_path))
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("db", small_options())
+                _populate(db, ctx.world_rank, n=20)
+                db.checkpoint("gens").wait(ctx.clock)
+                db.coll_comm.barrier()
+                db.put(f"extra-{ctx.world_rank}".encode(), b"late")
+                db.barrier()
+                db.checkpoint("gens").wait(ctx.clock)
+                db.coll_comm.barrier()
+                if ctx.world_rank == 0:
+                    lustre = ctx.machine.lustre_store()
+                    gens = sorted(
+                        f for f in lustre.listdir("ckpt/gens/db_db")
+                        if f.startswith("gen")
+                    )
+                    assert gens == ["gen1", "gen2"]
+                    m = read_manifest(ctx.machine, "gens", "db")
+                    assert m["generation"] == 2
+                db.close()
+
+        spmd_run(2, app, machine=machine, timeout=240)
+        machine.close()
+
+    def test_restart_falls_back_to_newest_complete_generation(self, tmp_path):
+        import os
+
+        machine = Machine(SUMMITDEV, 2, base_dir=str(tmp_path))
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("db", small_options())
+                db.put(f"g-{ctx.world_rank}".encode(), b"old")
+                db.barrier()
+                db.checkpoint("fall").wait(ctx.clock)
+                db.coll_comm.barrier()
+                db.put(f"g-{ctx.world_rank}".encode(), b"new")
+                db.barrier()
+                db.checkpoint("fall").wait(ctx.clock)
+                db.coll_comm.barrier()
+                db.destroy().wait(ctx.clock)
+                # gen2 loses a rank manifest: incomplete, must be skipped
+                if ctx.world_rank == 0:
+                    lustre = ctx.machine.lustre_store()
+                    os.remove(lustre.path(
+                        "ckpt/fall/db_db/gen2/rank0/MANIFEST.json"
+                    ))
+                ctx.comm.barrier()
+                db2, ev = env.restart("fall", "db", small_options())
+                ev.wait(ctx.clock)
+                db2.coll_comm.barrier()
+                for rr in range(ctx.nranks):
+                    assert db2.get(f"g-{rr}".encode()) == b"old"
+                db2.close()
+
+        spmd_run(2, app, machine=machine, timeout=240)
+        machine.close()

@@ -77,10 +77,24 @@ class TestOptionsValidation:
         ("group_size", 0, InvalidOptionError),
         ("cache_local_capacity", 0, InvalidOptionError),
         ("cache_remote_capacity", -1, InvalidOptionError),
+        ("remote_timeout", 0, InvalidOptionError),
+        ("remote_timeout", -1.5, InvalidOptionError),
+        ("remote_retries", -1, InvalidOptionError),
     ])
     def test_invalid_fields(self, field, value, exc):
         with pytest.raises(exc):
             Options(**{field: value})
+
+    def test_robustness_knobs(self):
+        opt = Options()
+        assert opt.remote_timeout is None  # wait forever: seed behavior
+        assert opt.remote_retries == 3
+        assert opt.verify_on_open is False
+        opt = Options(remote_timeout=0.5, remote_retries=0,
+                      verify_on_open=True)
+        assert opt.remote_timeout == 0.5
+        assert opt.remote_retries == 0
+        assert opt.verify_on_open is True
 
     def test_keyword_only_construction(self):
         # positional construction is a bug magnet with ~20 fields; the
