@@ -1,0 +1,71 @@
+"""Concurrency-correctness plane for the PapyrusKV reproduction.
+
+Three cooperating layers (see ``docs/analysis.md``):
+
+* :mod:`repro.analysis.pkvlint` — an AST-based static analyzer with
+  project-specific rules R001–R005 (no blocking ``Comm`` calls under a
+  lock, fsync-before-rename durability, message/handler/wire-tag
+  completeness, canonical lock order, no swallowed corruption errors);
+* :mod:`repro.analysis.runtime` — an opt-in vector-clock happens-before
+  race detector plus a lock-order/deadlock checker, driven by
+  instrumented locks and read/write annotations on the shared hot
+  structures (MemTables, LRU caches, SSTable-reader caches);
+* the ``lint`` and ``race-report`` subcommands of
+  :mod:`repro.tools.cli`, which surface both as JSON findings.
+
+Everything is stdlib-only and costs one ``None`` check per hook when
+the detector is disabled (the default).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import (
+    Finding,
+    findings_to_json,
+    is_allowed,
+    load_allowlist,
+)
+from repro.analysis.lock_order import (
+    LOCK_ORDER,
+    LockClass,
+    level_of,
+    level_of_attr,
+    render_lock_table,
+    render_threads_map,
+)
+from repro.analysis.pkvlint import lint_file, lint_paths
+from repro.analysis.runtime import (
+    RaceDetector,
+    annotate_read,
+    annotate_write,
+    disable,
+    enable,
+    get_detector,
+    make_lock,
+    make_rlock,
+    maybe_enable_from_env,
+)
+
+__all__ = [
+    "Finding",
+    "findings_to_json",
+    "load_allowlist",
+    "is_allowed",
+    "LOCK_ORDER",
+    "LockClass",
+    "level_of",
+    "level_of_attr",
+    "render_lock_table",
+    "render_threads_map",
+    "lint_file",
+    "lint_paths",
+    "RaceDetector",
+    "get_detector",
+    "enable",
+    "disable",
+    "maybe_enable_from_env",
+    "make_lock",
+    "make_rlock",
+    "annotate_read",
+    "annotate_write",
+]

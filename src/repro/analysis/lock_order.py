@@ -1,0 +1,157 @@
+"""The canonical lock-acquisition order of the whole runtime.
+
+This registry is the single source of truth consumed by three clients:
+
+* pkvlint rule **R004** checks lexically nested ``with`` blocks against
+  it (a lock may only be acquired while holding locks of *lower*
+  level);
+* the dynamic lock-order checker (:mod:`repro.analysis.runtime`)
+  enforces the same rule on real acquisitions and builds the deadlock
+  graph from the levels declared here;
+* ``docs/architecture.md`` embeds :func:`render_lock_table` /
+  :func:`render_threads_map` between ``lock-order`` markers, and
+  ``tests/analysis/test_docs_sync.py`` regenerates the section and
+  fails on drift — the docs cannot diverge from the registry.
+
+Levels increase in acquisition order: while holding a lock at level
+``L`` a thread may only acquire locks with level strictly greater than
+``L``.  Locks that are never nested still get distinct levels so an
+accidental nesting is caught the first time it happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class LockClass:
+    """One named lock class in the canonical order."""
+
+    name: str
+    level: int
+    #: attribute names this lock appears under in source (for pkvlint)
+    attrs: Tuple[str, ...]
+    #: who holds an instance of it
+    holder: str
+    #: what it guards
+    guards: str
+
+
+#: The canonical order, lowest level acquired first.
+LOCK_ORDER: Tuple[LockClass, ...] = (
+    LockClass(
+        name="db.state",
+        level=10,
+        attrs=("_lock",),
+        holder="core.db.Database (RLock)",
+        guards="MemTables, caches, ssids, inflight, quarantine list",
+    ),
+    LockClass(
+        name="db.readers",
+        level=20,
+        attrs=("_readers_lock",),
+        holder="core.db.Database",
+        guards="the per-SSID SSTableReader cache (main + handler threads)",
+    ),
+    LockClass(
+        name="world.comm",
+        level=30,
+        attrs=("_comm_lock",),
+        holder="mpi.comm.World",
+        guards="communicator-id allocation, collective-state registry",
+    ),
+    LockClass(
+        name="world.mailboxes",
+        level=40,
+        attrs=("_mbx_lock",),
+        holder="mpi.comm.World",
+        guards="the (comm, rank) -> mailbox map",
+    ),
+    LockClass(
+        name="comm.collective",
+        level=50,
+        attrs=("lock",),
+        holder="mpi.comm._CollectiveState",
+        guards="collective slots/scratch around the rendezvous barrier",
+    ),
+    LockClass(
+        name="queue.fifo",
+        level=60,
+        attrs=("_not_full", "_not_empty"),
+        holder="util.queues.BoundedFIFO",
+        guards="the bounded FIFO's item list and conditions",
+    ),
+)
+
+_BY_NAME: Dict[str, LockClass] = {lc.name: lc for lc in LOCK_ORDER}
+
+_BY_ATTR: Dict[str, LockClass] = {}
+for _lc in LOCK_ORDER:
+    for _attr in _lc.attrs:
+        _BY_ATTR.setdefault(_attr, _lc)
+
+#: every attribute name that denotes a registered lock (pkvlint R001/R004)
+LOCK_ATTRS: Tuple[str, ...] = tuple(sorted(_BY_ATTR))
+
+
+def level_of(name: str) -> Optional[int]:
+    """Level of a lock class by canonical name; None if unregistered."""
+    lc = _BY_NAME.get(name)
+    return None if lc is None else lc.level
+
+
+def level_of_attr(attr: str) -> Optional[int]:
+    """Level of a lock by source attribute name; None if unregistered."""
+    lc = _BY_ATTR.get(attr)
+    return None if lc is None else lc.level
+
+
+def class_of_attr(attr: str) -> Optional[LockClass]:
+    """The registered lock class for a source attribute name."""
+    return _BY_ATTR.get(attr)
+
+
+def render_lock_table() -> str:
+    """The canonical order as a markdown table (embedded in docs)."""
+    lines = [
+        "| order | lock | held by | guards |",
+        "|---|---|---|---|",
+    ]
+    for lc in LOCK_ORDER:
+        attrs = ", ".join(f"`{a}`" for a in lc.attrs)
+        lines.append(
+            f"| {lc.level} | **{lc.name}** ({attrs}) | {lc.holder} "
+            f"| {lc.guards} |"
+        )
+    return "\n".join(lines)
+
+
+def render_threads_map() -> str:
+    """The threads-and-locks map as markdown (embedded in docs)."""
+    return "\n".join([
+        "Threads and the locks they take, in acquisition order:",
+        "",
+        "* **rank main** — `db.state` (every put/get/scan/fence), "
+        "`db.readers` (SSTable lookups), `world.comm`/`world.mailboxes` "
+        "(comm management), `comm.collective` (collectives), `queue.fifo`.",
+        "* **message handler** (per rank × database) — `db.state` "
+        "(serving migrations and remote gets), `db.readers` (SSTable "
+        "lookups on behalf of remote ranks), `world.mailboxes` (its "
+        "blocking receive).",
+        "* **virtual background workers** (compaction, dispatcher) are "
+        "*not* real threads: their jobs run eagerly on whichever real "
+        "thread schedules them and inherit that thread's held locks — "
+        "which is why flush jobs must never send (`pkvlint` R001).",
+        "",
+        "Rule: a thread holding a lock at level *L* may only acquire "
+        "locks at levels strictly greater than *L*.  `db.state` is an "
+        "RLock (re-entry allowed); everything else is plain.  No lock "
+        "is ever held across a blocking receive.",
+    ])
+
+
+def render_markdown() -> str:
+    """The full generated docs section (table + threads map)."""
+    return render_lock_table() + "\n\n" + render_threads_map()

@@ -1,0 +1,456 @@
+"""pkvlint — the project's AST-based static analyzer.
+
+Five rules, each encoding an invariant of the PapyrusKV runtime that an
+ordinary linter cannot know:
+
+``R001``
+    No blocking ``Comm`` call (``send``/``recv``/``barrier``/collectives)
+    while lexically inside a ``with`` block holding a registered lock
+    (see :mod:`repro.analysis.lock_order`).  A handler blocked in
+    ``recv`` while holding ``db.state`` deadlocks the rank.
+``R002``
+    Every ``os.rename``/``os.replace``/``Path.rename`` must be preceded
+    (earlier in the same function) by an ``fsync``-named call: a rename
+    publishing non-durable bytes breaks crash consistency.
+``R003``
+    ``core/messages.py`` must carry a ``WIRE_TAGS`` literal mapping with
+    a unique integer tag per message class, and every ``*Msg`` class
+    must be referenced by ``core/handler.py`` (i.e. have a handler arm).
+``R004``
+    Lexically nested ``with`` blocks on registered lock attributes must
+    follow the canonical order (inner level strictly greater).
+``R005``
+    No bare ``except:`` and no silently swallowed ``CorruptionError``
+    (an except arm whose body is only ``pass``).
+
+Suppression: append ``# pkvlint: disable=R00x[,R00y]`` to the flagged
+line, or add ``RULE pattern`` entries to an allowlist file (default
+``.pkvlint-allow``); patterns match substrings of ``path::function``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding, is_allowed, load_allowlist
+from repro.analysis.lock_order import LOCK_ATTRS, level_of_attr
+
+__all__ = ["lint_file", "lint_paths", "COMM_BLOCKING_CALLS"]
+
+#: Comm methods that block or synchronize (R001 targets)
+COMM_BLOCKING_CALLS = frozenset({
+    "send", "send_at", "recv", "sendrecv", "fanout", "barrier",
+    "bcast", "gather", "allgather", "scatter", "alltoall", "allreduce",
+    "reduce",
+})
+
+_SUPPRESS_RE = re.compile(r"#\s*pkvlint:\s*disable=([A-Z0-9, ]+)")
+
+_LOCK_ATTR_SET = frozenset(LOCK_ATTRS)
+
+
+def _suppressions(src: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of rule ids disabled on that line."""
+    out: Dict[int, Set[str]] = {}
+    for i, line in enumerate(src.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(line)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+            out[i] = rules
+    return out
+
+
+def _attr_chain(node: ast.AST) -> str:
+    """Dotted-name text of a Name/Attribute chain (best effort)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _call_name(call: ast.Call) -> str:
+    """The called attribute or function name (last path component)."""
+    fn = call.func
+    if isinstance(fn, ast.Attribute):
+        return fn.attr
+    if isinstance(fn, ast.Name):
+        return fn.id
+    return ""
+
+
+def _with_lock_attrs(node: ast.With) -> List[Tuple[str, int]]:
+    """Registered lock attributes acquired by a ``with`` statement."""
+    out: List[Tuple[str, int]] = []
+    for item in node.items:
+        expr = item.context_expr
+        # unwrap `with self._lock:` and `with lock.acquire_ctx():` alike
+        target = expr.func if isinstance(expr, ast.Call) else expr
+        if isinstance(target, ast.Attribute) and target.attr in _LOCK_ATTR_SET:
+            out.append((target.attr, expr.lineno))
+    return out
+
+
+def _check_try(path: str, func: str, node: ast.Try,
+               findings: List[Finding]) -> None:
+    """R005 on one ``try`` statement."""
+    for h in node.handlers:
+        if h.type is None:
+            findings.append(Finding(
+                tool="pkvlint",
+                rule="R005",
+                message="bare `except:` hides corruption and"
+                        " cancellation — name the exception",
+                path=path, line=h.lineno, function=func,
+            ))
+        elif _swallows_corruption(h):
+            findings.append(Finding(
+                tool="pkvlint",
+                rule="R005",
+                message="`CorruptionError` swallowed with an empty"
+                        " handler — corruption must be quarantined"
+                        " or re-raised",
+                path=path, line=h.lineno, function=func,
+            ))
+
+
+def _swallows_corruption(handler: ast.ExceptHandler) -> bool:
+    names: List[str] = []
+    t = handler.type
+    nodes = t.elts if isinstance(t, ast.Tuple) else [t]
+    for n in nodes:
+        if n is not None:
+            names.append(_attr_chain(n).rsplit(".", 1)[-1])
+    if "CorruptionError" not in names:
+        return False
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis):
+            continue
+        return False
+    return True
+
+
+class _FunctionChecker(ast.NodeVisitor):
+    """Per-function R001/R002/R004 walker tracking lexical lock scope."""
+
+    def __init__(self, path: str, func_name: str,
+                 findings: List[Finding]) -> None:
+        self.path = path
+        self.func = func_name
+        self.findings = findings
+        #: stack of (lock attr, level, with-lineno) currently held
+        self.held: List[Tuple[str, Optional[int], int]] = []
+        self.fsync_lines: List[int] = []
+
+    # nested defs get their own checker: a closure body does not run
+    # under the enclosing with-block (e.g. deferred background jobs)
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        sub = _FunctionChecker(self.path, f"{self.func}.{node.name}",
+                               self.findings)
+        for stmt in node.body:
+            sub.visit(stmt)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.visit_FunctionDef(node)  # type: ignore[arg-type]
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        sub = _FunctionChecker(self.path, f"{self.func}.<lambda>",
+                               self.findings)
+        sub.visit(node.body)
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired = _with_lock_attrs(node)
+        for attr, lineno in acquired:
+            level = level_of_attr(attr)
+            for held_attr, held_level, held_line in self.held:
+                if (level is not None and held_level is not None
+                        and level < held_level):
+                    self.findings.append(Finding(
+                        tool="pkvlint",
+                        rule="R004",
+                        message=(
+                            f"lock `{attr}` (level {level}) acquired "
+                            f"inside `{held_attr}` (level {held_level})"
+                            " — violates the canonical lock order"
+                        ),
+                        path=self.path,
+                        line=lineno,
+                        function=self.func,
+                        details=(
+                            f"`{held_attr}` taken at line {held_line}",
+                        ),
+                    ))
+            self.held.append((attr, level, lineno))
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in acquired:
+            self.held.pop()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _call_name(node)
+        if "fsync" in name:
+            self.fsync_lines.append(node.lineno)
+        if self.held and name in COMM_BLOCKING_CALLS:
+            chain = _attr_chain(node.func).lower()
+            if "comm" in chain:
+                held_attr, _lvl, held_line = self.held[-1]
+                self.findings.append(Finding(
+                    tool="pkvlint",
+                    rule="R001",
+                    message=(
+                        f"blocking comm call `{name}` while holding "
+                        f"lock `{held_attr}` — a blocked peer deadlocks"
+                        " this rank"
+                    ),
+                    path=self.path,
+                    line=node.lineno,
+                    function=self.func,
+                    details=(f"`{held_attr}` taken at line {held_line}",),
+                ))
+        if name in ("rename", "replace", "move"):
+            chain = _attr_chain(node.func)
+            root = chain.split(".", 1)[0].lower()
+            is_fs = chain in ("os.rename", "os.replace", "shutil.move") or (
+                name == "rename" and "path" in root)
+            if is_fs:
+                if not any(fl < node.lineno for fl in self.fsync_lines):
+                    self.findings.append(Finding(
+                        tool="pkvlint",
+                        rule="R002",
+                        message=(
+                            f"`{chain or name}` publishes a file with no"
+                            " earlier fsync in this function — rename"
+                            " of non-durable bytes breaks crash"
+                            " consistency"
+                        ),
+                        path=self.path,
+                        line=node.lineno,
+                        function=self.func,
+                    ))
+        self.generic_visit(node)
+
+    def visit_Try(self, node: ast.Try) -> None:
+        _check_try(self.path, self.func, node, self.findings)
+        self.generic_visit(node)
+
+
+class _ModuleChecker(ast.NodeVisitor):
+    """Walks a module, running the function checker and R005."""
+
+    def __init__(self, path: str, findings: List[Finding]) -> None:
+        self.path = path
+        self.findings = findings
+        self._scope: List[str] = []
+
+    def _qualname(self, name: str) -> str:
+        return ".".join(self._scope + [name]) if self._scope else name
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._scope.append(node.name)
+        self.generic_visit(node)
+        self._scope.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        qual = self._qualname(node.name)
+        checker = _FunctionChecker(self.path, qual, self.findings)
+        for stmt in node.body:
+            checker.visit(stmt)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.visit_FunctionDef(node)  # type: ignore[arg-type]
+
+    def visit_Try(self, node: ast.Try) -> None:
+        func = ".".join(self._scope) or "<module>"
+        _check_try(self.path, func, node, self.findings)
+        self.generic_visit(node)
+
+
+# --------------------------------------------------------------- R003
+_MSG_CLASS_RE = re.compile(r"(Msg|Reply)$")
+
+
+def _check_wire_tags(path: str, tree: ast.Module,
+                     findings: List[Finding]) -> None:
+    """R003: WIRE_TAGS covers every message class; handler covers Msgs."""
+    classes: Dict[str, int] = {}
+    consts: Dict[str, int] = {}
+    wire_tags: Optional[Dict[str, object]] = None
+    wire_line = 0
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and _MSG_CLASS_RE.search(node.name):
+            classes[node.name] = node.lineno
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            tgt = node.targets[0]
+            if not isinstance(tgt, ast.Name):
+                continue
+            if (isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, int)):
+                consts[tgt.id] = node.value.value
+            elif tgt.id == "WIRE_TAGS" and isinstance(node.value, ast.Dict):
+                wire_line = node.lineno
+                wire_tags = {}
+                for k, v in zip(node.value.keys, node.value.values):
+                    if not (isinstance(k, ast.Constant)
+                            and isinstance(k.value, str)):
+                        continue
+                    if (isinstance(v, ast.Constant)
+                            and isinstance(v.value, int)):
+                        wire_tags[k.value] = v.value
+                    elif isinstance(v, ast.Name):
+                        wire_tags[k.value] = ("name", v.id)
+                    else:
+                        wire_tags[k.value] = ("opaque", ast.dump(v))
+        elif (isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and node.target.id == "WIRE_TAGS"
+                and isinstance(node.value, ast.Dict)):
+            wire_line = node.lineno
+            wire_tags = {}
+            for k, v in zip(node.value.keys, node.value.values):
+                if not (isinstance(k, ast.Constant)
+                        and isinstance(k.value, str)):
+                    continue
+                if isinstance(v, ast.Constant) and isinstance(v.value, int):
+                    wire_tags[k.value] = v.value
+                elif isinstance(v, ast.Name):
+                    wire_tags[k.value] = ("name", v.id)
+                else:
+                    wire_tags[k.value] = ("opaque", ast.dump(v))
+    if not classes:
+        return
+    if wire_tags is None:
+        findings.append(Finding(
+            tool="pkvlint", rule="R003",
+            message="messages module defines message classes but no"
+                    " WIRE_TAGS literal mapping",
+            path=path, line=1, function="<module>",
+        ))
+        return
+    # resolve Name references against earlier module-level int constants
+    resolved: Dict[str, Optional[int]] = {}
+    for cls, val in wire_tags.items():
+        if isinstance(val, int):
+            resolved[cls] = val
+        elif isinstance(val, tuple) and val[0] == "name":
+            resolved[cls] = consts.get(str(val[1]))
+        else:
+            resolved[cls] = None
+    for cls, line in sorted(classes.items(), key=lambda kv: kv[1]):
+        if cls not in resolved:
+            findings.append(Finding(
+                tool="pkvlint", rule="R003",
+                message=f"message class `{cls}` has no WIRE_TAGS entry"
+                        " — its wire tag is not pinned",
+                path=path, line=line, function=cls,
+            ))
+        elif resolved[cls] is None:
+            findings.append(Finding(
+                tool="pkvlint", rule="R003",
+                message=f"WIRE_TAGS entry for `{cls}` is not a resolvable"
+                        " integer constant",
+                path=path, line=wire_line, function="WIRE_TAGS",
+            ))
+    tags_seen: Dict[int, str] = {}
+    for cls, tag in sorted(resolved.items()):
+        if tag is None:
+            continue
+        if tag in tags_seen:
+            findings.append(Finding(
+                tool="pkvlint", rule="R003",
+                message=f"WIRE_TAGS value {tag} assigned to both"
+                        f" `{tags_seen[tag]}` and `{cls}` — wire tags"
+                        " must be unique",
+                path=path, line=wire_line, function="WIRE_TAGS",
+            ))
+        else:
+            tags_seen[tag] = cls
+    # every request (*Msg) class must appear in the sibling handler
+    handler_path = os.path.join(os.path.dirname(path), "handler.py")
+    if not os.path.exists(handler_path):
+        return
+    with open(handler_path, encoding="utf-8") as f:
+        handler_src = f.read()
+    handler_names: Set[str] = set()
+    for node in ast.walk(ast.parse(handler_src)):
+        if isinstance(node, ast.Name):
+            handler_names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            handler_names.add(node.attr)
+    for cls, line in sorted(classes.items(), key=lambda kv: kv[1]):
+        if cls.endswith("Msg") and cls not in handler_names:
+            findings.append(Finding(
+                tool="pkvlint", rule="R003",
+                message=f"message class `{cls}` is never referenced by"
+                        " the handler — requests without a handler arm"
+                        " hang their sender",
+                path=path, line=line, function=cls,
+            ))
+
+
+# ---------------------------------------------------------- entry points
+def lint_file(path: str, src: Optional[str] = None) -> List[Finding]:
+    """Lint one file; returns findings after inline suppressions."""
+    if src is None:
+        with open(path, encoding="utf-8") as f:
+            src = f.read()
+    try:
+        tree = ast.parse(src, filename=path)
+    except SyntaxError as exc:
+        return [Finding(
+            tool="pkvlint", rule="SYNTAX",
+            message=f"cannot parse: {exc.msg}",
+            path=path, line=exc.lineno or 0, function="<module>",
+        )]
+    findings: List[Finding] = []
+    _ModuleChecker(path, findings).visit(tree)
+    if os.path.basename(path) == "messages.py":
+        _check_wire_tags(path, tree, findings)
+    sup = _suppressions(src)
+    if sup:
+        findings = [
+            f for f in findings
+            if f.rule not in sup.get(f.line, ())
+        ]
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def _iter_py(paths: Sequence[str]) -> List[str]:
+    out: List[str] = []
+    for p in paths:
+        if os.path.isdir(p):
+            for root, dirs, files in os.walk(p):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if d not in ("__pycache__", ".git")
+                )
+                for fn in sorted(files):
+                    if fn.endswith(".py"):
+                        out.append(os.path.join(root, fn))
+        elif p.endswith(".py"):
+            out.append(p)
+    return out
+
+
+def lint_paths(paths: Sequence[str],
+               allowlist: Optional[str] = None) -> List[Finding]:
+    """Lint files/directories; drop findings covered by the allowlist."""
+    entries: List[Tuple[str, str]] = []
+    if allowlist and os.path.exists(allowlist):
+        entries = load_allowlist(allowlist)
+    findings: List[Finding] = []
+    for path in _iter_py(paths):
+        for f in lint_file(path):
+            if entries and is_allowed(f, entries):
+                continue
+            findings.append(f)
+    return findings

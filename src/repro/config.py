@@ -110,6 +110,10 @@ class Options:
     #: verify SSTable checksums when (re)opening a database; incomplete
     #: tables are always detected regardless of this knob
     verify_on_open: bool = False
+    #: enable the dynamic race / lock-order / deadlock detector
+    #: (:mod:`repro.analysis.runtime`); also switched on process-wide by
+    #: the ``PKV_RACE_DETECT=1`` environment variable
+    race_detect: bool = False
 
     def __post_init__(self) -> None:
         if self.memtable_capacity <= 0 or self.remote_memtable_capacity <= 0:

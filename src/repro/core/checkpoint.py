@@ -121,7 +121,7 @@ def checkpoint(db, path: str) -> Event:
     gen_dir = _gen_dir(snap, gen)
     rank_src = db.rank_dir
     rank_dst = posixpath.join(gen_dir, f"rank{db.rank}")
-    ssids = list(db.ssids)
+    ssids = db._ssids_snapshot()
 
     # 2. background transfer NVM -> Lustre on the compaction timeline,
     # staged out as one bulk streaming copy per rank; the rank manifest
@@ -261,7 +261,7 @@ def restart(env, path: str, name: str,
 
 def _refresh(db) -> None:
     with db._lock:
-        db._readers.clear()
+        db._invalidate_readers()
         db._load_existing_sstables()
 
 

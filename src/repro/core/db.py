@@ -24,6 +24,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro import config
+from repro.analysis.runtime import (
+    annotate_read,
+    annotate_write,
+    enable as enable_race_detector,
+    get_detector,
+    make_lock,
+    make_rlock,
+)
 from repro.config import Options
 from repro.errors import (
     CorruptionError,
@@ -145,6 +153,7 @@ class DbStats:
 
     def hit(self, tier: str) -> None:
         """Count a get satisfied by the named tier."""
+        annotate_write(self, "db.stats.tiers")
         self.get_tiers[tier] = self.get_tiers.get(tier, 0) + 1
 
 
@@ -246,7 +255,9 @@ class Database:
         self._op_cost = cpu.kv_op_s + cpu.dram_latency_s
         self._memcpy_Bps = cpu.memcpy_Bps
 
-        self._lock = threading.RLock()
+        if options.race_detect:
+            enable_race_detector()
+        self._lock = make_rlock("db.state")
         self.local_mt = MemTable(options.memtable_capacity, "local")
         self.remote_mt = MemTable(options.remote_memtable_capacity, "remote")
         #: flushing queue: (immutable MemTable, virtual flush-completion time)
@@ -264,6 +275,9 @@ class Database:
         self.ssids: List[int] = []
         self._next_ssid = 1
         self._readers: Dict[int, SSTableReader] = {}
+        #: guards _readers alone: taken by main and handler threads on
+        #: SSTable lookups, nested inside db.state when both are needed
+        self._readers_lock = make_lock("db.readers")
         #: damaged tables pulled from the search order (poisoned ranges)
         self._quarantined: List[QuarantinedTable] = []
         #: newest checkpoint target (recovery ladder's last rung)
@@ -438,9 +452,11 @@ class Database:
                 t = self.store.rename(rel, rel + QUARANTINE_SUFFIX, t)
         self.clock.advance_to(t)
         with self._lock:
-            self._readers.pop(ssid, None)
+            self._invalidate_readers(ssid)
             if ssid in self.ssids:
+                annotate_write(self, "db.ssids")
                 self.ssids.remove(ssid)
+            annotate_write(self, "db.quarantined")
             self._quarantined = [
                 q for q in self._quarantined if q.ssid != ssid
             ] + [QuarantinedTable(ssid, min_key, max_key, reason)]
@@ -565,6 +581,7 @@ class Database:
             return end
 
         end = self.compaction_worker.schedule(clock.now, job)
+        annotate_write(self, "db.ssids")
         self.ssids.append(ssid)
         self.flushing.append((imm, end))
         self.stats.flushes += 1
@@ -604,8 +621,9 @@ class Database:
             return end
 
         self.compaction_worker.schedule(t_enqueue, job)
+        annotate_write(self, "db.ssids")
         self.ssids = [new_ssid]
-        self._readers.clear()
+        self._invalidate_readers()
         self.stats.compactions += 1
 
     # ------------------------------------------------------ remote put paths
@@ -866,7 +884,7 @@ class Database:
             )
         except StorageError:
             with self._lock:
-                self._readers.clear()
+                self._invalidate_readers()
                 ssids = list(self.ssids)
             rec, t_end = self._search_sstables(
                 self.store, self.rank_dir, ssids, key, self.clock.now,
@@ -876,11 +894,36 @@ class Database:
         return rec
 
     def _reader(self, ssid: int) -> SSTableReader:
-        rd = self._readers.get(ssid)
-        if rd is None:
-            rd = SSTableReader(self.store, self.rank_dir, ssid)
-            self._readers[ssid] = rd
-        return rd
+        """Cached reader for one of my SSTables.
+
+        Called by both the rank-main thread (gets/scans after dropping
+        ``db.state``) and the message handler, so the cache has its own
+        lock — the readers dict was this codebase's one genuine data
+        race before the detector existed.
+        """
+        with self._readers_lock:
+            rd = self._readers.get(ssid)
+            annotate_read(self, "db.readers")
+            if rd is None:
+                rd = SSTableReader(self.store, self.rank_dir, ssid)
+                annotate_write(self, "db.readers")
+                self._readers[ssid] = rd
+            return rd
+
+    def _invalidate_readers(self, ssid: Optional[int] = None) -> None:
+        """Drop one cached reader (or all) under the readers lock."""
+        with self._readers_lock:
+            annotate_write(self, "db.readers")
+            if ssid is None:
+                self._readers.clear()
+            else:
+                self._readers.pop(ssid, None)
+
+    def _ssids_snapshot(self) -> List[int]:
+        """A consistent copy of my SSID list (for unlocked walks)."""
+        with self._lock:
+            annotate_read(self, "db.ssids")
+            return list(self.ssids)
 
     def _search_sstables(
         self,
@@ -898,7 +941,16 @@ class Database:
         whose range may cover the key, the true newest version might
         have lived there — raising beats silently serving older data.
         """
-        quarantined = self._quarantined if own else ()
+        if own:
+            # snapshot under the lock: the handler may be quarantining
+            # concurrently (db.state is re-entrant, so holders are fine)
+            with self._lock:
+                annotate_read(self, "db.quarantined")
+                quarantined: Tuple[QuarantinedTable, ...] = tuple(
+                    self._quarantined
+                )
+        else:
+            quarantined = ()
         walk: List[Tuple[int, object]] = [(s, None) for s in ssids]
         walk.extend((q.ssid, q) for q in quarantined)
         walk.sort(key=lambda x: x[0], reverse=True)
@@ -1423,7 +1475,7 @@ class Database:
     def snapshot_file_list(self) -> List[str]:
         """Relative paths of this rank's SSTable files (post-flush)."""
         out: List[str] = []
-        for ssid in self.ssids:
+        for ssid in self._ssids_snapshot():
             reader = SSTableReader(self.store, self.rank_dir, ssid)
             out.extend(reader.file_paths())
         return out
@@ -1475,8 +1527,7 @@ class Database:
         except StorageError:
             return False
         self.clock.advance_to(t)
-        with self._lock:
-            self._readers.pop(ssid, None)  # drop any poisoned cached view
+        self._invalidate_readers(ssid)  # drop any poisoned cached view
         return True
 
     def _repair_table(self, ssid: int,
@@ -1555,6 +1606,9 @@ class Database:
         self.srv_comm.send(msg.StopMsg(), self.rank, tag=0)
         if self._handler_thread is not None:
             self._handler_thread.join(30.0)
+            det = get_detector()
+            if det is not None and not self._handler_thread.is_alive():
+                det.absorb_thread(self._handler_thread)  # join HB edge
         self._closed = True
         self.coll_comm.barrier()
         self.env._forget(self.name)

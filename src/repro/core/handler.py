@@ -100,6 +100,11 @@ def handler_main(db: Database) -> None:
         # stderr; re-raising here would only trip the thread-exception
         # hook a second time
     finally:
+        from repro.analysis.runtime import get_detector
+
+        det = get_detector()
+        if det is not None:
+            det.finalize_thread()  # publish the clock for the join edge
         bind_context(None)
 
 
@@ -174,6 +179,9 @@ def _lookup_one(db: Database, key: bytes, source: int,
                 return msg.FOUND, cached, False, 0
         newest = db.ssids[-1] if db.ssids else 0
         ssids = list(db.ssids)
+        # snapshot while still under the lock: the main thread mutates
+        # the quarantine list during verify/repair
+        quarantine_free = not db._quarantined
     if entry is not None:
         return msg.FOUND, entry.value, entry.tombstone, newest
     # not in memory: same storage group -> let the requester read the
@@ -184,7 +192,7 @@ def _lookup_one(db: Database, key: bytes, source: int,
         not force_data
         and requester_group == db.group
         and db.shares_storage_with(source)
-        and not db._quarantined
+        and quarantine_free
     ):
         return msg.NOT_IN_MEMORY, None, False, newest
     # different group (or forced): do the full local get, including my
@@ -201,7 +209,7 @@ def _lookup_one(db: Database, key: bytes, source: int,
         except StorageError:
             # raced a compaction on this rank; retry on the fresh SSID list
             with db._lock:
-                db._readers.clear()
+                db._invalidate_readers()
                 ssids = list(db.ssids)
             rec, t_end = db._search_sstables(
                 db.store, db.rank_dir, ssids, key, hclock.now, own=True

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
+from repro.analysis.runtime import annotate_read, annotate_write
 from repro.sstable.format import Record
 from repro.util.rbtree import RedBlackTree
 
@@ -39,7 +40,8 @@ class MemTable:
     table and rotates in a fresh one.
     """
 
-    __slots__ = ("capacity", "_tree", "_bytes", "_frozen", "kind")
+    __slots__ = ("capacity", "_tree", "_bytes", "_frozen", "kind",
+                 "_race_tag")
 
     def __init__(self, capacity: int, kind: str = "local") -> None:
         if capacity <= 0:
@@ -70,6 +72,7 @@ class MemTable:
     def put(self, key: bytes, value: bytes, tombstone: bool = False,
             owner: int = -1) -> None:
         """Insert or replace; a tombstone is a put with an empty value."""
+        annotate_write(self, "memtable")
         if self._frozen:
             raise RuntimeError("cannot write a frozen (immutable) MemTable")
         if tombstone:
@@ -93,12 +96,14 @@ class MemTable:
 
     def freeze(self) -> "MemTable":
         """Mark immutable (local MemTable -> immutable local MemTable)."""
+        annotate_write(self, "memtable")
         self._frozen = True
         return self
 
     # --------------------------------------------------------------- lookups
     def get(self, key: bytes) -> Optional[Entry]:
         """The entry for ``key`` (tombstones included), or None."""
+        annotate_read(self, "memtable")
         return self._tree.get(key)
 
     def __contains__(self, key: bytes) -> bool:

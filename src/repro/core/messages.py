@@ -202,3 +202,22 @@ class StopMsg:
     def wire_nbytes(self) -> int:
         """Wire size of the shutdown sentinel."""
         return 8
+
+
+#: Stable wire tag per message class (pkvlint R003).  Request classes
+#: reuse their dispatch constants; replies get the 100+ block.  A tag,
+#: once assigned, must never change or be reused: checkpoint manifests
+#: and fault plans written by old runs identify messages by these.
+WIRE_TAGS = {
+    "MigrateMsg": MIGRATE,
+    "PutSyncMsg": PUT_SYNC,
+    "PutSyncBatchMsg": PUT_SYNC_BATCH,
+    "GetMsg": GET,
+    "MGetMsg": MGET,
+    "FetchTableMsg": FETCH_TABLE,
+    "StopMsg": STOP,
+    "GetReply": 100,
+    "MGetReply": 101,
+    "FetchTableReply": 102,
+    "AckMsg": 103,
+}

@@ -39,7 +39,7 @@ from __future__ import annotations
 import random
 import threading
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import StorageError
 
@@ -87,7 +87,11 @@ class FaultPlan:
         self.sites_seen: List[str] = []
         self.fired: List[str] = []
         self._site_set: set = set()
-        self._rng = random.Random(seed)
+        #: bit_flip fire counts per relpath — flip positions are derived
+        #: from (seed, relpath, ordinal) so they do not depend on the
+        #: cross-thread order in which writes consume randomness (the
+        #: race detector's instrumentation perturbs that order)
+        self._flip_counts: Dict[str, int] = {}
         self._rules: List[_Rule] = []
         self._lock = threading.Lock()
 
@@ -182,7 +186,12 @@ class FaultPlan:
                     data = data[:cut]
                 elif rule.kind == "bit_flip" and rule.applies(relpath, rank):
                     if data:
-                        pos = self._rng.randrange(len(data) * 8)
+                        ordinal = self._flip_counts.get(relpath, 0)
+                        self._flip_counts[relpath] = ordinal + 1
+                        rng = random.Random(
+                            f"{self.seed}:{relpath}:{ordinal}"
+                        )
+                        pos = rng.randrange(len(data) * 8)
                         buf = bytearray(data)
                         buf[pos // 8] ^= 1 << (pos % 8)
                         data = bytes(buf)

@@ -78,6 +78,11 @@ def database_metrics(db) -> Dict[str, Any]:
         "misses": db.remote_cache.misses,
     }
     out["latency"] = db.latency.summary()
+    from repro.analysis.runtime import get_detector
+
+    det = get_detector()
+    if det is not None:
+        out["race_detect"] = det.summary()
     return out
 
 

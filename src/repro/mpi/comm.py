@@ -18,6 +18,7 @@ from typing import (
     Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple,
 )
 
+from repro.analysis.runtime import get_detector, make_lock
 from repro.mpi.message import Envelope, payload_nbytes
 from repro.simtime.clock import VirtualClock
 from repro.simtime.profiles import NetworkProfile
@@ -87,7 +88,7 @@ class _CollectiveState:
 
     def __init__(self, size: int) -> None:
         self.barrier = threading.Barrier(size)
-        self.lock = threading.Lock()
+        self.lock = make_lock("comm.collective")
         self.slots: Dict[int, Any] = {}
         self.scratch: Any = None
 
@@ -125,9 +126,9 @@ class World:
             for n in range(nnodes)
         ]
         self._next_comm_id = 0
-        self._comm_lock = threading.Lock()
+        self._comm_lock = make_lock("world.comm")
         self._mailboxes: Dict[Tuple[int, int], _Mailbox] = {}
-        self._mbx_lock = threading.Lock()
+        self._mbx_lock = make_lock("world.mailboxes")
         self.abort_event = threading.Event()
         self._coll_states: List[_CollectiveState] = []
         self.faults = None  # Optional[repro.faults.FaultPlan]
@@ -280,15 +281,21 @@ class Comm:
         """
         plan = self._world.faults
         box = self._world.mailbox(self._comm_id, dst_w)
+        duplicate = False
         if plan is not None:
             action = plan.on_message(env.payload, src_w, dst_w)
             if action == "drop":
                 return
             if action == "duplicate":
-                box.deliver(env)
+                duplicate = True
             elif isinstance(action, tuple) and action[0] == "delay":
                 env = Envelope(env.source, env.dest, env.tag, env.payload,
                                env.arrival + action[1], env.nbytes)
+        det = get_detector()
+        if det is not None:
+            det.on_send(env)  # attach the sender's clock (HB edge)
+        if duplicate:
+            box.deliver(env)
         box.deliver(env)
 
     # ------------------------------------------------------------------- p2p
@@ -369,6 +376,9 @@ class Comm:
         clock = self._my_clock()
         box = self._world.mailbox(self._comm_id, self._my_world_rank())
         env = box.take(source, tag, timeout)
+        det = get_detector()
+        if det is not None:
+            det.on_recv(env)
         clock.advance(self._world.network.sw_overhead_s)
         clock.advance_to(env.arrival)
         if status is not None:
@@ -385,6 +395,9 @@ class Comm:
 
         def blocking() -> Any:
             env = box.take(source, tag, None)
+            det = get_detector()
+            if det is not None:
+                det.on_recv(env)
             clock.advance_to(env.arrival)
             return env.payload
 
@@ -392,6 +405,9 @@ class Comm:
             env = box.poll(source, tag)
             if env is None:
                 return None
+            det = get_detector()
+            if det is not None:
+                det.on_recv(env)
             clock.advance_to(env.arrival)
             return env.payload
 
@@ -422,9 +438,14 @@ class Comm:
         coll = self._coll
         me = self.rank
         clock = self._my_clock()
+        det = get_detector()
+        if det is not None:
+            det.on_barrier_arrive(coll)
         with coll.lock:
             coll.slots[("t", me)] = clock.now
         coll.barrier.wait()
+        if det is not None:
+            det.on_barrier_depart(coll)
         t_max = max(coll.slots[("t", r)] for r in range(self.size))
         t_new = t_max + extra
         clock.advance_to(t_new)
@@ -555,12 +576,12 @@ class Comm:
         coll = self._coll
         me = self.rank
         if me == 0:
+            # register outside coll.lock: register_coll takes world.comm,
+            # which the canonical order puts BELOW comm.collective
             cid = self._world.new_comm_id()
+            new_coll = self._world.register_coll(_CollectiveState(self.size))
             with coll.lock:
-                coll.scratch = (
-                    cid,
-                    self._world.register_coll(_CollectiveState(self.size)),
-                )
+                coll.scratch = (cid, new_coll)
         coll.barrier.wait()
         cid, new_coll = coll.scratch
         coll.barrier.wait()

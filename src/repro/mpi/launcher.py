@@ -93,6 +93,11 @@ def spmd_run(
     """
     if nranks <= 0:
         raise ValueError("nranks must be positive")
+    from repro.analysis.runtime import get_detector, maybe_enable_from_env
+
+    det = maybe_enable_from_env()
+    if det is not None:
+        det.run_start()  # drop per-run location/barrier state
     world = World(nranks, system.network, system.node_of_rank)
     comms = Comm.world_comm(world)
 
@@ -127,6 +132,9 @@ def spmd_run(
                 failures.append((rank, exc))
             world.abort()
         finally:
+            d = get_detector()
+            if d is not None:
+                d.finalize_thread()  # publish clock for the join edge
             bind_context(None)
 
     threads = [
@@ -143,6 +151,10 @@ def spmd_run(
             deadline_hit = True
             world.abort()
             t.join(10.0)
+        if not t.is_alive():
+            d = get_detector()
+            if d is not None:
+                d.absorb_thread(t)  # join HB edge into the launcher
     if own_machine:
         machine.close()
     elif faults is not None:

@@ -173,7 +173,11 @@ class PosixStore:
     def rename(self, old_rel: str, new_rel: str, t: float) -> float:
         """Atomically rename a file (quarantine); returns completion time."""
         try:
-            os.replace(self.path(old_rel), self.path(new_rel))
+            # the source file is already durable (written by _atomic_write,
+            # which fsyncs before publishing); this rename only moves it
+            # aside for quarantine, so fsync-before-rename does not apply
+            os.replace(  # pkvlint: disable=R002
+                self.path(old_rel), self.path(new_rel))
             _fsync_dir(os.path.dirname(self.path(new_rel)))
         except OSError as exc:
             raise StorageError(str(exc)) from exc

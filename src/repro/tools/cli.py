@@ -8,6 +8,8 @@
     python -m repro.tools.cli fsck <repository-root>
     python -m repro.tools.cli demo [--ranks N] [--system NAME]
     python -m repro.tools.cli systems
+    python -m repro.tools.cli lint <paths...> [--json] [--allowlist F]
+    python -m repro.tools.cli race-report [--ranks N] [--ops N] [--json]
 """
 
 from __future__ import annotations
@@ -175,6 +177,48 @@ def _cmd_systems(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    import os
+
+    from repro.analysis import findings_to_json, lint_paths
+
+    allowlist = args.allowlist
+    if allowlist is None and os.path.exists(".pkvlint-allow"):
+        allowlist = ".pkvlint-allow"
+    findings = lint_paths(args.paths, allowlist=allowlist)
+    if args.json:
+        print(findings_to_json(findings))
+    else:
+        for f in findings:
+            print(f.render())
+        print(f"pkvlint: {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+def _cmd_race_report(args) -> int:
+    import json
+
+    from repro.analysis.stress import run_stress
+
+    report = run_stress(nranks=args.ranks, ops_per_rank=args.ops,
+                        seed=args.seed)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        s = report["summary"]
+        print(
+            f"race-report: {s['reads']} reads, {s['writes']} writes, "
+            f"{s['acquires']} lock acquires, {s['sends']} sends, "
+            f"{s['barriers']} barriers over {s['locations']} locations"
+        )
+        for f in report["findings"]:
+            print(f"  {f['rule']}: {f['message']}")
+            for d in f["details"]:
+                print(f"      {d}")
+        print(f"race-report: {len(report['findings'])} finding(s)")
+    return 1 if report["findings"] else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -221,6 +265,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("report", help="print saved benchmark tables")
     p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser(
+        "lint", help="run pkvlint (project-specific static rules)"
+    )
+    p.add_argument("paths", nargs="+", help="files or directories")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable findings (schema v1)")
+    p.add_argument("--allowlist", default=None,
+                   help="allowlist file (default: .pkvlint-allow if present)")
+    p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser(
+        "race-report",
+        help="run the detector stress workload and report races",
+    )
+    p.add_argument("--ranks", type=int, default=4)
+    p.add_argument("--ops", type=int, default=80,
+                   help="operations per rank")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report (schema v1)")
+    p.set_defaults(fn=_cmd_race_report)
     return parser
 
 

@@ -11,11 +11,14 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterator, Optional, Tuple
 
+from repro.analysis.runtime import annotate_read, annotate_write
+
 
 class LRUCache:
     """LRU map from ``bytes`` keys to ``bytes`` values with a byte budget."""
 
-    __slots__ = ("capacity_bytes", "_data", "_bytes", "hits", "misses", "evictions")
+    __slots__ = ("capacity_bytes", "_data", "_bytes", "hits", "misses",
+                 "evictions", "_race_tag")
 
     def __init__(self, capacity_bytes: int) -> None:
         if capacity_bytes < 0:
@@ -40,6 +43,7 @@ class LRUCache:
 
     def get(self, key: bytes) -> Optional[bytes]:
         """Return the cached value and mark it most-recently-used."""
+        annotate_write(self, "lru")  # recency + counters mutate
         try:
             value = self._data[key]
         except KeyError:
@@ -51,11 +55,13 @@ class LRUCache:
 
     def peek(self, key: bytes) -> Optional[bytes]:
         """Return the value without touching recency or statistics."""
+        annotate_read(self, "lru")
         return self._data.get(key)
 
     # --------------------------------------------------------------- mutation
     def put(self, key: bytes, value: bytes) -> None:
         """Insert/refresh an entry, evicting LRU entries to fit the budget."""
+        annotate_write(self, "lru")
         entry = len(key) + len(value)
         if entry > self.capacity_bytes:
             # An oversized entry cannot be cached; drop any stale copy.
@@ -73,6 +79,7 @@ class LRUCache:
 
     def invalidate(self, key: bytes) -> bool:
         """Drop a (possibly stale) entry. Returns True if it was present."""
+        annotate_write(self, "lru")
         value = self._data.pop(key, None)
         if value is None:
             return False
@@ -81,6 +88,7 @@ class LRUCache:
 
     def clear(self) -> None:
         """Evict everything (used when protection flips to writable)."""
+        annotate_write(self, "lru")
         self._data.clear()
         self._bytes = 0
 

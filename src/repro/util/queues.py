@@ -16,6 +16,9 @@ from __future__ import annotations
 import threading
 from typing import Generic, Iterator, List, Optional, TypeVar
 
+from repro.analysis.runtime import get_detector, make_lock
+from repro.analysis.vector_clock import Clock
+
 T = TypeVar("T")
 
 
@@ -31,10 +34,24 @@ class BoundedFIFO(Generic[T]):
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self._items: List[T] = []
-        self._lock = threading.Lock()
+        #: producer vector clocks, parallel to _items (race detector
+        #: hand-off edges; None entries when the detector is off)
+        self._vcs: List[Optional[Clock]] = []
+        self._lock = make_lock("queue.fifo")
         self._not_full = threading.Condition(self._lock)
         self._not_empty = threading.Condition(self._lock)
         self._closed = False
+
+    @staticmethod
+    def _handoff_vc() -> Optional[Clock]:
+        det = get_detector()
+        return None if det is None else det.on_handoff_send()
+
+    @staticmethod
+    def _join_vc(vc: Optional[Clock]) -> None:
+        det = get_detector()
+        if det is not None and vc:
+            det.on_handoff_recv(vc)
 
     def __len__(self) -> int:
         with self._lock:
@@ -55,6 +72,7 @@ class BoundedFIFO(Generic[T]):
             if self._closed:
                 raise QueueClosed
             self._items.append(item)
+            self._vcs.append(self._handoff_vc())
             self._not_empty.notify()
 
     def try_put(self, item: T) -> bool:
@@ -65,6 +83,7 @@ class BoundedFIFO(Generic[T]):
             if len(self._items) >= self.capacity:
                 return False
             self._items.append(item)
+            self._vcs.append(self._handoff_vc())
             self._not_empty.notify()
             return True
 
@@ -80,6 +99,7 @@ class BoundedFIFO(Generic[T]):
                 if not self._not_empty.wait(timeout):
                     raise TimeoutError("queue empty")
             item = self._items.pop(0)
+            self._join_vc(self._vcs.pop(0))
             self._not_full.notify()
             return item
 
@@ -93,6 +113,7 @@ class BoundedFIFO(Generic[T]):
             for i, existing in enumerate(self._items):
                 if existing is item:
                     del self._items[i]
+                    self._join_vc(self._vcs.pop(i))
                     self._not_full.notify()
                     return True
             return False
@@ -106,6 +127,9 @@ class BoundedFIFO(Generic[T]):
         """Atomically remove and return everything (oldest first)."""
         with self._lock:
             items, self._items = self._items, []
+            vcs, self._vcs = self._vcs, []
+            for vc in vcs:
+                self._join_vc(vc)
             self._not_full.notify_all()
             return items
 

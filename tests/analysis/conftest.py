@@ -1,0 +1,24 @@
+"""Shared fixtures: isolate the process-wide detector per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import runtime as rt
+
+
+@pytest.fixture
+def detector():
+    """A fresh enabled detector; the previous one is restored after."""
+    prev = rt.get_detector()
+    det = rt.enable(reset=True)
+    yield det
+    rt.restore(prev)
+
+
+@pytest.fixture
+def no_detector():
+    """Force detection off for the test; restore the prior state after."""
+    prev = rt.disable()
+    yield
+    rt.restore(prev)

@@ -1,0 +1,275 @@
+"""Fixture programs triggering (and not triggering) each pkvlint rule."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.analysis.findings import findings_to_json
+from repro.analysis.pkvlint import lint_file, lint_paths
+
+
+def _lint(src: str, path: str = "x.py"):
+    return lint_file(path, src=textwrap.dedent(src))
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+class TestR001CommUnderLock:
+    def test_send_under_db_lock_flags(self):
+        fs = _lint("""
+            def migrate(self):
+                with self._lock:
+                    self.srv_comm.send(chunk, owner)
+        """)
+        assert _rules(fs) == ["R001"]
+        assert fs[0].line == 4
+        assert "migrate" in fs[0].function
+
+    def test_recv_under_queue_condition_flags(self):
+        fs = _lint("""
+            def drain(self):
+                with self._not_empty:
+                    self.comm.recv()
+        """)
+        assert _rules(fs) == ["R001"]
+
+    def test_send_outside_lock_clean(self):
+        fs = _lint("""
+            def migrate(self):
+                with self._lock:
+                    chunk = self._swap()
+                self.srv_comm.send(chunk, owner)
+        """)
+        assert fs == []
+
+    def test_nested_def_resets_lock_scope(self):
+        # a deferred job body does NOT run under the enclosing with
+        fs = _lint("""
+            def enqueue(self):
+                with self._lock:
+                    def job(start):
+                        self.srv_comm.send(x, 1)
+                        return start
+                    self.worker.schedule(job)
+        """)
+        assert fs == []
+
+    def test_non_comm_receiver_clean(self):
+        fs = _lint("""
+            def f(self):
+                with self._lock:
+                    self.mailer.send(x, 1)
+        """)
+        assert fs == []
+
+
+class TestR002RenameWithoutFsync:
+    def test_os_replace_without_fsync_flags(self):
+        fs = _lint("""
+            import os
+            def publish(tmp, final):
+                os.replace(tmp, final)
+        """)
+        assert _rules(fs) == ["R002"]
+
+    def test_fsync_before_rename_clean(self):
+        fs = _lint("""
+            import os
+            def publish(fd, tmp, final):
+                os.fsync(fd)
+                os.replace(tmp, final)
+        """)
+        assert fs == []
+
+    def test_helper_fsync_name_counts(self):
+        fs = _lint("""
+            import os
+            def publish(tmp, final, d):
+                _fsync_dir(d)
+                os.rename(tmp, final)
+        """)
+        assert fs == []
+
+    def test_str_replace_not_flagged(self):
+        fs = _lint("""
+            def slug(name):
+                return name.replace(".", "_")
+        """)
+        assert fs == []
+
+
+class TestR004LockOrder:
+    def test_inverted_nesting_flags(self):
+        fs = _lint("""
+            def f(self):
+                with self._not_full:
+                    with self._lock:
+                        pass
+        """)
+        assert _rules(fs) == ["R004"]
+
+    def test_canonical_nesting_clean(self):
+        fs = _lint("""
+            def f(self):
+                with self._lock:
+                    with self._readers_lock:
+                        pass
+        """)
+        assert fs == []
+
+    def test_unregistered_attr_ignored(self):
+        fs = _lint("""
+            def f(self):
+                with self._not_full:
+                    with self._my_private_lock:
+                        pass
+        """)
+        assert fs == []
+
+
+class TestR005ExceptionHygiene:
+    def test_bare_except_flags(self):
+        fs = _lint("""
+            def f():
+                try:
+                    g()
+                except:
+                    pass
+        """)
+        assert _rules(fs) == ["R005"]
+
+    def test_swallowed_corruption_flags(self):
+        fs = _lint("""
+            def f():
+                try:
+                    g()
+                except CorruptionError:
+                    pass
+        """)
+        assert _rules(fs) == ["R005"]
+
+    def test_handled_corruption_clean(self):
+        fs = _lint("""
+            def f():
+                try:
+                    g()
+                except CorruptionError:
+                    quarantine()
+                    raise
+        """)
+        assert fs == []
+
+    def test_module_level_bare_except_flags(self):
+        fs = _lint("""
+            try:
+                import fast_impl
+            except:
+                fast_impl = None
+        """)
+        assert _rules(fs) == ["R005"]
+
+
+class TestR003WireTags:
+    def _write(self, tmp_path, messages_src, handler_src="x = GetMsg\n"):
+        (tmp_path / "messages.py").write_text(textwrap.dedent(messages_src))
+        (tmp_path / "handler.py").write_text(textwrap.dedent(handler_src))
+        return str(tmp_path / "messages.py")
+
+    def test_missing_wire_tags_flags(self, tmp_path):
+        path = self._write(tmp_path, """
+            class GetMsg:
+                pass
+        """)
+        assert "R003" in _rules(lint_file(path))
+
+    def test_missing_entry_flags(self, tmp_path):
+        path = self._write(tmp_path, """
+            class GetMsg:
+                pass
+            class PutMsg:
+                pass
+            WIRE_TAGS = {"GetMsg": 1}
+        """, handler_src="x = (GetMsg, PutMsg)\n")
+        fs = lint_file(path)
+        assert any(f.rule == "R003" and "PutMsg" in f.message for f in fs)
+
+    def test_duplicate_tag_flags(self, tmp_path):
+        path = self._write(tmp_path, """
+            class GetMsg:
+                pass
+            class PutMsg:
+                pass
+            WIRE_TAGS = {"GetMsg": 1, "PutMsg": 1}
+        """, handler_src="x = (GetMsg, PutMsg)\n")
+        fs = lint_file(path)
+        assert any(f.rule == "R003" and "unique" in f.message for f in fs)
+
+    def test_unreferenced_msg_class_flags(self, tmp_path):
+        path = self._write(tmp_path, """
+            class GetMsg:
+                pass
+            class LostMsg:
+                pass
+            WIRE_TAGS = {"GetMsg": 1, "LostMsg": 2}
+        """)
+        fs = lint_file(path)
+        assert any(f.rule == "R003" and "LostMsg" in f.message for f in fs)
+
+    def test_constant_references_resolve(self, tmp_path):
+        path = self._write(tmp_path, """
+            GET = 3
+            class GetMsg:
+                pass
+            WIRE_TAGS = {"GetMsg": GET}
+        """)
+        assert lint_file(path) == []
+
+
+class TestSuppressionAndOutput:
+    def test_inline_suppression(self):
+        fs = _lint("""
+            import os
+            def publish(tmp, final):
+                os.replace(tmp, final)  # pkvlint: disable=R002
+        """)
+        assert fs == []
+
+    def test_inline_suppression_wrong_rule_keeps_finding(self):
+        fs = _lint("""
+            import os
+            def publish(tmp, final):
+                os.replace(tmp, final)  # pkvlint: disable=R001
+        """)
+        assert _rules(fs) == ["R002"]
+
+    def test_allowlist(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import os\ndef f(a, b):\n    os.replace(a, b)\n")
+        allow = tmp_path / "allow"
+        allow.write_text("R002 bad.py::f\n")
+        assert lint_paths([str(bad)], allowlist=str(allow)) == []
+        # a non-matching entry does not suppress
+        allow.write_text("R002 other.py::g\n")
+        assert len(lint_paths([str(bad)], allowlist=str(allow))) == 1
+
+    def test_json_schema(self):
+        fs = _lint("""
+            def f():
+                try:
+                    g()
+                except:
+                    pass
+        """)
+        doc = json.loads(findings_to_json(fs))
+        assert doc["version"] == 1
+        (f,) = doc["findings"]
+        assert set(f) == {"tool", "rule", "message", "path", "line",
+                          "function", "details"}
+        assert f["rule"] == "R005"
+
+    def test_syntax_error_reported_not_raised(self):
+        fs = _lint("def f(:\n")
+        assert _rules(fs) == ["SYNTAX"]
