@@ -1,0 +1,189 @@
+"""Read-path regression bench: block cache + fence pruning vs. baseline.
+
+A 4-rank YCSB-C-style workload (100% reads, Zipfian-skewed) against
+cold reader state: each rank loads its own shard in key-prefixed phases
+— one SSTable per phase with a disjoint key range, so the footer fences
+actually prune — then drops every cached reader and block and measures
+a read-only phase twice:
+
+* **baseline** — the pre-overhaul read path (`block_cache_enabled=False,
+  fence_pruning=False`): every SSData probe is a fresh `store.read`,
+  every table is gated by bloom alone;
+* **optimized** — the shared block cache plus fence pruning (defaults).
+
+The local value cache is off in both configs so repeated gets exercise
+the SSTable path itself, not the value cache above it.
+
+Emits ``BENCH_READ_PATH.json`` at the repo root (ops/s both ways, the
+speedup, and the cache/fence/bloom counter deltas) — the checked-in
+copy is the regression reference.  Quick mode (``PKV_BENCH_QUICK=1``,
+used by CI's bench-smoke job) shrinks the workload and skips the
+speedup gate but still fails if the block cache or fence pruning stops
+being exercised (zero hits / zero skips = a wiring regression).
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.harness import KB, MB, Report, run_once, write_json
+from repro.config import Options, SSTABLE
+from repro.core.env import Papyrus
+from repro.mpi.launcher import spmd_run
+from repro.simtime.profiles import SUMMITDEV
+from repro.util.hashing import owner_rank
+from repro.workloads.generators import value_of_size
+from repro.workloads.ycsb import ZipfianGenerator
+
+RANKS = 4
+VALLEN = 2 * KB
+ZIPF_THETA = 0.99
+
+QUICK = os.environ.get("PKV_BENCH_QUICK", "") not in ("", "0")
+PHASES = 4 if QUICK else 6
+KEYS_PER_PHASE = 24 if QUICK else 40
+ITERS = 150 if QUICK else 1200
+
+
+def _shard_keys(rank: int, nranks: int) -> list:
+    """This rank's keys, grouped into ``PHASES`` disjoint prefix ranges.
+
+    Phase ``p``'s keys all start with ``b"p%02d-"``, so each flushed
+    SSTable covers one prefix range and the footer fences of the other
+    tables exclude it — the fence-pruning counter must move.
+    """
+    keys = []
+    for p in range(PHASES):
+        got, i = 0, 0
+        while got < KEYS_PER_PHASE:
+            cand = f"{p:02d}-{i:06d}".encode()
+            i += 1
+            if owner_rank(cand, nranks, None) == rank:
+                keys.append(cand)
+                got += 1
+    return keys
+
+
+def _app_factory(block_cache: bool, fence_pruning: bool):
+    def app(ctx):
+        opts = Options(
+            memtable_capacity=1 * MB,
+            cache_local_enabled=False,  # measure the SSTable path itself
+            compaction_interval=0,      # keep one table per load phase
+            group_size=1,
+            block_cache_enabled=block_cache,
+            fence_pruning=fence_pruning,
+        )
+        env = Papyrus(ctx)
+        db = env.open("readpath", opts)
+        keys = _shard_keys(ctx.world_rank, ctx.nranks)
+        value = value_of_size(VALLEN)
+        per_phase = len(keys) // PHASES
+        for p in range(PHASES):
+            for k in keys[p * per_phase:(p + 1) * per_phase]:
+                db.put(k, value)
+            db.barrier(SSTABLE)  # one SSTable per prefix range
+
+        # cold reader state: drop cached readers, blooms/indexes, blocks
+        db._invalidate_readers()
+        fence0 = db.stats.fence_skips
+        bloom0 = db.stats.bloom_skips
+        cache0 = (db.block_cache.counters()
+                  if db.block_cache is not None else None)
+
+        zipf = ZipfianGenerator(len(keys), ZIPF_THETA,
+                                seed=11 + ctx.world_rank)
+        t0 = ctx.clock.now
+        for _ in range(ITERS):
+            db.get(keys[zipf.next()])
+        elapsed = ctx.clock.now - t0
+
+        out = {
+            "elapsed": elapsed,
+            "fence_skips": db.stats.fence_skips - fence0,
+            "bloom_skips": db.stats.bloom_skips - bloom0,
+            "block_cache": None,
+        }
+        if db.block_cache is not None:
+            c1 = db.block_cache.counters()
+            out["block_cache"] = {
+                k: (c1[k] - cache0[k]
+                    if k in ("hits", "misses", "evictions", "inserts",
+                             "low_priority_inserts", "invalidations")
+                    else c1[k])
+                for k in c1
+            }
+        db.close()
+        env.finalize()
+        return out
+
+    return app
+
+
+def _run_config(block_cache: bool, fence_pruning: bool) -> dict:
+    results = spmd_run(
+        RANKS, _app_factory(block_cache, fence_pruning),
+        system=SUMMITDEV, timeout=300,
+    )
+    elapsed = max(r["elapsed"] for r in results)
+    agg = {
+        "ops_per_sec": RANKS * ITERS / elapsed,
+        "elapsed_virtual_s": elapsed,
+        "fence_skips": sum(r["fence_skips"] for r in results),
+        "bloom_skips": sum(r["bloom_skips"] for r in results),
+        "block_cache": None,
+    }
+    if results[0]["block_cache"] is not None:
+        agg["block_cache"] = {
+            k: sum(r["block_cache"][k] for r in results)
+            for k in results[0]["block_cache"]
+        }
+    return agg
+
+
+def test_read_path_regression(benchmark):
+    def run():
+        baseline = _run_config(block_cache=False, fence_pruning=False)
+        optimized = _run_config(block_cache=True, fence_pruning=True)
+        speedup = baseline["elapsed_virtual_s"] / optimized["elapsed_virtual_s"]
+
+        rep = Report(
+            "read_path — 4-rank YCSB-C reads, cold reader state (KRPS)",
+            ["config", "KRPS", "fence_skips", "bloom_skips", "cache_hits"],
+        )
+        for name, r in (("baseline", baseline), ("optimized", optimized)):
+            rep.add(name, r["ops_per_sec"] / 1e3, r["fence_skips"],
+                    r["bloom_skips"],
+                    r["block_cache"]["hits"] if r["block_cache"] else 0)
+        rep.emit()
+
+        payload = {
+            "bench": "read_path",
+            "ranks": RANKS,
+            "phases": PHASES,
+            "keys_per_rank": PHASES * KEYS_PER_PHASE,
+            "value_bytes": VALLEN,
+            "gets_per_rank": ITERS,
+            "zipf_theta": ZIPF_THETA,
+            "quick": QUICK,
+            "baseline": baseline,
+            "optimized": optimized,
+            "speedup": round(speedup, 3),
+        }
+        write_json("BENCH_READ_PATH.json", payload)
+        return payload
+
+    payload = run_once(benchmark, run)
+
+    opt = payload["optimized"]
+    # wiring guards: the cache and the fences must actually participate
+    assert opt["block_cache"] is not None
+    assert opt["block_cache"]["hits"] > 0, "block cache saw zero hits"
+    assert opt["fence_skips"] > 0, "fence pruning never skipped a table"
+    assert payload["baseline"]["block_cache"] is None
+    if not QUICK:
+        # the perf gate proper: the overhauled read path must at least
+        # double read throughput on this workload
+        assert payload["speedup"] >= 2.0, (
+            f"read-path speedup {payload['speedup']}x < 2x"
+        )

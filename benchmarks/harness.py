@@ -13,10 +13,12 @@ Shapes are driven by the device/network cost models, not rank count.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Callable, Dict, Iterable, List, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 KB = 1024
 MB = 1024 * KB
@@ -81,6 +83,20 @@ class Report:
         with open(path, "w") as f:
             f.write(text + "\n")
         return text
+
+
+def write_json(name: str, payload: Dict) -> str:
+    """Persist a machine-readable benchmark result at the repo root.
+
+    Regression harnesses (``bench_read_path.py``) check their JSON in so
+    a reviewer can diff before/after numbers; CI's quick mode overwrites
+    the working copy but never commits it.  Returns the path written.
+    """
+    path = os.path.join(REPO_ROOT, name)
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
 
 
 def run_once(benchmark, fn: Callable[[], Dict]) -> Dict:

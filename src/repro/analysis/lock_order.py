@@ -83,6 +83,14 @@ LOCK_ORDER: Tuple[LockClass, ...] = (
         holder="util.queues.BoundedFIFO",
         guards="the bounded FIFO's item list and conditions",
     ),
+    LockClass(
+        name="sstable.block_cache",
+        level=70,
+        attrs=("_blocks_lock",),
+        holder="sstable.block_cache.BlockCache",
+        guards="the shared SSData block cache: LRU order, byte budget, "
+               "per-table index, counters (leaf lock, never nested under)",
+    ),
 )
 
 _BY_NAME: Dict[str, LockClass] = {lc.name: lc for lc in LOCK_ORDER}
@@ -135,10 +143,12 @@ def render_threads_map() -> str:
         "",
         "* **rank main** — `db.state` (every put/get/scan/fence), "
         "`db.readers` (SSTable lookups), `world.comm`/`world.mailboxes` "
-        "(comm management), `comm.collective` (collectives), `queue.fifo`.",
+        "(comm management), `comm.collective` (collectives), `queue.fifo`, "
+        "`sstable.block_cache` (block-cached SSData probes).",
         "* **message handler** (per rank × database) — `db.state` "
         "(serving migrations and remote gets), `db.readers` (SSTable "
-        "lookups on behalf of remote ranks), `world.mailboxes` (its "
+        "lookups on behalf of remote ranks), `sstable.block_cache` "
+        "(those lookups' SSData probes), `world.mailboxes` (its "
         "blocking receive).",
         "* **virtual background workers** (compaction, dispatcher) are "
         "*not* real threads: their jobs run eagerly on whichever real "

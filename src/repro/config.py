@@ -98,6 +98,15 @@ class Options:
     #: consult bloom filters on gets (ablation knob; the files are
     #: always written so the setting can change on reopen)
     bloom_enabled: bool = True
+    #: enable the shared SSData block cache (read-path layer; see
+    #: :mod:`repro.sstable.block_cache`)
+    block_cache_enabled: bool = True
+    #: block-cache byte budget (charged bytes, not entries)
+    block_cache_capacity: int = 16 * MB
+    #: skip SSTables whose footer [min_key, max_key] fences exclude the
+    #: key, before the bloom is even consulted (v1 tables fall back to
+    #: bloom-only)
+    fence_pruning: bool = True
     #: repository selector: "nvm" or "lustre"; None inherits the
     #: environment's repository (``papyruskv_init`` argument)
     repository: Optional[str] = None
@@ -130,6 +139,8 @@ class Options:
             raise InvalidOptionError("compaction_interval must be >= 0")
         if not 0.0 < self.bloom_fp_rate < 1.0:
             raise InvalidOptionError("bloom_fp_rate must be in (0,1)")
+        if self.block_cache_capacity <= 0:
+            raise InvalidOptionError("block_cache_capacity must be positive")
         if self.repository not in (None, "nvm", "lustre"):
             raise InvalidOptionError(
                 f"repository must be 'nvm' or 'lustre', got {self.repository!r}"
@@ -155,7 +166,9 @@ def options_from_env(env: Optional[Mapping[str, str]] = None,
     2=binary search — the artifact's encoding), ``PAPYRUSKV_CACHE_REMOTE``
     (1 enables RDONLY remote caching by default), ``PAPYRUSKV_MEMTABLE_SIZE``
     (bytes), ``PAPYRUSKV_REPOSITORY`` (containing "lustre" selects the
-    parallel file system).
+    parallel file system), ``PAPYRUSKV_BLOCK_CACHE`` (0 disables the
+    shared SSData block cache, any other value is its byte budget), and
+    ``PAPYRUSKV_FENCE_PRUNING`` (0 disables footer key-fence pruning).
     """
     env = os.environ if env is None else env
     opt = base or Options()
@@ -172,4 +185,14 @@ def options_from_env(env: Optional[Mapping[str, str]] = None,
         opt = opt.with_(
             repository="lustre" if "lustre" in repo.lower() else "nvm"
         )
+    if "PAPYRUSKV_BLOCK_CACHE" in env:
+        # 0 disables; any other value is the byte budget
+        val = int(env["PAPYRUSKV_BLOCK_CACHE"])
+        if val == 0:
+            opt = opt.with_(block_cache_enabled=False)
+        else:
+            opt = opt.with_(block_cache_enabled=True,
+                            block_cache_capacity=val)
+    if "PAPYRUSKV_FENCE_PRUNING" in env:
+        opt = opt.with_(fence_pruning=int(env["PAPYRUSKV_FENCE_PRUNING"]) != 0)
     return opt

@@ -51,6 +51,7 @@ from repro.mpi.comm import ANY_SOURCE, Comm
 from repro.nvm.posixfs import PosixStore
 from repro.nvm.storage import StorageLayout
 from repro.simtime.resources import BackgroundWorker
+from repro.sstable.block_cache import BlockCache
 from repro.sstable.compaction import compact
 from repro.sstable.format import (
     QUARANTINE_SUFFIX,
@@ -149,6 +150,11 @@ class DbStats:
     tables_rebuilt: int = 0
     remote_retries: int = 0
     remote_timeouts: int = 0
+    #: read-path pruning counters: tables skipped because the key fell
+    #: outside the footer's [min,max] fences, and tables skipped by the
+    #: bloom filter saying "definitely absent"
+    fence_skips: int = 0
+    bloom_skips: int = 0
     get_tiers: Dict[str, int] = field(default_factory=dict)
 
     def hit(self, tier: str) -> None:
@@ -284,15 +290,21 @@ class Database:
         self._last_checkpoint_path: Optional[str] = None
         #: cached view of group peers' SSTable sets: owner -> (newest, ssids)
         self._peer_readers: Dict[int, Tuple[int, List[int]]] = {}
-        #: reader objects per (owner, ssid) — SSTables are immutable, so
-        #: these stay valid until the file disappears (compaction)
-        self._peer_reader_cache: Dict[Tuple[int, int], SSTableReader] = {}
+        #: reader objects per (directory, ssid) — SSTables are immutable,
+        #: so these stay valid until the file disappears (compaction)
+        self._peer_reader_cache: Dict[Tuple[str, int], SSTableReader] = {}
 
         self.local_cache: Optional[LRUCache] = (
             LRUCache(options.cache_local_capacity)
             if options.cache_local_enabled else None
         )
         self.remote_cache = LRUCache(options.cache_remote_capacity)
+        #: shared SSData block cache: one per database, used by own and
+        #: peer readers alike (main + handler threads; it has its own lock)
+        self.block_cache: Optional[BlockCache] = (
+            BlockCache(options.block_cache_capacity)
+            if options.block_cache_enabled else None
+        )
 
         self.compaction_worker = BackgroundWorker(f"compactor-r{self.rank}")
         self.dispatcher_worker = BackgroundWorker(f"dispatcher-r{self.rank}")
@@ -613,6 +625,7 @@ class Database:
             _, end = compact(
                 self.store, self.rank_dir, inputs, new_ssid, start,
                 drop_tombstones=True, fp_rate=self.options.bloom_fp_rate,
+                block_cache=self.block_cache,
             )
             self._trace(
                 f"compact {len(inputs)}->ssid={new_ssid}", "compaction",
@@ -905,19 +918,55 @@ class Database:
             rd = self._readers.get(ssid)
             annotate_read(self, "db.readers")
             if rd is None:
-                rd = SSTableReader(self.store, self.rank_dir, ssid)
+                rd = SSTableReader(self.store, self.rank_dir, ssid,
+                                   block_cache=self.block_cache)
                 annotate_write(self, "db.readers")
                 self._readers[ssid] = rd
             return rd
 
+    def _peer_reader(self, directory: str, ssid: int) -> SSTableReader:
+        """Cached reader for a storage-group peer's SSTable (§2.7).
+
+        Peer tables are immutable and compaction never reuses an input
+        SSID, so a cached bloom/index stays valid until the file
+        disappears — which surfaces as StorageError and drops the
+        owner's whole cached view.  Shares the block cache with own
+        readers.  Only the rank-main thread does remote gets, so no
+        lock guards this dict.
+        """
+        rd = self._peer_reader_cache.get((directory, ssid))
+        if rd is None:
+            rd = SSTableReader(self.store, directory, ssid,
+                               block_cache=self.block_cache)
+            self._peer_reader_cache[(directory, ssid)] = rd
+        return rd
+
+    def _drop_peer_cache(self, owner: int, owner_dir: str) -> None:
+        """Forget every cached view of one owner's tables (compaction
+        race): the SSID list, the reader objects, and any cached data
+        blocks under the owner's directory."""
+        self._peer_readers.pop(owner, None)
+        for k in [k for k in self._peer_reader_cache if k[0] == owner_dir]:
+            self._peer_reader_cache.pop(k, None)
+        if self.block_cache is not None:
+            self.block_cache.invalidate_dir(owner_dir)
+
     def _invalidate_readers(self, ssid: Optional[int] = None) -> None:
-        """Drop one cached reader (or all) under the readers lock."""
+        """Drop one cached reader (or all) under the readers lock, and
+        the block-cache entries of the affected table(s) — quarantine,
+        compaction, scrub repair and checkpoint restore all pass through
+        here, so a replaced table can never serve stale cached blocks."""
         with self._readers_lock:
             annotate_write(self, "db.readers")
             if ssid is None:
                 self._readers.clear()
             else:
                 self._readers.pop(ssid, None)
+        if self.block_cache is not None:
+            if ssid is None:
+                self.block_cache.invalidate_dir(self.rank_dir)
+            else:
+                self.block_cache.invalidate_table(self.rank_dir, ssid)
 
     def _ssids_snapshot(self) -> List[int]:
         """A consistent copy of my SSID list (for unlocked walks)."""
@@ -934,7 +983,15 @@ class Database:
         t: float,
         own: bool,
     ) -> Tuple[Optional[Record], float]:
-        """Walk SSTables highest-SSID-first with bloom skipping (§2.6).
+        """Walk SSTables highest-SSID-first with fence pruning and bloom
+        skipping (§2.6 + the v2 footer fences from the durability work).
+
+        Per table the gate order is: quarantine poison-range check,
+        footer ``[min_key, max_key]`` fences (free after the first index
+        load; v1 tables have none and fall back to bloom-only), then the
+        bloom filter.  The quarantine check runs *first* — a pruned or
+        bloom-skipped walk must never mask the fact that the newest
+        version of the key may have lived in a damaged table.
 
         Quarantined tables participate in the walk as *poisoned holes*:
         if no newer table answered by the time the walk reaches one
@@ -964,11 +1021,24 @@ class Database:
                 continue
             reader = (
                 self._reader(ssid) if own
-                else SSTableReader(store, directory, ssid)
+                else self._peer_reader(directory, ssid)
             )
+            if self.options.fence_pruning:
+                fences, t = reader.key_range(t)
+                if fences is not None:
+                    mn, mx = fences
+                    # an empty table has fences (b"", b"") and valid keys
+                    # are non-empty, so `not mx` prunes it for any key
+                    if not mx or key < mn or key > mx:
+                        self.stats.fence_skips += 1
+                        continue
+            if self.options.bloom_enabled:
+                hit, t = reader.may_contain(key, t)
+                if not hit:
+                    self.stats.bloom_skips += 1
+                    continue
             rec, t = reader.get(
-                key, t, binary_search=self.binary_search,
-                use_bloom=self.options.bloom_enabled,
+                key, t, binary_search=self.binary_search, use_bloom=False,
             )
             if rec is not None:
                 return rec, t
@@ -1021,9 +1091,9 @@ class Database:
             except StorageError:
                 # raced a compaction; drop every cached view of this
                 # owner's tables and retry
-                self._peer_readers.pop(owner, None)
-                for k in [k for k in self._peer_reader_cache if k[0] == owner]:
-                    self._peer_reader_cache.pop(k, None)
+                self._drop_peer_cache(
+                    owner, reply.owner_dir or f"{self.dbdir}/rank{owner}"
+                )
                 continue
             self.clock.advance_to(t_end)
             if rec is None:
@@ -1047,6 +1117,14 @@ class Database:
     def _shared_sstable_get(
         self, owner: int, key: bytes, reply: msg.GetReply
     ) -> Tuple[Optional[Record], float]:
+        """Read the owner's SSTables directly from shared NVM (§2.7).
+
+        The SSID list is cached per owner and revalidated by the
+        newest-ssid handshake in the reply; the walk itself goes through
+        :meth:`_search_sstables` with ``own=False``, so peer lookups get
+        the same fence pruning, bloom gating, and persistent cached
+        readers (sharing the block cache) as local ones.
+        """
         owner_dir = reply.owner_dir or f"{self.dbdir}/rank{owner}"
         cached = self._peer_readers.get(owner)
         if cached is None or cached[0] != reply.newest_ssid:
@@ -1057,19 +1135,9 @@ class Database:
             self._peer_readers[owner] = (reply.newest_ssid, ssids)
         else:
             ssids = cached[1]
-        t = self.clock.now
-        for ssid in reversed(ssids):
-            reader = self._peer_reader_cache.get((owner, ssid))
-            if reader is None:
-                reader = SSTableReader(self.store, owner_dir, ssid)
-                self._peer_reader_cache[(owner, ssid)] = reader
-            rec, t = reader.get(
-                key, t, binary_search=self.binary_search,
-                use_bloom=self.options.bloom_enabled,
-            )
-            if rec is not None:
-                return rec, t
-        return None, t
+        return self._search_sstables(
+            self.store, owner_dir, ssids, key, self.clock.now, own=False,
+        )
 
     # ======================================================== BULK PIPELINE
     def put_bulk(self, items) -> int:
@@ -1350,9 +1418,9 @@ class Database:
         except StorageError:
             # raced the owner's compaction: drop every cached view of its
             # tables and force the value over the network instead
-            self._peer_readers.pop(owner, None)
-            for k in [k for k in self._peer_reader_cache if k[0] == owner]:
-                self._peer_reader_cache.pop(k, None)
+            self._drop_peer_cache(
+                owner, reply.owner_dir or f"{self.dbdir}/rank{owner}"
+            )
             single = self._request_get(owner, key, force=True)
             if single.status == msg.FOUND and not single.tombstone:
                 value = single.value or b""
@@ -1592,6 +1660,14 @@ class Database:
         from repro.core.checkpoint import destroy
 
         return destroy(self)
+
+    def metrics(self) -> Dict[str, object]:
+        """Counter snapshot (:func:`repro.metrics.database_metrics`):
+        op/tier stats, `fence_skips`/`bloom_skips`, the `block_cache`
+        block when the cache is enabled."""
+        from repro.metrics import database_metrics
+
+        return database_metrics(self)
 
     # ================================================================== CLOSE
     def close(self) -> None:

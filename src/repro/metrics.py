@@ -56,6 +56,8 @@ def database_metrics(db) -> Dict[str, Any]:
         "tables_rebuilt": stats.tables_rebuilt,
         "remote_retries": stats.remote_retries,
         "remote_timeouts": stats.remote_timeouts,
+        "fence_skips": stats.fence_skips,
+        "bloom_skips": stats.bloom_skips,
         "get_tiers": dict(stats.get_tiers),
         "sstables": len(db.ssids),
         "memtable_bytes": db.local_mt.size_bytes,
@@ -77,6 +79,8 @@ def database_metrics(db) -> Dict[str, Any]:
         "hits": db.remote_cache.hits,
         "misses": db.remote_cache.misses,
     }
+    if db.block_cache is not None:
+        out["block_cache"] = db.block_cache.counters()
     out["latency"] = db.latency.summary()
     from repro.analysis.runtime import get_detector
 
@@ -136,5 +140,18 @@ def format_report(db_metrics: Dict[str, Any]) -> str:
         lines.append(
             f"  local cache: {c['entries']} entries, "
             f"{c['hits']}/{c['hits'] + c['misses']} hits"
+        )
+    if m.get("fence_skips") or m.get("bloom_skips"):
+        lines.append(
+            f"  read path: {m['fence_skips']} fence skips, "
+            f"{m['bloom_skips']} bloom skips"
+        )
+    if "block_cache" in m:
+        b = m["block_cache"]
+        lines.append(
+            f"  block cache: {b['entries']} blocks "
+            f"({b['bytes'] / 1024:.0f} KB), "
+            f"{b['hits']}/{b['hits'] + b['misses']} hits, "
+            f"{b['evictions']} evictions"
         )
     return "\n".join(lines)

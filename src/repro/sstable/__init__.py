@@ -7,6 +7,7 @@ can skip the table entirely.  Each SSTable carries a per-database,
 per-rank monotonically increasing SSID; higher SSIDs hold newer data.
 """
 
+from repro.sstable.block_cache import BlockCache
 from repro.sstable.compaction import compact
 from repro.sstable.format import (
     BLOOM_SUFFIX,
@@ -24,6 +25,7 @@ from repro.sstable.writer import write_sstable
 
 __all__ = [
     "BLOOM_SUFFIX",
+    "BlockCache",
     "DATA_SUFFIX",
     "INDEX_SUFFIX",
     "IndexEntry",

@@ -17,6 +17,7 @@ import heapq
 from typing import List, Optional, Tuple
 
 from repro.nvm.posixfs import PosixStore
+from repro.sstable.block_cache import BlockCache
 from repro.sstable.format import Record
 from repro.sstable.reader import SSTableReader
 from repro.sstable.writer import write_sstable
@@ -56,16 +57,24 @@ def compact(
     t: float,
     drop_tombstones: bool = False,
     fp_rate: float = 0.01,
+    block_cache: Optional[BlockCache] = None,
 ) -> Tuple[int, float]:
     """Merge the tables ``ssids`` into one table ``new_ssid``.
 
     Returns ``(merged_record_count, virtual_completion_time)``.  The
     inputs are deleted after the merged table is durably written, so a
-    reader never observes a state with data missing.
+    reader never observes a state with data missing.  A shared block
+    cache is attached at *low* priority: compaction's streaming reads
+    fill free budget but never evict the point-get working set, and the
+    caller is expected to invalidate the input tables afterwards.
     """
     if not ssids:
         return 0, t
-    readers = [SSTableReader(store, directory, s) for s in sorted(ssids)]
+    readers = [
+        SSTableReader(store, directory, s,
+                      block_cache=block_cache, cache_priority="low")
+        for s in sorted(ssids)
+    ]
     runs: List[List[Record]] = []
     for rd in readers:  # oldest → newest
         recs, t = rd.read_all(t)

@@ -20,10 +20,11 @@ no checksums and are served with structural validation only.
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import CorruptionError, StorageError, TornWriteError
 from repro.nvm.posixfs import PosixStore
+from repro.sstable.block_cache import BlockCache
 from repro.sstable.format import (
     BLOOM_SUFFIX,
     DATA_SUFFIX,
@@ -63,9 +64,21 @@ class SSTableReader:
     The parsed bloom filter and index are cached after first use (the OS
     page cache analogue); the device is still charged for the initial
     loads and for every SSData probe.
+
+    With a shared :class:`~repro.sstable.block_cache.BlockCache`
+    attached, SSData probes read through 64KB block spans: a cached
+    block costs no device time and needs no re-verification (its CRC
+    was checked at fill), a miss reads and verifies the block once and
+    caches it for every other reader of the same directory.
+    ``cache_priority="low"`` (compaction, whole-table scans) inserts at
+    the cold end of the LRU and never promotes, so streaming reads
+    cannot evict the point-get working set.  v1 tables (no footer, no
+    block CRCs) bypass the cache entirely.
     """
 
-    def __init__(self, store: PosixStore, directory: str, ssid: int) -> None:
+    def __init__(self, store: PosixStore, directory: str, ssid: int,
+                 block_cache: Optional[BlockCache] = None,
+                 cache_priority: str = "normal") -> None:
         self.store = store
         self.directory = directory
         self.ssid = ssid
@@ -78,6 +91,8 @@ class SSTableReader:
         self._footer: Optional[TableFooter] = None
         self._verified_blocks: Set[int] = set()
         self._size_checked = False
+        self._cache = block_cache
+        self._cache_promote = cache_priority == "normal"
 
     def _corrupt(self, detail: str) -> CorruptionError:
         return CorruptionError(f"sstable {self.ssid} ({self.directory}): {detail}")
@@ -112,6 +127,19 @@ class SSTableReader:
         """Bloom membership test; False means definitely absent."""
         bloom, t = self.load_bloom(t)
         return key in bloom, t
+
+    def key_range(self, t: float) -> Tuple[Optional[Tuple[bytes, bytes]], float]:
+        """The CRC-protected ``[min_key, max_key]`` fences, or None.
+
+        v1 tables have no footer and return ``None`` (callers fall back
+        to bloom-only gating).  An *empty* v2 table has fences
+        ``(b"", b"")`` — since valid keys are non-empty, every lookup
+        prunes it.  Cheap after the first index load.
+        """
+        footer, t = self.footer(t)
+        if footer is None:
+            return None, t
+        return (footer.min_key, footer.max_key), t
 
     # -------------------------------------------------------- data integrity
     def _check_data_size(self) -> None:
@@ -150,6 +178,54 @@ class SSTableReader:
             return True
         return entry.offset + entry.record_len <= footer.data_len
 
+    # ------------------------------------------------------------ cached I/O
+    def _cache_active(self) -> bool:
+        """Block-cached reads need a cache and v2 block CRCs to verify
+        fills against; v1 tables always take the direct path."""
+        return self._cache is not None and self._footer is not None
+
+    def _read_at(self, offset: int, length: int,
+                 t: float) -> Tuple[bytes, float]:
+        """Read ``[offset, offset+length)`` through the block cache.
+
+        Cached blocks cost no device time (they were verified at fill);
+        the missing blocks of the span are fetched as one vectored read
+        and CRC-checked before insertion, so the cache only ever holds
+        verified bytes.  Only callable when :meth:`_cache_active`.
+        """
+        footer, cache = self._footer, self._cache
+        assert footer is not None and cache is not None
+        self._check_data_size()
+        if length <= 0:
+            return b"", t
+        bs = footer.block_size
+        first, last = offset // bs, (offset + length - 1) // bs
+        blocks: Dict[int, bytes] = {}
+        missing: List[int] = []
+        for blk in range(first, last + 1):
+            if blk >= len(footer.block_crcs):
+                raise self._corrupt(f"index entry points past block {blk}")
+            data = cache.get(self.directory, self.ssid, blk,
+                             promote=self._cache_promote)
+            if data is None:
+                missing.append(blk)
+            else:
+                blocks[blk] = data
+        if missing:
+            blobs, t = self.store.read_spans(
+                self._data_path, [(blk * bs, bs) for blk in missing], t
+            )
+            for blk, blob in zip(missing, blobs):
+                if crc32c(blob) != footer.block_crcs[blk]:
+                    raise self._corrupt(f"SSData block {blk} checksum mismatch")
+                self._verified_blocks.add(blk)
+                cache.put(self.directory, self.ssid, blk, blob,
+                          low_priority=not self._cache_promote)
+                blocks[blk] = blob
+        buf = b"".join(blocks[blk] for blk in range(first, last + 1))
+        start = offset - first * bs
+        return buf[start:start + length], t
+
     # ---------------------------------------------------------------- lookup
     def get(self, key: bytes, t: float,
             binary_search: bool = True,
@@ -171,21 +247,28 @@ class SSTableReader:
 
     def _binary_get(self, key: bytes, t: float) -> Tuple[Optional[Record], float]:
         index, t = self.load_index(t)
+        cached = self._cache_active()
         lo, hi = 0, len(index) - 1
         while lo <= hi:
             mid = (lo + hi) // 2
             entry = index[mid]
             if not self._entry_bounds_ok(entry):
                 raise self._corrupt(f"index entry {mid} overruns SSData")
-            t = self._verify_span(entry.offset,
-                                  entry.offset + entry.record_len, t)
-            probe, t = self.store.read(
-                self._data_path, t, entry.key_offset, entry.keylen
-            )
-            if probe == key:
-                value, t = self.store.read(
-                    self._data_path, t, entry.value_offset, entry.vallen
+            if cached:
+                probe, t = self._read_at(entry.key_offset, entry.keylen, t)
+            else:
+                t = self._verify_span(entry.offset,
+                                      entry.offset + entry.record_len, t)
+                probe, t = self.store.read(
+                    self._data_path, t, entry.key_offset, entry.keylen
                 )
+            if probe == key:
+                if cached:
+                    value, t = self._read_at(entry.value_offset, entry.vallen, t)
+                else:
+                    value, t = self.store.read(
+                        self._data_path, t, entry.value_offset, entry.vallen
+                    )
                 return Record(key, value, entry.tombstone), t
             if probe < key:
                 lo = mid + 1
@@ -269,9 +352,15 @@ class SSTableReader:
                 )
             bs = footer.block_size
             for blk, want in enumerate(footer.block_crcs):
-                if crc32c(blob[blk * bs:(blk + 1) * bs]) != want:
+                span = blob[blk * bs:(blk + 1) * bs]
+                if crc32c(span) != want:
                     raise self._corrupt(f"SSData block {blk} checksum mismatch")
                 self._verified_blocks.add(blk)
+                if self._cache is not None:
+                    # streaming reads fill free budget only (cold end):
+                    # a compaction or scan must not evict the hot set
+                    self._cache.put(self.directory, self.ssid, blk, span,
+                                    low_priority=True)
             self._size_checked = True
         try:
             return list(decode_records(blob)), t

@@ -6,7 +6,7 @@
     python -m repro.tools.cli dump <rank-dir> <ssid> [--limit N]
     python -m repro.tools.cli verify <rank-dir> <ssid>
     python -m repro.tools.cli fsck <repository-root>
-    python -m repro.tools.cli demo [--ranks N] [--system NAME]
+    python -m repro.tools.cli demo [--ranks N] [--system NAME] [--stats]
     python -m repro.tools.cli systems
     python -m repro.tools.cli lint <paths...> [--json] [--allowlist F]
     python -m repro.tools.cli race-report [--ranks N] [--ops N] [--json]
@@ -81,8 +81,10 @@ def _cmd_fsck(args) -> int:
 
 def _cmd_demo(args) -> int:
     from repro import Options, Papyrus, spmd_run, system_by_name
+    from repro.metrics import database_metrics, format_report
 
     system = system_by_name(args.system)
+    want_stats = getattr(args, "stats", False)
 
     def app(ctx):
         with Papyrus(ctx) as env:
@@ -95,13 +97,16 @@ def _cmd_demo(args) -> int:
                 if db.get_or_none(f"r{r}k{i}".encode()) is not None
             )
             t = ctx.clock.now
+            report = format_report(database_metrics(db)) if want_stats else None
             db.close()
-            return hits, t
+            return hits, t, report
 
     results = spmd_run(args.ranks, app, system=system)
-    for rank, (hits, t) in enumerate(results):
+    for rank, (hits, t, report) in enumerate(results):
         print(f"rank {rank}: verified {hits} cross-rank reads, "
               f"virtual time {t * 1e3:.3f} ms")
+        if report is not None:
+            print(report)
     return 0
 
 
@@ -251,6 +256,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("demo", help="run a small SPMD demo")
     p.add_argument("--ranks", type=int, default=4)
     p.add_argument("--system", default="summitdev")
+    p.add_argument("--stats", action="store_true",
+                   help="print per-rank operation/cache/read-path counters")
     p.set_defaults(fn=_cmd_demo)
 
     p = sub.add_parser("systems", help="list modelled platforms")

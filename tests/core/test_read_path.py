@@ -1,0 +1,385 @@
+"""The overhauled read path: fence pruning, block-cache invalidation,
+cached peer readers, and the counters that make them observable.
+
+Per-table gate order on a get: quarantine poison-range check, footer
+``[min_key, max_key]`` fences, bloom filter, index search, block cache,
+SSData.  These tests pin the order down where it matters most — pruning
+must never mask a poisoned range, and an invalidated table must never
+serve stale cached blocks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Options, Papyrus
+from repro.analysis import runtime as rt
+from repro.config import MB, SSTABLE, options_from_env
+from repro.errors import CorruptionError, KeyNotFoundError
+from repro.metrics import database_metrics, format_report
+from repro.mpi.launcher import spmd_run
+from repro.nvm.posixfs import PosixStore
+from repro.simtime.profiles import SUMMITDEV
+from repro.simtime.resources import TimedResource
+from repro.sstable.format import FORMAT_V1, Record
+from repro.sstable.reader import SSTableReader
+from repro.sstable.writer import write_sstable
+from tests.conftest import small_options
+
+
+def run1(fn, **kw):
+    return spmd_run(1, fn, **kw)[0]
+
+
+def _opts(**kw):
+    """One table per flush phase; gets always reach the SSTable path."""
+    base = dict(
+        memtable_capacity=1 * MB,
+        cache_local_enabled=False,
+        compaction_interval=0,
+    )
+    base.update(kw)
+    return Options(**base)
+
+
+def _load_phases(db, prefixes, n=30, vlen=64):
+    """One flushed SSTable per prefix: fences are disjoint by design."""
+    for p in prefixes:
+        for i in range(n):
+            db.put(f"{p}{i:03d}".encode(), p.encode() * vlen)
+        db.barrier(SSTABLE)
+
+
+def _flip_byte(store, rel, offset=100):
+    p = store.path(rel)
+    blob = bytearray(open(p, "rb").read())
+    blob[offset % len(blob)] ^= 0x40
+    with open(p, "wb") as f:
+        f.write(bytes(blob))
+
+
+class TestFencePruning:
+    def test_prunes_tables_whose_fences_exclude_the_key(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", _opts())
+                _load_phases(db, "amz")
+                # newest-first walk: key in the *oldest* table passes
+                # through both newer tables' fences
+                d0 = db.stats.fence_skips
+                assert db.get(b"a015") == b"a" * 64
+                assert db.stats.fence_skips - d0 == 2
+                assert db.stats.bloom_skips == 0  # fences decided alone
+                db.close()
+
+        run1(app)
+
+    def test_absent_keys_outside_every_fence(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", _opts())
+                _load_phases(db, "amz")
+                for probe in (b"0below", b"q-between", b"zz-above"):
+                    d0 = db.stats.fence_skips
+                    assert db.get_or_none(probe) is None
+                    assert db.stats.fence_skips - d0 == 3
+                db.close()
+
+        run1(app)
+
+    def test_keys_equal_to_fences_are_not_pruned(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", _opts())
+                _load_phases(db, "amz")
+                # exact min and max of the middle table
+                for probe in (b"m000", b"m029"):
+                    d0 = db.stats.fence_skips
+                    assert db.get(probe) == b"m" * 64
+                    assert db.stats.fence_skips - d0 == 1  # newer 'z' only
+                db.close()
+
+        run1(app)
+
+    def test_absent_key_inside_fences_falls_to_bloom(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", _opts())
+                _load_phases(db, "amz")
+                d0 = db.stats.fence_skips
+                assert db.get_or_none(b"m0150") is None  # within [m000,m029]
+                # 'z' and 'a' pruned; 'm' passed its fence to the bloom
+                assert db.stats.fence_skips - d0 == 2
+                db.close()
+
+        run1(app)
+
+    def test_disabled_pruning_keeps_bloom_behavior(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", _opts(fence_pruning=False))
+                _load_phases(db, "amz")
+                assert db.get(b"a015") == b"a" * 64
+                with pytest.raises(KeyNotFoundError):
+                    db.get(b"q-between")
+                assert db.stats.fence_skips == 0
+                assert db.stats.bloom_skips > 0
+                db.close()
+
+        run1(app)
+
+    def test_v1_tables_fall_back_to_bloom_and_skip_the_cache(self):
+        """A table rewritten in v1 (no footer) keeps serving: no fence
+        pruning, no block caching — and no wrong answers."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", _opts())
+                _load_phases(db, "m")
+                ssid = db.ssids[0]
+                recs, _ = SSTableReader(db.store, db.rank_dir, ssid).read_all(
+                    db.clock.now
+                )
+                write_sstable(db.store, db.rank_dir, ssid, recs,
+                              db.clock.now, format_version=FORMAT_V1)
+                db._invalidate_readers()
+                c0 = db.block_cache.counters()
+                assert db.get(b"m007") == b"m" * 64
+                assert db.get_or_none(b"q-absent") is None
+                c1 = db.block_cache.counters()
+                assert db.stats.fence_skips == 0
+                assert db.stats.bloom_skips > 0
+                assert (c1["hits"], c1["misses"]) == (c0["hits"], c0["misses"])
+                db.close()
+
+        run1(app)
+
+    def test_pruning_never_masks_a_poisoned_range(self):
+        """Gate order: the quarantine check runs before the fences.  A
+        key in a quarantined table's poison range must raise even though
+        every healthy table's fences would have pruned the walk."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", _opts())
+                _load_phases(db, "amz")
+                victim = db.ssids[1]  # the 'm' table
+                _flip_byte(db.store, f"{db.rank_dir}/{victim:010d}.ssd",
+                           offset=500)
+                report = db.verify(repair=False)
+                assert victim in report["quarantined"]
+                with pytest.raises(CorruptionError):
+                    db.get(b"m015")
+                # keys outside the poisoned range still work / still miss
+                assert db.get(b"a015") == b"a" * 64
+                assert db.get(b"z015") == b"z" * 64
+                assert db.get_or_none(b"0below") is None
+                db.close()
+
+        run1(app)
+
+
+class TestReaderFences:
+    """key_range() corner cases straight at the reader."""
+
+    @pytest.fixture()
+    def store(self, tmp_path):
+        return PosixStore(str(tmp_path), TimedResource("d", 0.0, 1e9))
+
+    def test_v2_fences_match_key_extremes(self, store):
+        recs = [Record(f"k{i:02d}".encode(), b"v") for i in range(10)]
+        write_sstable(store, "t", 1, recs, 0.0)
+        fences, _ = SSTableReader(store, "t", 1).key_range(0.0)
+        assert fences == (b"k00", b"k09")
+
+    def test_empty_v2_table_prunes_everything(self, store):
+        write_sstable(store, "t", 1, [], 0.0)
+        fences, _ = SSTableReader(store, "t", 1).key_range(0.0)
+        assert fences == (b"", b"")  # `not max_key` prunes any valid key
+
+    def test_v1_table_has_no_fences(self, store):
+        recs = [Record(b"a", b"v"), Record(b"b", b"v")]
+        write_sstable(store, "t", 1, recs, 0.0, format_version=FORMAT_V1)
+        fences, _ = SSTableReader(store, "t", 1).key_range(0.0)
+        assert fences is None
+
+
+class TestCacheInvalidation:
+    def test_compaction_drops_cached_blocks(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", _opts(compaction_interval=2))
+                _load_phases(db, "a")
+                first = db.ssids[0]
+                assert db.get(b"a003") == b"a" * 64  # warm the cache
+                assert db.block_cache.cached_blocks(db.rank_dir, first) > 0
+                _load_phases(db, "b")  # ssid 2 triggers compaction
+                assert db.stats.compactions == 1
+                assert db.block_cache.cached_blocks(db.rank_dir, first) == 0
+                assert db.block_cache.counters()["invalidations"] > 0
+                # reads come back right through the merged table
+                assert db.get(b"a003") == b"a" * 64
+                assert db.get(b"b003") == b"b" * 64
+                db.close()
+
+        run1(app)
+
+    def test_quarantine_drops_cached_blocks(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", _opts())
+                _load_phases(db, "am")
+                victim = db.ssids[0]
+                assert db.get(b"a003") == b"a" * 64
+                assert db.block_cache.cached_blocks(db.rank_dir, victim) > 0
+                _flip_byte(db.store, f"{db.rank_dir}/{victim:010d}.ssd",
+                           offset=500)
+                report = db.verify(repair=False)
+                assert victim in report["quarantined"]
+                assert db.block_cache.cached_blocks(db.rank_dir, victim) == 0
+                assert db.get(b"m003") == b"m" * 64
+                db.close()
+
+        run1(app)
+
+    def test_checkpoint_restore_never_serves_stale_blocks(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", _opts())
+                _load_phases(db, "a")
+                db.checkpoint("cp").wait(ctx.clock)
+                victim = db.ssids[0]
+                assert db.get(b"a003") == b"a" * 64  # warm the cache
+                _flip_byte(db.store, f"{db.rank_dir}/{victim:010d}.ssd",
+                           offset=500)
+                report = db.verify()  # ladder ends at the checkpoint rung
+                assert victim in report["rebuilt"]
+                assert db.get(b"a003") == b"a" * 64
+                assert db.get(b"a029") == b"a" * 64
+                db.close()
+
+        run1(app)
+
+    def test_disabled_cache_still_serves(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", _opts(block_cache_enabled=False))
+                _load_phases(db, "am")
+                assert db.block_cache is None
+                assert db.get(b"a003") == b"a" * 64
+                assert db.get_or_none(b"q-absent") is None
+                db.close()
+
+        run1(app)
+
+
+class TestPeerReaderCache:
+    def test_peer_readers_are_cached_and_hit_the_block_cache(self):
+        """Storage-group gets reuse one reader per (directory, ssid) and
+        read SSData through the shared block cache."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", small_options(cache_local_enabled=False))
+                for i in range(60):
+                    db.put(f"k-{ctx.world_rank}-{i:03d}".encode(), b"V" * 64)
+                db.barrier(SSTABLE)
+                other = 1 - ctx.world_rank
+                peer_keys = [
+                    f"k-{other}-{i:03d}".encode() for i in range(0, 60, 7)
+                    if db.owner_of(f"k-{other}-{i:03d}".encode()) == other
+                ]
+                tiers = {db.get_ex(k).tier for k in peer_keys}
+                readers1 = dict(db._peer_reader_cache)
+                hits0 = db.block_cache.counters()["hits"]
+                for k in peer_keys:
+                    assert db.get(k) == b"V" * 64
+                readers2 = dict(db._peer_reader_cache)
+                hits1 = db.block_cache.counters()["hits"]
+                db.close()
+                return {
+                    "tiers": tiers,
+                    "cached": len(readers1),
+                    "reused": all(
+                        readers2.get(k) is rd for k, rd in readers1.items()
+                    ),
+                    "hit_delta": hits1 - hits0,
+                }
+
+        res = spmd_run(2, app, system=SUMMITDEV)
+        assert any("shared_sstable" in r["tiers"] for r in res)
+        winner = next(r for r in res if "shared_sstable" in r["tiers"])
+        assert winner["cached"] > 0
+        assert winner["reused"]
+        assert winner["hit_delta"] > 0
+
+
+class TestCountersSurface:
+    def test_metrics_expose_read_path_counters(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", _opts())
+                _load_phases(db, "am")
+                db.get(b"a003")
+                db.get(b"a003")
+                m = database_metrics(db)
+                report = format_report(m)
+                db.close()
+                return m, report
+
+        m, report = run1(app)
+        assert m["fence_skips"] > 0
+        assert "bloom_skips" in m
+        assert m["block_cache"]["hits"] > 0
+        assert m["block_cache"]["bytes"] <= m["block_cache"]["capacity_bytes"]
+        assert "block cache:" in report and "read path:" in report
+
+    def test_metrics_omit_block_cache_when_disabled(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("d", _opts(block_cache_enabled=False))
+                db.put(b"k", b"v")
+                m = database_metrics(db)
+                report = format_report(m)
+                db.close()
+                return m, report
+
+        m, report = run1(app)
+        assert "block_cache" not in m
+        assert "block cache:" not in report
+
+    def test_env_knobs(self):
+        opt = options_from_env({"PAPYRUSKV_BLOCK_CACHE": "0"})
+        assert not opt.block_cache_enabled
+        opt = options_from_env({"PAPYRUSKV_BLOCK_CACHE": "65536"})
+        assert opt.block_cache_enabled
+        assert opt.block_cache_capacity == 65536
+        opt = options_from_env({"PAPYRUSKV_FENCE_PRUNING": "0"})
+        assert not opt.fence_pruning
+
+
+class TestRaceCleanliness:
+    def test_cached_read_path_is_race_clean(self):
+        """Main thread + handler both read through the block cache; the
+        dynamic detector must see zero findings on a mixed workload."""
+        prev = rt.get_detector()
+        det = rt.enable(reset=True)
+        try:
+
+            def app(ctx):
+                with Papyrus(ctx) as env:
+                    db = env.open("d", small_options(
+                        cache_local_enabled=False, race_detect=True,
+                    ))
+                    for i in range(80):
+                        db.put(f"rk{ctx.world_rank}{i:03d}".encode(), b"x" * 32)
+                    db.barrier(SSTABLE)
+                    for i in range(0, 80, 3):
+                        for r in range(ctx.nranks):
+                            db.get_or_none(f"rk{r}{i:03d}".encode())
+                    db.close()
+
+            spmd_run(2, app, system=SUMMITDEV)
+            assert det.findings() == [], det.findings()
+        finally:
+            rt.restore(prev)

@@ -77,22 +77,35 @@ class TestWorkloadApp:
         assert r.updates == 0 and r.reads == 30
 
     def test_protected_variant_faster_or_equal(self):
-        """100/0+P (remote cache on) should not be slower than 100/0."""
+        """100/0+P (remote cache on) should not be slower than 100/0.
+
+        Virtual time is only interleaving-independent up to shared
+        device horizons (``TimedResource.available`` advances in
+        wall-clock access order), and with the block-cached read path
+        the measured phase is cheap enough that scheduling jitter can
+        skew any single run by tens of percent.  Two noise filters keep
+        the assertion's direction intact: each prot run is *paired*
+        with an immediately-following plain run (so slow-machine phases
+        hit both sides of the ratio), and the assertion is on the
+        median of five paired ratios — robust to two outliers in either
+        direction.
+        """
 
         def plain(ctx):
-            return workload_app(ctx, 16, 2048, 40, 0,
+            return workload_app(ctx, 16, 2048, 200, 0,
                                 options=small_options())
 
         def prot(ctx):
-            return workload_app(ctx, 16, 2048, 40, 0,
+            return workload_app(ctx, 16, 2048, 200, 0,
                                 options=small_options(),
                                 protect_readonly=True)
 
-        t_plain = max(r.mixed_time for r in
-                      spmd_run(2, plain, system=CORI, timeout=240))
-        t_prot = max(r.mixed_time for r in
-                     spmd_run(2, prot, system=CORI, timeout=240))
-        assert t_prot <= t_plain * 1.1
+        def measure(fn):
+            return max(r.mixed_time
+                       for r in spmd_run(2, fn, system=CORI, timeout=240))
+
+        ratios = sorted(measure(prot) / measure(plain) for _ in range(5))
+        assert ratios[2] <= 1.1, ratios
 
 
 class TestCrApp:
