@@ -57,7 +57,9 @@ def _bench_app(use_bulk: bool, consistency: int):
 
                 t0 = ctx.clock.now
                 if use_bulk:
-                    db.put_bulk([(k, value) for k in keys])
+                    with db.batch() as b:
+                        for k in keys:
+                            b.put(k, value)
                 else:
                     for k in keys:
                         db.put(k, value)

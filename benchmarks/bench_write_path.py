@@ -1,0 +1,236 @@
+"""Write-path regression bench: group commit + pipelined flush +
+partitioned compaction vs. the pre-overhaul baseline.
+
+A 4-rank YCSB-A-style experiment against a deliberately small MemTable
+(64 KB) so the load phase drives a long train of flushes and periodic
+compactions — the regime the write-path overhaul targets:
+
+* **baseline** — the pre-overhaul path (``group_commit_interval=0,
+  flush_pipeline=False, compaction_partitions=1``): every put pays the
+  full durability charge, flushes serialize with compactions on one
+  background worker, and every compaction rewrites the rank's whole
+  table set (write amplification grows with the set);
+* **optimized** — the overhauled defaults: puts coalesce into commit
+  windows, flushes overlap as build/sync stages on their own workers,
+  and compaction runs incremental key-range partitions (minor delta
+  merges, periodic tombstone-dropping majors) under a rate limit.
+
+Phases per rank: **load** (sustained puts of owner-local keys — the
+headline throughput number) then a YCSB-A **run** (50/50 read/update,
+Zipfian).  Emits ``BENCH_WRITE_PATH.json`` at the repo root; the
+checked-in copy is the regression reference.  Quick mode
+(``PKV_BENCH_QUICK=1``, CI's bench-smoke job) shrinks the workload and
+skips the perf gates but still fails if group commit or partitioned
+compaction stops being exercised (zero counters = a wiring regression).
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.harness import KB, Report, run_once, write_json
+from repro.config import Options
+from repro.core.env import Papyrus
+from repro.mpi.launcher import spmd_run
+from repro.simtime.profiles import SUMMITDEV
+from repro.util.hashing import owner_rank
+from repro.workloads.generators import value_of_size
+from repro.workloads.ycsb import ZipfianGenerator
+
+RANKS = 4
+VALLEN = 1 * KB
+ZIPF_THETA = 0.99
+
+QUICK = os.environ.get("PKV_BENCH_QUICK", "") not in ("", "0")
+LOAD_N = 400 if QUICK else 4500   # puts per rank (load phase)
+RUN_N = 120 if QUICK else 1200    # ops per rank (YCSB-A run phase)
+
+_SIZES = dict(
+    memtable_capacity=64 * KB,
+    cache_local_enabled=False,  # measure the write/SSTable path itself
+    compaction_interval=4,
+    flush_queue_capacity=2,
+    group_size=1,
+)
+
+BASELINE = dict(
+    group_commit_interval=0.0,
+    flush_pipeline=False,
+    compaction_partitions=1,
+    **_SIZES,
+)
+OPTIMIZED = dict(_SIZES)  # overhauled defaults for everything else
+
+
+def _shard_keys(rank: int, nranks: int, n: int) -> list:
+    """``n`` keys owned by ``rank`` — the load phase measures the local
+    write path, not migration."""
+    keys, i = [], 0
+    while len(keys) < n:
+        cand = f"u{i:07d}".encode()
+        i += 1
+        if owner_rank(cand, nranks, None) == rank:
+            keys.append(cand)
+    return keys
+
+
+def _app_factory(overrides: dict):
+    def app(ctx):
+        opts = Options(**overrides)
+        env = Papyrus(ctx)
+        db = env.open("writepath", opts)
+        keys = _shard_keys(ctx.world_rank, ctx.nranks, LOAD_N)
+        value = value_of_size(VALLEN)
+
+        # ---- load phase: sustained puts through flush + compaction
+        db.coll_comm.barrier()
+        t0 = ctx.clock.now
+        for k in keys:
+            db.put(k, value)
+        load_time = ctx.clock.now - t0
+
+        # ---- run phase: YCSB-A (50% read / 50% update, Zipfian)
+        zipf = ZipfianGenerator(len(keys), ZIPF_THETA,
+                                seed=23 + ctx.world_rank)
+        rng_toggle = 0
+        t0 = ctx.clock.now
+        for _ in range(RUN_N):
+            k = keys[zipf.next()]
+            if rng_toggle:
+                db.put(k, value)
+            else:
+                db.get(k)
+            rng_toggle ^= 1
+        run_time = ctx.clock.now - t0
+
+        lat = db.latency.summary().get("put", {})
+        s = db.stats
+        out = {
+            "load_time": load_time,
+            "run_time": run_time,
+            "put_p50_s": lat.get("p50_s", 0.0),
+            "put_p99_s": lat.get("p99_s", 0.0),
+            "put_max_s": lat.get("max_s", 0.0),
+            "flushes": s.flushes,
+            "flush_stalls": s.flush_stalls,
+            "flush_stall_s": s.flush_stall_s,
+            "compactions": s.compactions,
+            "compaction_majors": s.compaction_majors,
+            "compaction_partition_jobs": s.compaction_partition_jobs,
+            "group_commits": s.group_commits,
+            "group_commit_coalesced": s.group_commit_coalesced,
+            "flush_build_busy_s": db.flush_build_worker.busy_time,
+            "flush_sync_busy_s": db.flush_sync_worker.busy_time,
+            "compaction_busy_s": db.compaction_worker.busy_time,
+        }
+        db.close()
+        env.finalize()
+        return out
+
+    return app
+
+
+_SUM_KEYS = (
+    "flushes", "flush_stalls", "compactions", "compaction_majors",
+    "compaction_partition_jobs", "group_commits", "group_commit_coalesced",
+)
+
+
+def _run_config(overrides: dict) -> dict:
+    results = spmd_run(
+        RANKS, _app_factory(overrides), system=SUMMITDEV, timeout=600,
+    )
+    agg = {
+        "load_time_s": max(r["load_time"] for r in results),
+        "run_time_s": max(r["run_time"] for r in results),
+        "put_p99_s": max(r["put_p99_s"] for r in results),
+        "put_max_s": max(r["put_max_s"] for r in results),
+        "flush_stall_s": max(r["flush_stall_s"] for r in results),
+    }
+    agg["load_puts_per_sec"] = RANKS * LOAD_N / agg["load_time_s"]
+    agg["run_ops_per_sec"] = RANKS * RUN_N / agg["run_time_s"]
+    for key in _SUM_KEYS:
+        agg[key] = sum(r[key] for r in results)
+    for key in ("flush_build_busy_s", "flush_sync_busy_s",
+                "compaction_busy_s"):
+        agg[key] = max(r[key] for r in results)
+    return agg
+
+
+def test_write_path_regression(benchmark):
+    def run():
+        baseline = _run_config(BASELINE)
+        optimized = _run_config(OPTIMIZED)
+        speedup = baseline["load_time_s"] / optimized["load_time_s"]
+
+        def _ratio(num: float, den: float) -> float:
+            return num / den if den > 0 else float("inf")
+
+        # stall gates use deterministic aggregates, not the sampled p99:
+        # the worst single put stall (max_s covers every observation) and
+        # the total virtual time puts spent blocked on flush back-pressure
+        max_stall_improvement = _ratio(baseline["put_max_s"],
+                                       optimized["put_max_s"])
+        stall_s_improvement = _ratio(baseline["flush_stall_s"],
+                                     optimized["flush_stall_s"])
+
+        rep = Report(
+            "write_path — 4-rank YCSB-A load+run, 64KB MemTables (KPPS)",
+            ["config", "load KPPS", "run KOPS", "put p99 (us)",
+             "put max (us)", "windows", "coalesced", "part jobs"],
+        )
+        for name, r in (("baseline", baseline), ("optimized", optimized)):
+            rep.add(name, r["load_puts_per_sec"] / 1e3,
+                    r["run_ops_per_sec"] / 1e3, r["put_p99_s"] * 1e6,
+                    r["put_max_s"] * 1e6,
+                    r["group_commits"], r["group_commit_coalesced"],
+                    r["compaction_partition_jobs"])
+        rep.emit()
+
+        payload = {
+            "bench": "write_path",
+            "ranks": RANKS,
+            "load_puts_per_rank": LOAD_N,
+            "run_ops_per_rank": RUN_N,
+            "value_bytes": VALLEN,
+            "zipf_theta": ZIPF_THETA,
+            "quick": QUICK,
+            "baseline": baseline,
+            "optimized": optimized,
+            "speedup": round(speedup, 3),
+            "max_stall_improvement": round(max_stall_improvement, 3),
+            "stall_s_improvement": round(stall_s_improvement, 3),
+        }
+        write_json("BENCH_WRITE_PATH.json", payload)
+        return payload
+
+    payload = run_once(benchmark, run)
+
+    opt, base = payload["optimized"], payload["baseline"]
+    # wiring guards: the new machinery must actually participate, and
+    # the baseline must genuinely run without it
+    assert opt["group_commits"] > 0, "group commit never opened a window"
+    assert opt["group_commit_coalesced"] > 0, "no put ever coalesced"
+    assert opt["compaction_partition_jobs"] > 0, \
+        "partitioned compaction never scheduled a job"
+    assert opt["flush_build_busy_s"] > 0 and opt["flush_sync_busy_s"] > 0
+    assert base["group_commits"] == 0
+    assert base["compaction_partition_jobs"] == 0
+    assert base["flush_build_busy_s"] == 0
+    if not QUICK:
+        # full-size workload crosses the major-merge threshold too
+        assert opt["compaction_majors"] > 0, "no major compaction ran"
+        # the perf gates proper: ≥5x sustained put throughput, and put
+        # stalls must be bounded — the worst single stall and the total
+        # time spent blocked on flush back-pressure both shrink
+        assert payload["speedup"] >= 5.0, (
+            f"write-path speedup {payload['speedup']}x < 5x"
+        )
+        assert payload["max_stall_improvement"] >= 2.0, (
+            f"worst-case put stall only improved "
+            f"{payload['max_stall_improvement']}x"
+        )
+        assert payload["stall_s_improvement"] >= 2.0, (
+            f"total put stall time only improved "
+            f"{payload['stall_s_improvement']}x"
+        )

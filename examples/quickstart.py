@@ -22,7 +22,10 @@ def app(ctx):
         # MemTables to SSTables) on exit
         with env.open("quickstart", Options()) as db:
             me = ctx.world_rank
-            with db.batch() as batch:  # buffered put_bulk on exit
+            # WriteBatch is the write surface: buffered operations go
+            # out as one bulk round on exit; durability="fence" means
+            # remote puts are owner-acked before the block returns
+            with db.batch(durability="fence") as batch:
                 for i in range(100):
                     batch[f"rank{me}/key{i:03d}".encode()] = \
                         f"value-{me}-{i}".encode()

@@ -49,7 +49,11 @@ class PapyrusDHT:
         per-owner coalescing (one migration chunk per owner instead of
         one staged put per k-mer) applies to the entire share.
         """
-        self._db.put_bulk(items)
+        if isinstance(items, dict):
+            items = items.items()
+        with self._db.batch() as b:
+            for key, value in items:
+                b.put(key, value)
 
     def get(self, key: bytes) -> Optional[bytes]:
         """Fetch a k-mer record; None when absent."""

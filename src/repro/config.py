@@ -93,6 +93,27 @@ class Options:
     migration_queue_capacity: int = 4
     #: compact whenever a new SSID is a multiple of this (0 disables)
     compaction_interval: int = 8
+    #: group commit: puts within this virtual-time window of the first
+    #: one share its durability charge and ack drain (0 disables)
+    group_commit_interval: float = 200e-6
+    #: group commit: a window also closes once it has coalesced this
+    #: many payload bytes (0 disables group commit entirely)
+    group_commit_bytes: int = 64 * KB
+    #: pipelined flush: overlap SSTable build (CPU) and sync (device)
+    #: on separate background timelines; False restores the monolithic
+    #: single-worker flush+compaction path
+    flush_pipeline: bool = True
+    #: partitioned compaction: split each merge into this many key-range
+    #: partition jobs on a dedicated worker (<=1 restores the monolithic
+    #: merge-everything job on the flush worker)
+    compaction_partitions: int = 4
+    #: full (tombstone-dropping) merge of every table once this many
+    #: minor delta compactions have accumulated (0 = never)
+    compaction_major_every: int = 8
+    #: compaction duty cycle in (0, 1]: after each partition job the
+    #: compaction worker idles so it occupies at most this fraction of
+    #: its timeline, leaving device bandwidth for foreground flushes
+    compaction_rate_limit: float = 0.5
     #: bloom filter target false-positive rate
     bloom_fp_rate: float = 0.01
     #: consult bloom filters on gets (ablation knob; the files are
@@ -137,6 +158,18 @@ class Options:
             raise InvalidOptionError("queue capacities must be positive")
         if self.compaction_interval < 0:
             raise InvalidOptionError("compaction_interval must be >= 0")
+        if self.group_commit_interval < 0:
+            raise InvalidOptionError("group_commit_interval must be >= 0")
+        if self.group_commit_bytes < 0:
+            raise InvalidOptionError("group_commit_bytes must be >= 0")
+        if self.compaction_partitions < 0:
+            raise InvalidOptionError("compaction_partitions must be >= 0")
+        if self.compaction_major_every < 0:
+            raise InvalidOptionError("compaction_major_every must be >= 0")
+        if not 0.0 < self.compaction_rate_limit <= 1.0:
+            raise InvalidOptionError(
+                "compaction_rate_limit must be in (0, 1]"
+            )
         if not 0.0 < self.bloom_fp_rate < 1.0:
             raise InvalidOptionError("bloom_fp_rate must be in (0,1)")
         if self.block_cache_capacity <= 0:
@@ -167,8 +200,13 @@ def options_from_env(env: Optional[Mapping[str, str]] = None,
     (1 enables RDONLY remote caching by default), ``PAPYRUSKV_MEMTABLE_SIZE``
     (bytes), ``PAPYRUSKV_REPOSITORY`` (containing "lustre" selects the
     parallel file system), ``PAPYRUSKV_BLOCK_CACHE`` (0 disables the
-    shared SSData block cache, any other value is its byte budget), and
-    ``PAPYRUSKV_FENCE_PRUNING`` (0 disables footer key-fence pruning).
+    shared SSData block cache, any other value is its byte budget),
+    ``PAPYRUSKV_FENCE_PRUNING`` (0 disables footer key-fence pruning),
+    ``PAPYRUSKV_GROUP_COMMIT`` (0 disables write-side group commit, any
+    other value is the commit window's byte budget),
+    ``PAPYRUSKV_FLUSH_PIPELINE`` (0 restores the monolithic flush), and
+    ``PAPYRUSKV_COMPACTION_PARTITIONS`` (1 restores monolithic
+    compaction).
     """
     env = os.environ if env is None else env
     opt = base or Options()
@@ -195,4 +233,17 @@ def options_from_env(env: Optional[Mapping[str, str]] = None,
                             block_cache_capacity=val)
     if "PAPYRUSKV_FENCE_PRUNING" in env:
         opt = opt.with_(fence_pruning=int(env["PAPYRUSKV_FENCE_PRUNING"]) != 0)
+    if "PAPYRUSKV_GROUP_COMMIT" in env:
+        # 0 disables; any other value is the window's byte budget
+        val = int(env["PAPYRUSKV_GROUP_COMMIT"])
+        if val == 0:
+            opt = opt.with_(group_commit_interval=0.0, group_commit_bytes=0)
+        else:
+            opt = opt.with_(group_commit_bytes=val)
+    if "PAPYRUSKV_FLUSH_PIPELINE" in env:
+        opt = opt.with_(flush_pipeline=int(env["PAPYRUSKV_FLUSH_PIPELINE"]) != 0)
+    if "PAPYRUSKV_COMPACTION_PARTITIONS" in env:
+        opt = opt.with_(
+            compaction_partitions=int(env["PAPYRUSKV_COMPACTION_PARTITIONS"])
+        )
     return opt

@@ -27,14 +27,16 @@ the Table 1 surface above is untouched):
 =====================================  =====================================
 Bulk veneer                            Object API it wraps
 =====================================  =====================================
-``papyruskv_put_bulk(db, items)``      :meth:`Database.put_bulk` —
-→ ``code``                             per-owner coalesced migration
+``papyruskv_put_bulk(db, items)``      :meth:`Database.batch` — per-owner
+→ ``code``                             coalesced migration
 ``papyruskv_get_bulk(db, keys)``       :meth:`Database.get_bulk` — one
 → ``(code, values)``                   MGET round per owner; ``values``
                                        aligns with ``keys``, ``None``
                                        marking NOT_FOUND
-``papyruskv_delete_bulk(db, keys)``    :meth:`Database.delete_bulk` —
-→ ``code``                             batched tombstone puts
+``papyruskv_delete_bulk(db, keys)``    :meth:`Database.batch` — batched
+→ ``code``                             tombstone puts
+``papyruskv_flush(db, wait=True)``     :meth:`Database.flush` — drain the
+→ ``code``                             local flush pipeline
 =====================================  =====================================
 """
 
@@ -142,9 +144,15 @@ def papyruskv_put_bulk(db: Database, items) -> int:
 
     ``items`` is a mapping or an iterable of ``(key, value)`` pairs;
     remote keys coalesce into one migration batch per owner rank.
+    Routed through :meth:`Database.batch`, the object API's one write
+    surface.
     """
+    if isinstance(items, dict):
+        items = items.items()
     try:
-        db.put_bulk(items)
+        with db.batch() as b:
+            for key, value in items:
+                b.put(key, value)
     except PapyrusError as exc:
         return int(code_of(exc))
     return int(ErrorCode.SUCCESS)
@@ -168,7 +176,22 @@ def papyruskv_get_bulk(db: Database, keys: Sequence[bytes]
 def papyruskv_delete_bulk(db: Database, keys: Sequence[bytes]) -> int:
     """Delete many keys via the bulk pipeline; returns an error code."""
     try:
-        db.delete_bulk(keys)
+        with db.batch() as b:
+            for key in keys:
+                b.delete(key)
+    except PapyrusError as exc:
+        return int(code_of(exc))
+    return int(ErrorCode.SUCCESS)
+
+
+def papyruskv_flush(db: Database, wait: bool = True) -> int:
+    """Flush the local MemTable to SSTables; returns an error code.
+
+    With ``wait`` (default) the call blocks until every enqueued table
+    has drained through the flush pipeline's build and sync stages.
+    """
+    try:
+        db.flush(wait=wait)
     except PapyrusError as exc:
         return int(code_of(exc))
     return int(ErrorCode.SUCCESS)

@@ -18,8 +18,10 @@ moving parts mirror Figure 2/3 of the paper:
 
 from __future__ import annotations
 
+import heapq
 import json
 import threading
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -37,6 +39,7 @@ from repro.errors import (
     CorruptionError,
     DatabaseClosedError,
     InvalidModeError,
+    InvalidOptionError,
     InvalidProtectionError,
     KeyNotFoundError,
     InvalidKeyError,
@@ -52,7 +55,7 @@ from repro.nvm.posixfs import PosixStore
 from repro.nvm.storage import StorageLayout
 from repro.simtime.resources import BackgroundWorker
 from repro.sstable.block_cache import BlockCache
-from repro.sstable.compaction import compact
+from repro.sstable.compaction import compact, partition_records, read_and_merge
 from repro.sstable.format import (
     QUARANTINE_SUFFIX,
     Record,
@@ -62,7 +65,12 @@ from repro.sstable.format import (
 )
 from repro.util.checksum import crc32c
 from repro.sstable.reader import SSTableReader, list_ssids
-from repro.sstable.writer import encode_table, write_sstable
+from repro.sstable.writer import (
+    encode_table,
+    write_sstable,
+    write_sstable_blobs,
+    write_tables_ordered,
+)
 from repro.util.hashing import owner_rank
 from repro.util.lru import LRUCache
 
@@ -139,6 +147,17 @@ class DbStats:
     flushes: int = 0
     compactions: int = 0
     migrations: int = 0
+    #: write-path overhaul counters: commit windows opened, puts that
+    #: rode an open window (sharing its durability charge + ack drain),
+    #: partition jobs run by partitioned compaction, full-merge
+    #: (tombstone-dropping) compactions, and time puts spent blocked on
+    #: flush back-pressure
+    group_commits: int = 0
+    group_commit_coalesced: int = 0
+    compaction_partition_jobs: int = 0
+    compaction_majors: int = 0
+    flush_stalls: int = 0
+    flush_stall_s: float = 0.0
     #: bulk-pipeline counters: batches issued, keys carried by them, and
     #: per-owner runtime messages they produced (MGET + batched sync puts)
     bulk_batches: int = 0
@@ -164,27 +183,69 @@ class DbStats:
 
 
 class WriteBatch:
-    """Mutation buffer flushed through the bulk pipeline on exit.
+    """The one write surface: a mutation buffer over the bulk pipeline.
 
     Created by :meth:`Database.batch`.  Operations are recorded in
     program order; within one batch the last operation on a key wins
     (the bulk pipeline's last-write-wins rule), which matches the
-    outcome of the equivalent per-key sequence.
+    outcome of the equivalent per-key sequence.  ``put`` and ``delete``
+    have full parity — both buffer, both count toward ``max_bytes``,
+    both resolve through the same engine.
+
+    Parameters
+    ----------
+    durability: what the context manager guarantees on clean exit —
+        ``"none"`` (default: writes are buffered/staged like plain
+        puts), ``"fence"`` (remote writes migrated to their owners and
+        acked), or ``"flush"`` (fence + the local shard flushed to
+        SSTables).
+    max_bytes: auto-flush threshold — the batch flushes itself through
+        the pipeline whenever the buffered payload reaches this many
+        bytes, bounding memory for streaming loads.  ``None`` buffers
+        until an explicit/exit flush.
     """
 
-    def __init__(self, db: "Database") -> None:
+    _DURABILITY = ("none", "fence", "flush")
+
+    def __init__(self, db: "Database", durability: Optional[str] = None,
+                 max_bytes: Optional[int] = None) -> None:
+        durability = "none" if durability is None else durability
+        if durability not in self._DURABILITY:
+            raise InvalidOptionError(
+                f"durability must be one of {self._DURABILITY}, "
+                f"got {durability!r}"
+            )
+        if max_bytes is not None and max_bytes <= 0:
+            raise InvalidOptionError("max_bytes must be positive or None")
         self._db = db
         self._ops: List[Tuple[bytes, bytes, bool]] = []
+        self._bytes = 0
+        self._durability = durability
+        self._max_bytes = max_bytes
+        self._written = 0
+
+    @property
+    def written(self) -> int:
+        """Distinct keys written by this batch's flushes so far."""
+        return self._written
 
     def put(self, key: bytes, value: bytes) -> None:
         """Buffer an insert/update."""
         self._db._validate_kv(key, value)
         self._ops.append((bytes(key), bytes(value), False))
+        self._bytes += len(key) + len(value)
+        self._maybe_autoflush()
 
     def delete(self, key: bytes) -> None:
         """Buffer a delete (tombstone put)."""
         self._db._validate_kv(key, None)
         self._ops.append((bytes(key), b"", True))
+        self._bytes += len(key)
+        self._maybe_autoflush()
+
+    def _maybe_autoflush(self) -> None:
+        if self._max_bytes is not None and self._bytes >= self._max_bytes:
+            self.flush()
 
     def __setitem__(self, key: bytes, value: bytes) -> None:
         self.put(key, value)
@@ -198,18 +259,27 @@ class WriteBatch:
     def clear(self) -> None:
         """Drop every buffered operation without writing."""
         self._ops.clear()
+        self._bytes = 0
 
     def flush(self) -> int:
         """Write the buffered operations now; returns keys written."""
-        ops, self._ops = self._ops, []
-        return self._db._write_bulk(ops)
+        ops, self._ops, self._bytes = self._ops, [], 0
+        n = self._db._write_bulk(ops)
+        self._written += n
+        return n
 
     def __enter__(self) -> "WriteBatch":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        if exc_type is None:
-            self.flush()
+        if exc_type is not None:
+            return  # on exception nothing further is written
+        self.flush()
+        if self._durability == "fence":
+            self._db.fence()
+        elif self._durability == "flush":
+            self._db.fence()
+            self._db.flush()
 
 
 class Database:
@@ -308,6 +378,24 @@ class Database:
 
         self.compaction_worker = BackgroundWorker(f"compactor-r{self.rank}")
         self.dispatcher_worker = BackgroundWorker(f"dispatcher-r{self.rank}")
+        #: pipelined-flush stages: CPU encode on the build worker, device
+        #: commit on the sync worker.  Both exist even with the pipeline
+        #: off so flush(wait=True) has a single tail expression.
+        self.flush_build_worker = BackgroundWorker(f"flush-build-r{self.rank}")
+        self.flush_sync_worker = BackgroundWorker(f"flush-sync-r{self.rank}")
+
+        #: group-commit window state — main-thread-only (mutated solely
+        #: under the application thread inside _put_impl/_write_bulk), so
+        #: it needs no lock and no registry entry
+        self._gc_open = False
+        self._gc_t0 = 0.0
+        self._gc_bytes = 0
+
+        #: L0 delta tables flushed since the last compaction (partitioned
+        #: mode's minor-merge inputs); guarded by db.state like ssids
+        self._l0: List[int] = []
+        #: minor generations since the last major (tombstone-dropping) merge
+        self._minor_gens = 0
 
         self.stats = DbStats()
         from repro.core.latency import LatencyTracker
@@ -534,8 +622,32 @@ class Database:
         if tombstone:
             self.stats.deletes += 1
         t_start = self.clock.now
-        self._charge_op(len(key) + len(value))
-        self._drain_acks(blocking=False)
+        nbytes = len(key) + len(value)
+        opts = self.options
+        if opts.group_commit_interval > 0 and opts.group_commit_bytes > 0:
+            # group commit: puts landing inside an open commit window
+            # coalesce — they share the window-opener's durability charge
+            # (DRAM write latency) and its ack drain, paying only the CPU
+            # op plus the memcpy of their own payload
+            if (
+                self._gc_open
+                and t_start - self._gc_t0 < opts.group_commit_interval
+                and self._gc_bytes < opts.group_commit_bytes
+            ):
+                cpu = self.ctx.system.cpu
+                self.clock.advance(cpu.kv_op_s + nbytes / self._memcpy_Bps)
+                self._gc_bytes += nbytes
+                self.stats.group_commit_coalesced += 1
+            else:
+                self._charge_op(nbytes)
+                self._drain_acks(blocking=False)
+                self._gc_open = True
+                self._gc_t0 = t_start
+                self._gc_bytes = nbytes
+                self.stats.group_commits += 1
+        else:
+            self._charge_op(nbytes)
+            self._drain_acks(blocking=False)
         owner = self.owner_of(key)
         if owner == self.rank:
             self.stats.local_puts += 1
@@ -569,38 +681,99 @@ class Database:
         self.local_mt = MemTable(self.options.memtable_capacity, "local")
         self._enqueue_flush(imm, clock)
 
+    def _crash_site(self, site: str) -> None:
+        """Visit a named flush-pipeline fault site (no-op without a plan)."""
+        plan = self.store.faults
+        if plan is not None:
+            plan.at_site(site)
+
     def _enqueue_flush(self, imm: MemTable, clock) -> None:
-        """Queue an immutable local MemTable; apply back-pressure if full."""
+        """Queue an immutable local MemTable; apply back-pressure if full.
+
+        With ``Options.flush_pipeline`` the flush runs as two overlapped
+        stages: *build* (CPU: sort snapshot -> encode the three blobs) on
+        the build worker, then *sync* (device: one batched durable
+        commit) chained onto the sync worker.  Each stage only gates on
+        its own worker, so while table N syncs to the device table N+1
+        is already encoding — foreground puts stall only when the whole
+        queue is full.  Crash sites ``flush.freeze/build/sync/retire``
+        bracket every stage transition.
+        """
         if len(imm) == 0:
             return
+        self._crash_site(f"flush.freeze:rank{self.rank}")
         # back-pressure: block (virtually) until the oldest flush finishes
+        stall_t0 = clock.now
         while len(self.flushing) >= self.options.flush_queue_capacity:
             _, end = self.flushing[0]
             clock.advance_to(end)
             self._retire_flushed(clock.now)
             if self.flushing and self.flushing[0][1] > clock.now:
                 break  # defensive; should not happen
+        if clock.now > stall_t0:
+            self.stats.flush_stalls += 1
+            self.stats.flush_stall_s += clock.now - stall_t0
         ssid = self._next_ssid
         self._next_ssid += 1
-        records = imm.to_records()
+        records = imm.records()
 
-        def job(start: float) -> float:
-            _, end = write_sstable(
-                self.store, self.rank_dir, ssid, records, start,
-                self.options.bloom_fp_rate,
-            )
-            self._trace(f"flush ssid={ssid}", "compaction", start, end)
-            return end
+        if self.options.flush_pipeline:
+            end = self._schedule_pipelined_flush(ssid, records, imm, clock)
+        else:
 
-        end = self.compaction_worker.schedule(clock.now, job)
+            def job(start: float) -> float:
+                self._crash_site(f"flush.build:{self.rank_dir}/{ssid}")
+                _, end = write_sstable(
+                    self.store, self.rank_dir, ssid, records, start,
+                    self.options.bloom_fp_rate,
+                )
+                self._crash_site(f"flush.retire:{self.rank_dir}/{ssid}")
+                self._trace(f"flush ssid={ssid}", "compaction", start, end)
+                return end
+
+            end = self.compaction_worker.schedule(clock.now, job)
         annotate_write(self, "db.ssids")
         self.ssids.append(ssid)
+        self._l0.append(ssid)
         self.flushing.append((imm, end))
         self.stats.flushes += 1
         self._retire_flushed(clock.now)
         interval = self.options.compaction_interval
-        if interval and ssid % interval == 0 and len(self.ssids) > 1:
+        if self.options.compaction_partitions > 1:
+            if interval and len(self._l0) >= interval:
+                self._schedule_compaction(clock.now)
+        elif interval and ssid % interval == 0 and len(self.ssids) > 1:
             self._schedule_compaction(clock.now)
+
+    def _schedule_pipelined_flush(self, ssid: int, records, imm: MemTable,
+                                  clock) -> float:
+        """Chain the build and sync stages of one flush; returns the
+        virtual time the table is durable."""
+        cpu = self.ctx.system.cpu
+        holder: Dict[str, Dict[str, bytes]] = {}
+
+        def build_job(start: float) -> float:
+            self._crash_site(f"flush.build:{self.rank_dir}/{ssid}")
+            holder["blobs"] = encode_table(records, self.options.bloom_fp_rate)
+            nbytes = sum(len(b) for b in holder["blobs"].values())
+            end = start + cpu.kv_op_s * max(1, len(records)) + (
+                nbytes / self._memcpy_Bps
+            )
+            self._trace(f"flush-build ssid={ssid}", "flush-build", start, end)
+            return end
+
+        t_built = self.flush_build_worker.schedule(clock.now, build_job)
+
+        def sync_job(start: float) -> float:
+            self._crash_site(f"flush.sync:{self.rank_dir}/{ssid}")
+            _, end = write_sstable_blobs(
+                self.store, self.rank_dir, ssid, holder["blobs"], start
+            )
+            self._crash_site(f"flush.retire:{self.rank_dir}/{ssid}")
+            self._trace(f"flush-sync ssid={ssid}", "flush-sync", start, end)
+            return end
+
+        return self.flush_sync_worker.schedule(t_built, sync_job)
 
     def _retire_flushed(self, now: float) -> None:
         """Drop flushing-queue entries whose flush completed by ``now``."""
@@ -608,15 +781,160 @@ class Database:
             self.flushing.pop(0)
 
     def _schedule_compaction(self, t_enqueue: float) -> None:
-        """Merge every on-disk SSTable of this rank into one (§2.5).
+        """Compact this rank's SSTable set (§2.5, partitioned here).
 
-        The merged table takes a *fresh* SSID (never reuses an input's):
-        group peers cache readers keyed by SSID, and a rewritten file
-        under an old SSID would pair their cached index with new data
-        silently.  A fresh SSID makes staleness detectable — deleted
-        inputs raise StorageError and the changed newest-SSID invalidates
-        peer caches.
+        Every output table takes a *fresh* SSID (never reuses an
+        input's): group peers cache readers keyed by SSID, and a
+        rewritten file under an old SSID would pair their cached index
+        with new data silently.  A fresh SSID makes staleness detectable
+        — deleted inputs raise StorageError and the changed newest-SSID
+        invalidates peer caches.
+
+        With ``compaction_partitions > 1`` the merge is incremental and
+        partitioned: a *minor* pass merges only the L0 delta tables
+        flushed since the last trigger into contiguous key-range
+        partitions (old data stays put — tombstones kept), and every
+        ``compaction_major_every``-th pass is a *major* merge of the
+        whole set that drops tombstones.  Each partition is built by an
+        independent CPU job and the round's outputs land with a single
+        ordered device commit under a duty-cycle rate limit, so
+        compaction never monopolizes the device while foreground puts
+        are stalled on the flush queue.
+        ``compaction_partitions <= 1`` keeps the paper's monolithic
+        merge-everything shape.
         """
+        if self.options.compaction_partitions <= 1:
+            self._schedule_compaction_legacy(t_enqueue)
+            return
+
+        major = (
+            self._minor_gens + 1 >= self.options.compaction_major_every
+            or len(self._l0) == 0
+        )
+        live = set(self.ssids)
+        if major:
+            inputs = [s for s in self.ssids]
+        else:
+            inputs = [s for s in self._l0 if s in live]
+        if len(inputs) <= 1:
+            # nothing worth merging this round; count the generation so
+            # a future major still comes due
+            self._l0 = [s for s in self._l0 if s in live and s not in inputs]
+            self._minor_gens = 0 if major else self._minor_gens + 1
+            return
+
+        # in pipelined mode an input's sync stage may still be in flight
+        # on the virtual timeline: gate the read behind it
+        t_read = max(t_enqueue, self.flush_sync_worker.available)
+        t_round0 = max(t_read, self.compaction_worker.available)
+        holder: Dict[str, object] = {}
+
+        def read_job(start: float) -> float:
+            merged, readers, end = read_and_merge(
+                self.store, self.rank_dir, inputs, start,
+                drop_tombstones=major, block_cache=self.block_cache,
+            )
+            holder["parts"] = partition_records(
+                merged, self.options.compaction_partitions
+            )
+            holder["readers"] = readers
+            self._trace(
+                f"compact-read {len(inputs)} tables", "compaction",
+                start, end,
+            )
+            return end
+
+        self.compaction_worker.schedule(t_read, read_job)
+
+        # each partition is an independent CPU build job; the round then
+        # lands with ONE ordered device access (write_tables_ordered) so
+        # a flush sync queued behind it waits for a bounded transfer —
+        # per-table device round-trips here were the source of
+        # compaction-induced put stalls
+        cpu = self.ctx.system.cpu
+        parts: List[List] = holder["parts"]  # type: ignore[assignment]
+        built: List[Tuple[int, Dict[str, bytes]]] = []
+        new_ssids: List[int] = []
+        for part in parts:
+            new_ssid = self._next_ssid
+            self._next_ssid += 1
+            new_ssids.append(new_ssid)
+
+            def build_job(start: float, _ssid=new_ssid, _part=part) -> float:
+                blobs = encode_table(_part, self.options.bloom_fp_rate)
+                built.append((_ssid, blobs))
+                nbytes = sum(len(b) for b in blobs.values())
+                end = start + cpu.kv_op_s * max(1, len(_part)) + (
+                    nbytes / self._memcpy_Bps
+                )
+                self._trace(
+                    f"compact-build ssid={_ssid}", "compaction", start, end
+                )
+                return end
+
+            self.compaction_worker.schedule(
+                self.compaction_worker.available, build_job
+            )
+            self.stats.compaction_partition_jobs += 1
+
+        def sync_job(start: float) -> float:
+            _, end = write_tables_ordered(
+                self.store, self.rank_dir, built, start
+            )
+            self._trace(
+                f"compact-sync {len(built)} tables", "compaction", start, end
+            )
+            return end
+
+        self.compaction_worker.schedule(
+            self.compaction_worker.available, sync_job
+        )
+
+        def delete_job(start: float) -> float:
+            # retire the round's inputs with one batched unlink commit
+            keep = set(new_ssids)
+            paths: List[str] = []
+            for rd in holder["readers"]:  # type: ignore[union-attr]
+                if rd.ssid not in keep:
+                    paths.extend(rd.file_paths())
+            return self.store.delete_many(paths, start)
+
+        self.compaction_worker.schedule(
+            self.compaction_worker.available, delete_job
+        )
+        self._pace_compaction(t_round0, self.compaction_worker.available)
+
+        annotate_write(self, "db.ssids")
+        consumed = set(inputs)
+        self.ssids = [s for s in self.ssids if s not in consumed] + new_ssids
+        for s in inputs:
+            self._invalidate_readers(s)
+        self._l0 = []
+        self._minor_gens = 0 if major else self._minor_gens + 1
+        self.stats.compactions += 1
+        if major:
+            self.stats.compaction_majors += 1
+
+    def _pace_compaction(self, start: float, end: float) -> None:
+        """Rate-limit the compaction worker to its configured duty cycle.
+
+        After a compaction round occupying ``[start, end]`` the worker
+        idles long enough that busy/(busy+idle) == the configured
+        ``compaction_rate_limit``, leaving device headroom for
+        foreground flushes.  Paced once per *round*, not per job: the
+        round's device charges stay packed at the current device horizon
+        (a later flush sync queues behind one bounded transfer), and the
+        idle gap only delays when the next round may start.
+        """
+        duty = self.options.compaction_rate_limit
+        if duty >= 1.0 or end <= start:
+            return
+        self.compaction_worker.idle_until(
+            end + (end - start) * (1.0 - duty) / duty
+        )
+
+    def _schedule_compaction_legacy(self, t_enqueue: float) -> None:
+        """The paper's monolithic merge: every table into one."""
         inputs = list(self.ssids)
         new_ssid = self._next_ssid
         self._next_ssid += 1
@@ -636,6 +954,7 @@ class Database:
         self.compaction_worker.schedule(t_enqueue, job)
         annotate_write(self, "db.ssids")
         self.ssids = [new_ssid]
+        self._l0 = []
         self._invalidate_readers()
         self.stats.compactions += 1
 
@@ -1141,32 +1460,41 @@ class Database:
 
     # ======================================================== BULK PIPELINE
     def put_bulk(self, items) -> int:
-        """Insert many pairs through the batched pipeline.
+        """Deprecated: use :meth:`batch` — the one write surface.
 
-        ``items`` is a mapping or an iterable of ``(key, value)`` pairs.
-        Operations are partitioned by owner rank in one pass: local ones
-        apply under a single lock acquisition, remote ones coalesce into
-        per-owner batches (relaxed: the batch joins the remote MemTable
-        and later migrates as one chunk per owner; sequential: one
-        synchronous round per owner, not per key).  Duplicate keys
-        within one batch resolve last-write-wins.  Returns the number of
-        distinct keys written.
+        ``put_bulk(items)`` is equivalent to::
+
+            with db.batch() as b:
+                for key, value in items:
+                    b.put(key, value)
+
+        ``items`` is a mapping or an iterable of ``(key, value)`` pairs;
+        duplicate keys within one call resolve last-write-wins.  Returns
+        the number of distinct keys written.
         """
+        warnings.warn(
+            "Database.put_bulk() is deprecated; use "
+            "`with db.batch() as b: b.put(key, value)` instead",
+            DeprecationWarning, stacklevel=2,
+        )
         if isinstance(items, dict):
             items = items.items()
-        ops: List[Tuple[bytes, bytes, bool]] = []
-        for key, value in items:
-            self._validate_kv(key, value)
-            ops.append((bytes(key), bytes(value), False))
-        return self._write_bulk(ops)
+        with self.batch() as b:
+            for key, value in items:
+                b.put(key, value)
+        return b.written
 
     def delete_bulk(self, keys) -> int:
-        """Delete many keys through the batched pipeline (see put_bulk)."""
-        ops: List[Tuple[bytes, bytes, bool]] = []
-        for key in keys:
-            self._validate_kv(key, None)
-            ops.append((bytes(key), b"", True))
-        return self._write_bulk(ops)
+        """Deprecated: use :meth:`batch` with ``b.delete(key)``."""
+        warnings.warn(
+            "Database.delete_bulk() is deprecated; use "
+            "`with db.batch() as b: b.delete(key)` instead",
+            DeprecationWarning, stacklevel=2,
+        )
+        with self.batch() as b:
+            for key in keys:
+                b.delete(key)
+        return b.written
 
     def _write_bulk(self, ops: List[Tuple[bytes, bytes, bool]]) -> int:
         """The shared engine of put_bulk/delete_bulk/WriteBatch."""
@@ -1189,6 +1517,12 @@ class Database:
             + nbytes / self._memcpy_Bps
         )
         self._drain_acks(blocking=False)
+        if (self.options.group_commit_interval > 0
+                and self.options.group_commit_bytes > 0):
+            # a bulk batch *is* one commit window: one durability charge
+            # and one ack drain amortized over every key in it
+            self.stats.group_commits += 1
+            self.stats.group_commit_coalesced += len(final) - 1
         # single-pass partition by owner rank
         local: List[Tuple[bytes, bytes, bool]] = []
         remote: Dict[int, List[msg.Pair]] = {}
@@ -1463,17 +1797,43 @@ class Database:
         self.fence()
         self.coll_comm.barrier()  # all migrations sent & acked everywhere
         if level == config.SSTABLE:
-            self.flush_sstables()
+            self.flush()
         self.coll_comm.barrier()
 
-    def flush_sstables(self) -> None:
-        """Flush the local MemTable (+ queue) fully to SSTables, blocking."""
+    def _flush_tail(self) -> float:
+        """Virtual time at which every enqueued flush is durable."""
+        if self.options.flush_pipeline:
+            return max(self.flush_build_worker.available,
+                       self.flush_sync_worker.available)
+        return self.compaction_worker.available
+
+    def flush(self, wait: bool = True) -> None:
+        """Flush the local MemTable to SSTables (``papyruskv_flush``).
+
+        Rotates a non-empty local MemTable into the flush pipeline.
+        With ``wait=True`` (the default, matching the old
+        ``flush_sstables`` semantics) the call blocks — virtually —
+        until the pipeline tail is durable: every enqueued table has
+        passed its build *and* sync stages.  ``wait=False`` just
+        enqueues and returns, letting the pipeline drain in the
+        background.  Neither form waits for compaction; :meth:`close`
+        does.
+        """
         with self._lock:
             if len(self.local_mt):
                 self._rotate_local(self.clock)
-            # wait for the compaction worker to drain
-            self.clock.advance_to(self.compaction_worker.available)
-            self._retire_flushed(self.clock.now)
+            if wait:
+                self.clock.advance_to(self._flush_tail())
+                self._retire_flushed(self.clock.now)
+
+    def flush_sstables(self) -> None:
+        """Deprecated alias of :meth:`flush` (blocking form)."""
+        warnings.warn(
+            "Database.flush_sstables() is deprecated; use db.flush() "
+            "(or db.flush(wait=False) to enqueue without blocking)",
+            DeprecationWarning, stacklevel=2,
+        )
+        self.flush()
 
     def set_consistency(self, mode: int) -> None:
         """Collective: switch relaxed ↔ sequential (``papyruskv_consistency``)."""
@@ -1518,19 +1878,54 @@ class Database:
         return local_scan(self, start, end)
 
     def scan_collect(self, start: Optional[bytes] = None,
-                     end: Optional[bytes] = None) -> List[Tuple[bytes, bytes]]:
+                     end: Optional[bytes] = None,
+                     chunk: int = 1024) -> List[Tuple[bytes, bytes]]:
         """Collective: globally sorted live pairs across all ranks.
 
-        Every rank scans its own shard and the results are allgathered
-        and merged; all ranks receive the same list.  Call a barrier (or
-        use sequential consistency) first if writes are in flight.
+        Streaming merge: each rank broadcasts its (already sorted) shard
+        in owner-ordered chunks of ``chunk`` pairs, round by round, and
+        every rank merges behind a *watermark* — a pair is emitted once
+        its key is ≤ the smallest last-received key over the streams
+        that still have data, which is exactly when no later chunk can
+        precede it.  Unlike the old single-shot allgather (whose
+        transient footprint was ``nranks × full shard`` on every rank),
+        peak extra memory is the result plus ``nranks × chunk`` pairs of
+        in-flight buffer.  All ranks receive the same list.  Call a
+        barrier (or use sequential consistency) first if writes are in
+        flight.
         """
+        self._check_open()
         mine = self.scan_local(start, end)
-        chunks = self.coll_comm.allgather(mine)
+        counts = self.coll_comm.allgather(len(mine))
+        if not any(counts):
+            return []
+        rounds = max((c + chunk - 1) // chunk for c in counts)
+        received = [0] * self.nranks
+        last_key: List[Optional[bytes]] = [None] * self.nranks
+        pending: List[Tuple[bytes, bytes]] = []  # min-heap on key
         merged: List[Tuple[bytes, bytes]] = []
-        for chunk in chunks:
-            merged.extend(chunk)
-        merged.sort(key=lambda kv: kv[0])
+        for rnd in range(rounds):
+            lo = rnd * chunk
+            for r in range(self.nranks):
+                part = mine[lo:lo + chunk] if r == self.rank else None
+                got = self.coll_comm.bcast(part, root=r)
+                if got:
+                    received[r] += len(got)
+                    last_key[r] = got[-1][0]
+                    for kv in got:
+                        heapq.heappush(pending, kv)
+            unfinished = [
+                r for r in range(self.nranks) if received[r] < counts[r]
+            ]
+            if not unfinished:
+                while pending:
+                    merged.append(heapq.heappop(pending))
+            else:
+                # keys within a stream strictly ascend, so no future
+                # chunk can deliver a key ≤ this watermark
+                wm = min(last_key[r] for r in unfinished)  # type: ignore
+                while pending and pending[0][0] <= wm:
+                    merged.append(heapq.heappop(pending))
         return merged
 
     def count_local(self) -> int:
@@ -1676,7 +2071,9 @@ class Database:
             return
         self.fence()
         self.coll_comm.barrier()
-        self.flush_sstables()
+        self.flush()
+        # compaction is not part of flush's contract; close drains it too
+        self.clock.advance_to(self.compaction_worker.available)
         self.coll_comm.barrier()  # nobody issues remote ops past this point
         # stop my handler (self-send so it wakes from its recv)
         self.srv_comm.send(msg.StopMsg(), self.rank, tag=0)
@@ -1724,20 +2121,25 @@ class Database:
         """``key in db`` — a get that swallows NOT_FOUND."""
         return self.get_or_none(key) is not None
 
-    def batch(self) -> "WriteBatch":
-        """A context manager buffering mutations for one bulk flush.
+    def batch(self, durability: Optional[str] = None,
+              max_bytes: Optional[int] = None) -> "WriteBatch":
+        """The write surface: a context manager buffering mutations.
 
         ::
 
-            with db.batch() as b:
+            with db.batch(durability="fence", max_bytes=1 << 20) as b:
                 b[b"k1"] = b"v1"
                 b.delete(b"k2")
 
-        On clean exit the buffered operations flush through the bulk
-        pipeline (one migration batch per owner); on exception nothing
-        is written.
+        Buffered operations flush through the bulk pipeline (one
+        migration batch per owner) whenever the payload reaches
+        ``max_bytes`` and on clean exit; on exception nothing further is
+        written.  ``durability`` picks the exit guarantee: ``"none"``
+        (staged like plain puts), ``"fence"`` (remote writes acked by
+        their owners), or ``"flush"`` (fence + local shard flushed to
+        SSTables).  See :class:`WriteBatch`.
         """
-        return WriteBatch(self)
+        return WriteBatch(self, durability=durability, max_bytes=max_bytes)
 
     # ---------------------------------------------------------------- helpers
     def write_meta(self) -> None:

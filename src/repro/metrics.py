@@ -46,7 +46,13 @@ def database_metrics(db) -> Dict[str, Any]:
         "local_gets": stats.local_gets,
         "remote_gets": stats.remote_gets,
         "flushes": stats.flushes,
+        "flush_stalls": stats.flush_stalls,
+        "flush_stall_s": stats.flush_stall_s,
         "compactions": stats.compactions,
+        "compaction_majors": stats.compaction_majors,
+        "compaction_partition_jobs": stats.compaction_partition_jobs,
+        "group_commits": stats.group_commits,
+        "group_commit_coalesced": stats.group_commit_coalesced,
         "migrations": stats.migrations,
         "bulk_batches": stats.bulk_batches,
         "bulk_keys": stats.bulk_keys,
@@ -64,6 +70,8 @@ def database_metrics(db) -> Dict[str, Any]:
         "remote_memtable_bytes": db.remote_mt.size_bytes,
         "compaction_busy_s": db.compaction_worker.busy_time,
         "dispatcher_busy_s": db.dispatcher_worker.busy_time,
+        "flush_build_busy_s": db.flush_build_worker.busy_time,
+        "flush_sync_busy_s": db.flush_sync_worker.busy_time,
     }
     if db.local_cache is not None:
         out["local_cache"] = {
@@ -116,8 +124,20 @@ def format_report(db_metrics: Dict[str, Any]) -> str:
         f"  lsm: {m['flushes']} flushes, {m['compactions']} compactions, "
         f"{m['migrations']} migrations, {m['sstables']} live SSTables",
         f"  background: compaction {m['compaction_busy_s'] * 1e3:.3f} ms, "
-        f"dispatcher {m['dispatcher_busy_s'] * 1e3:.3f} ms (virtual)",
+        f"dispatcher {m['dispatcher_busy_s'] * 1e3:.3f} ms, "
+        f"flush build {m.get('flush_build_busy_s', 0.0) * 1e3:.3f} ms, "
+        f"sync {m.get('flush_sync_busy_s', 0.0) * 1e3:.3f} ms (virtual)",
     ]
+    if m.get("group_commits") or m.get("flush_stalls") \
+            or m.get("compaction_partition_jobs"):
+        lines.append(
+            f"  write path: {m.get('group_commits', 0)} commit windows "
+            f"({m.get('group_commit_coalesced', 0)} coalesced puts), "
+            f"{m.get('flush_stalls', 0)} flush stalls "
+            f"({m.get('flush_stall_s', 0.0) * 1e3:.3f} ms), "
+            f"{m.get('compaction_partition_jobs', 0)} partition jobs "
+            f"({m.get('compaction_majors', 0)} majors)"
+        )
     if m.get("bulk_batches"):
         lines.append(
             f"  bulk: {m['bulk_batches']} batches, {m['bulk_keys']} keys, "

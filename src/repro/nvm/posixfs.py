@@ -218,6 +218,24 @@ class PosixStore:
             raise StorageError(str(exc)) from exc
         return self._charge_meta(t)
 
+    def delete_many(self, relpaths: List[str], t: float) -> float:
+        """Remove several files as one batched metadata commit.
+
+        Compaction retires a whole round's input tables at once: the
+        unlinks share a single metadata round-trip instead of paying a
+        full device access per file — per-file charges here serialized
+        ahead of foreground flush syncs and dominated the write device
+        with zero-byte operations.
+        """
+        for rel in relpaths:
+            try:
+                os.remove(self.path(rel))
+            except FileNotFoundError:
+                pass
+            except OSError as exc:
+                raise StorageError(str(exc)) from exc
+        return self._charge_meta(t)
+
     def delete_tree(self, relpath: str, t: float) -> float:
         """Remove a directory tree (``papyruskv_destroy``)."""
         import shutil
@@ -263,8 +281,21 @@ class PosixStore:
         staging performance is a virtual-time property here, durability
         a real one.
         """
+        return self.write_ordered(list(blobs.items()), t)
+
+    def write_ordered(self, items: List[Tuple[str, bytes]],
+                      t: float) -> float:
+        """Write several files *in order* as one batched durable commit.
+
+        The flush pipeline's sync stage lands an SSTable's three files
+        (SSData -> SSIndex -> bloom) in one go: each file keeps the
+        atomic tmp+fsync+rename discipline and its crash sites, but the
+        device is charged once — the write analogue of
+        :meth:`read_spans`'s vectored burst — so a pipelined sync pays
+        one access latency plus the aggregate bytes.
+        """
         total = 0
-        for rel, data in blobs.items():
+        for rel, data in items:
             self._atomic_write(rel, data)
             total += len(data)
         return self._charge_write(t, total)

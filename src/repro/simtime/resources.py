@@ -5,7 +5,11 @@ device serializes DMA: an operation arriving at time ``t`` starts at
 ``max(t, available)`` and completes ``latency + bytes/bandwidth`` later.
 When 20 ranks of a Summitdev node hammer one NVMe, their aggregate
 throughput saturates at the device bandwidth — exactly the effect the
-paper's Figure 6 measures.
+paper's Figure 6 measures.  Because work executes eagerly while being
+*charged* at virtual request times, the device also remembers idle
+windows left behind its horizon by far-future requests, and serves a
+later call inside one when its request time fits — service order
+follows virtual arrival time, not Python call order.
 
 A :class:`StripedResource` models Lustre OSTs and Cori burst-buffer
 nodes: a transfer is split across ``nstripes`` member resources and
@@ -39,18 +43,52 @@ class TimedResource:
     ops: int = 0
     bytes_moved: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    #: idle windows left behind the horizon by operations that were
+    #: requested beyond it; later requests may be served inside one
+    _free: List[List[float]] = field(default_factory=list, repr=False)
+
+    #: bound on remembered idle windows (oldest dropped first)
+    MAX_FREE_WINDOWS = 64
 
     def service_time(self, nbytes: int) -> float:
         """Duration of one operation of ``nbytes`` (no queueing)."""
         return self.latency_s + (nbytes / self.bandwidth_Bps if nbytes else 0.0)
 
+    def _reserve(self, t_request: float, duration: float) -> float:
+        """Pick a start time for an exclusive operation (lock held).
+
+        Work executes eagerly here, so operations arrive in *call*
+        order, not virtual-time order: a background job scheduled for
+        the far future must not make the device look busy in between.
+        When a request lands beyond the horizon the idle window behind
+        it is remembered, and a later call whose request time falls
+        inside such a window is served there — like a real device, which
+        orders service by arrival time, not by who asked first.
+        """
+        for i, win in enumerate(self._free):
+            start = max(win[0], t_request)
+            if start + duration <= win[1]:
+                rest = []
+                if start > win[0]:
+                    rest.append([win[0], start])
+                if start + duration < win[1]:
+                    rest.append([start + duration, win[1]])
+                self._free[i:i + 1] = rest
+                return start
+        start = max(t_request, self.available)
+        if start > self.available:
+            self._free.append([self.available, start])
+            if len(self._free) > self.MAX_FREE_WINDOWS:
+                self._free.pop(0)
+        self.available = start + duration
+        return start
+
     def access(self, t_request: float, nbytes: int) -> float:
         """Reserve the resource for an operation; return completion time."""
         duration = self.service_time(nbytes)
         with self._lock:
-            start = max(t_request, self.available)
+            start = self._reserve(t_request, duration)
             end = start + duration
-            self.available = end
             self.busy_time += duration
             self.ops += 1
             self.bytes_moved += nbytes
@@ -84,6 +122,7 @@ class TimedResource:
             self.busy_time = 0.0
             self.ops = 0
             self.bytes_moved = 0
+            self._free.clear()
 
 
 class StripedResource:

@@ -3,8 +3,18 @@
 "PapyrusKV merges the data in a set of SSTables ... whenever the SSID of
 a new SSTable is multiples of the predefined number" (paper §2.5).  The
 merge is a sequential read of each input (the tables are key-sorted),
-keeps the record from the highest SSID for duplicate keys, writes one
-new merged SSTable, and deletes the inputs.
+keeps the record from the highest SSID for duplicate keys, and deletes
+the inputs once the output is durable.
+
+Two output shapes:
+
+* :func:`compact` — the paper's monolithic merge: one output table.
+* **Partitioned** — :func:`read_and_merge` + :func:`partition_records`
+  split the merged stream into contiguous key-range partitions that the
+  database schedules as independent, rate-limited jobs, each producing
+  one fresh-SSID table with disjoint footer fences.  Minor (delta-only)
+  merges keep old data in place, so a run of flushes rewrites each byte
+  once instead of rewriting the whole rank shard every trigger.
 
 Tombstones survive a *partial* compaction (they may still shadow live
 records in tables older than the compacted run); a *full* compaction of
@@ -49,6 +59,59 @@ def merge_records(
     return out
 
 
+def read_and_merge(
+    store: PosixStore,
+    directory: str,
+    ssids: List[int],
+    t: float,
+    drop_tombstones: bool = False,
+    block_cache: Optional[BlockCache] = None,
+) -> Tuple[List[Record], List[SSTableReader], float]:
+    """Stream every input table once and k-way merge the runs.
+
+    Returns ``(merged_records, readers, virtual_completion_time)``; the
+    readers are handed back so the caller can delete the inputs once
+    its outputs are durable.  A shared block cache is attached at *low*
+    priority: compaction's streaming reads fill free budget but never
+    evict the point-get working set, and the caller is expected to
+    invalidate the input tables afterwards.
+    """
+    readers = [
+        SSTableReader(store, directory, s,
+                      block_cache=block_cache, cache_priority="low")
+        for s in sorted(ssids)
+    ]
+    runs: List[List[Record]] = []
+    for rd in readers:  # oldest → newest
+        recs, t = rd.read_all(t)
+        runs.append(recs)
+    merged = merge_records(runs, drop_tombstones=drop_tombstones)
+    return merged, readers, t
+
+
+def partition_records(
+    records: List[Record], nparts: int
+) -> List[List[Record]]:
+    """Split sorted ``records`` into ≤ ``nparts`` contiguous key ranges.
+
+    Slices are balanced by record count; empty slices are never
+    produced, so every partition's output table has meaningful footer
+    fences and the ranges are pairwise disjoint (fence pruning stays
+    decisive on the read path).
+    """
+    if nparts <= 1 or len(records) <= 1:
+        return [records] if records else []
+    nparts = min(nparts, len(records))
+    base, extra = divmod(len(records), nparts)
+    parts: List[List[Record]] = []
+    lo = 0
+    for p in range(nparts):
+        hi = lo + base + (1 if p < extra else 0)
+        parts.append(records[lo:hi])
+        lo = hi
+    return parts
+
+
 def compact(
     store: PosixStore,
     directory: str,
@@ -61,25 +124,17 @@ def compact(
 ) -> Tuple[int, float]:
     """Merge the tables ``ssids`` into one table ``new_ssid``.
 
-    Returns ``(merged_record_count, virtual_completion_time)``.  The
-    inputs are deleted after the merged table is durably written, so a
-    reader never observes a state with data missing.  A shared block
-    cache is attached at *low* priority: compaction's streaming reads
-    fill free budget but never evict the point-get working set, and the
-    caller is expected to invalidate the input tables afterwards.
+    The paper's monolithic merge (and the ``compaction_partitions<=1``
+    fallback).  Returns ``(merged_record_count, completion_time)``.
+    The inputs are deleted after the merged table is durably written,
+    so a reader never observes a state with data missing.
     """
     if not ssids:
         return 0, t
-    readers = [
-        SSTableReader(store, directory, s,
-                      block_cache=block_cache, cache_priority="low")
-        for s in sorted(ssids)
-    ]
-    runs: List[List[Record]] = []
-    for rd in readers:  # oldest → newest
-        recs, t = rd.read_all(t)
-        runs.append(recs)
-    merged = merge_records(runs, drop_tombstones=drop_tombstones)
+    merged, readers, t = read_and_merge(
+        store, directory, ssids, t,
+        drop_tombstones=drop_tombstones, block_cache=block_cache,
+    )
     _, t = write_sstable(store, directory, new_ssid, merged, t, fp_rate)
     for rd in readers:
         if rd.ssid != new_ssid:  # reusing an input SSID replaces its files

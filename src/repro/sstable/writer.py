@@ -96,3 +96,62 @@ def write_sstable(
     end = store.write(f"{directory}/{index_name}", blobs["index"], end)
     end = store.write(f"{directory}/{bloom_name}", blobs["bloom"], end)
     return sum(len(b) for b in blobs.values()), end
+
+
+def write_sstable_blobs(
+    store: PosixStore,
+    directory: str,
+    ssid: int,
+    blobs: Dict[str, bytes],
+    t: float,
+) -> Tuple[int, float]:
+    """Land pre-encoded table blobs as one batched durable commit.
+
+    The pipelined flush builds the blobs on the CPU stage
+    (:func:`encode_table`) and hands them here on the sync stage: the
+    three files keep the SSData -> SSIndex -> bloom order and their
+    per-file atomicity/crash sites, but the device pays one access
+    latency plus the aggregate bytes (``PosixStore.write_ordered``).
+    Returns ``(bytes_written, virtual_completion_time)``.
+    """
+    data_name, index_name, bloom_name = sstable_filenames(ssid)
+    end = store.write_ordered(
+        [
+            (f"{directory}/{data_name}", blobs["data"]),
+            (f"{directory}/{index_name}", blobs["index"]),
+            (f"{directory}/{bloom_name}", blobs["bloom"]),
+        ],
+        t,
+    )
+    return sum(len(b) for b in blobs.values()), end
+
+
+def write_tables_ordered(
+    store: PosixStore,
+    directory: str,
+    tables: Iterable[Tuple[int, Dict[str, bytes]]],
+    t: float,
+) -> Tuple[int, float]:
+    """Land several pre-encoded tables as one batched durable commit.
+
+    ``tables`` is ``[(ssid, blobs), ...]`` with blobs from
+    :func:`encode_table`.  Partitioned compaction syncs a whole round of
+    partition outputs this way: every table keeps the SSData -> SSIndex
+    -> bloom file order and per-file atomicity, but the device pays a
+    single access latency plus the round's aggregate bytes — so a
+    foreground flush queued behind the round waits for one bounded
+    transfer, not ``3 x partitions`` separate accesses.  Returns
+    ``(bytes_written, virtual_completion_time)``.
+    """
+    items: List[Tuple[str, bytes]] = []
+    total = 0
+    for ssid, blobs in tables:
+        data_name, index_name, bloom_name = sstable_filenames(ssid)
+        items.append((f"{directory}/{data_name}", blobs["data"]))
+        items.append((f"{directory}/{index_name}", blobs["index"]))
+        items.append((f"{directory}/{bloom_name}", blobs["bloom"]))
+        total += sum(len(b) for b in blobs.values())
+    if not items:
+        return 0, t
+    end = store.write_ordered(items, t)
+    return total, end

@@ -136,11 +136,11 @@ def run_ycsb(
     db.coll_comm.barrier()
     t0 = ctx.clock.now
     chunk = 256
-    for lo in range(0, record_count, chunk):
-        db.put_bulk([
-            (key_of(me, i), value)
-            for i in range(lo, min(lo + chunk, record_count))
-        ])
+    with db.batch() as b:
+        for lo in range(0, record_count, chunk):
+            for i in range(lo, min(lo + chunk, record_count)):
+                b.put(key_of(me, i), value)
+            b.flush()  # one bulk round per chunk, as before
     db.barrier()
     load_time = ctx.clock.now - t0
 

@@ -1,0 +1,606 @@
+"""Write-path overhaul: group commit, pipelined flush, partitioned
+compaction, and the WriteBatch surface.
+
+Covers the redesigned write API's contract: commit-window coalescing
+and its cost model, the two-stage flush pipeline (equivalence with the
+monolithic path, non-blocking flush, worker accounting), incremental
+partitioned compaction (correctness, precise invalidation, major
+merges dropping tombstones, the legacy monolithic fallback), the
+deprecation shims, batch durability levels and auto-flush, and the
+streaming scan_collect merge.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import FaultPlan, Options, Papyrus, SSTABLE, spmd_run
+from repro.core import api
+from repro.errors import InvalidOptionError
+from repro.mpi.launcher import RankFailure
+from repro.nvm.storage import Machine
+from repro.simtime.profiles import SUMMITDEV
+from tests.conftest import small_options
+
+
+def run1(fn, **kw):
+    return spmd_run(1, fn, **kw)[0]
+
+
+def _fill(db, n, tag="w", vlen=48):
+    for i in range(n):
+        db.put(f"{tag}{i:04d}".encode(), f"v{i}".encode().ljust(vlen, b"."))
+
+
+def _check(db, n, tag="w", vlen=48):
+    for i in range(n):
+        assert db.get(f"{tag}{i:04d}".encode()) == \
+            f"v{i}".encode().ljust(vlen, b".")
+
+
+class TestGroupCommit:
+    def test_counters_and_coalescing(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("gc", small_options(memtable_capacity=1 << 20))
+                _fill(db, 200)
+                s = db.stats
+                assert s.group_commits >= 1
+                assert s.group_commit_coalesced >= 1
+                assert s.group_commits + s.group_commit_coalesced == 200
+                _check(db, 200)
+                db.close()
+
+        run1(app)
+
+    def test_disabled_by_zero_interval(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open(
+                    "gcoff",
+                    small_options(memtable_capacity=1 << 20,
+                                  group_commit_interval=0.0),
+                )
+                _fill(db, 100)
+                assert db.stats.group_commits == 0
+                assert db.stats.group_commit_coalesced == 0
+                db.close()
+
+        run1(app)
+
+    def test_coalesced_puts_are_cheaper(self):
+        """Same single-rank workload, group commit on vs off: the
+        coalesced run must finish earlier on the virtual clock."""
+
+        def timed(gc_on):
+            def app(ctx):
+                with Papyrus(ctx) as env:
+                    opts = small_options(
+                        memtable_capacity=1 << 20,
+                        group_commit_interval=200e-6 if gc_on else 0.0,
+                    )
+                    db = env.open("gctime", opts)
+                    t0 = ctx.clock.now
+                    _fill(db, 500)
+                    dt = ctx.clock.now - t0
+                    db.close()
+                    return dt
+
+            return run1(app)
+
+        assert timed(True) < timed(False)
+
+    def test_bytes_budget_reopens_window(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open(
+                    "gcbytes",
+                    small_options(memtable_capacity=1 << 20,
+                                  group_commit_bytes=128),
+                )
+                _fill(db, 50, vlen=150)  # each put overflows the budget
+                # alone, so every put opens its own window
+                assert db.stats.group_commits == 50
+                assert db.stats.group_commit_coalesced == 0
+                db.close()
+
+        run1(app)
+
+    def test_bulk_batch_counts_as_one_window(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("gcbulk", small_options())
+                with db.batch() as b:
+                    for i in range(30):
+                        b.put(f"bk{i}".encode(), b"v" * 16)
+                assert db.stats.group_commits == 1
+                assert db.stats.group_commit_coalesced == 29
+                db.close()
+
+        run1(app)
+
+
+class TestPipelinedFlush:
+    def test_pipeline_matches_legacy_data(self, tmp_path):
+        """Both flush shapes persist identical key/value sets."""
+
+        def write_and_read(pipeline, base):
+            machine = Machine(SUMMITDEV, 1, base_dir=str(base))
+
+            def writer(ctx):
+                with Papyrus(ctx) as env:
+                    db = env.open("pf", small_options(
+                        flush_pipeline=pipeline))
+                    _fill(db, 300)
+                    db.barrier(SSTABLE)
+                    db.close()
+
+            def reader(ctx):
+                with Papyrus(ctx) as env:
+                    db = env.open("pf", small_options(
+                        flush_pipeline=pipeline))
+                    _check(db, 300)
+                    n = len(db.scan_local())
+                    db.close()
+                    return n
+
+            spmd_run(1, writer, machine=machine)
+            n = spmd_run(1, reader, machine=machine)[0]
+            machine.close()
+            return n
+
+        assert write_and_read(True, tmp_path / "on") == \
+            write_and_read(False, tmp_path / "off") == 300
+
+    def test_stage_workers_charged(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("pfw", small_options())
+                _fill(db, 300)
+                db.flush()
+                assert db.flush_build_worker.busy_time > 0
+                assert db.flush_sync_worker.busy_time > 0
+                db.close()
+
+        run1(app)
+
+    def test_pipeline_overlap_beats_serial(self):
+        """Overlapped build/sync stages finish the flush train no later
+        than the monolithic single-worker path."""
+
+        def timed(pipeline):
+            def app(ctx):
+                with Papyrus(ctx) as env:
+                    db = env.open("pft", small_options(
+                        flush_pipeline=pipeline, compaction_interval=0))
+                    _fill(db, 400)
+                    db.flush()
+                    t = ctx.clock.now
+                    db.close()
+                    return t
+
+            return run1(app)
+
+        assert timed(True) < timed(False)
+
+    def test_flush_nowait_enqueues_only(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("pfnw", small_options(
+                    memtable_capacity=1 << 20, compaction_interval=0))
+                _fill(db, 50)
+                t0 = ctx.clock.now
+                db.flush(wait=False)
+                t_nowait = ctx.clock.now
+                assert db.ssids  # the table was enqueued
+                db.flush(wait=True)
+                assert ctx.clock.now > t_nowait  # waiting costs time
+                assert t_nowait - t0 < ctx.clock.now - t_nowait
+                _check(db, 50)
+                db.close()
+
+        run1(app)
+
+    def test_flush_sstables_alias_warns(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("pfdep", small_options())
+                db.put(b"k", b"v")
+                with pytest.warns(DeprecationWarning):
+                    db.flush_sstables()
+                assert db.ssids
+                db.close()
+
+        run1(app)
+
+    def test_api_flush_veneer(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("pfapi", small_options())
+                db.put(b"k", b"v")
+                assert api.papyruskv_flush(db) == 0
+                assert db.ssids
+                db.close()
+
+        run1(app)
+
+
+class TestPartitionedCompaction:
+    def test_partition_jobs_and_correctness(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("pc", small_options(compaction_interval=2))
+                _fill(db, 400)
+                db.flush()
+                s = db.stats
+                assert s.compactions >= 1
+                assert s.compaction_partition_jobs >= 2
+                _check(db, 400)
+                db.close()
+
+        run1(app)
+
+    def test_minor_merge_leaves_older_tables(self):
+        """A minor pass merges only the L0 delta; tables from earlier
+        generations stay on disk untouched."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("pcminor", small_options(
+                    compaction_interval=2, compaction_major_every=100))
+                _fill(db, 500)
+                db.flush()
+                assert db.stats.compactions >= 2
+                assert db.stats.compaction_majors == 0
+                # several generations of partition outputs accumulate
+                assert len(db.ssids) > db.options.compaction_partitions
+                _check(db, 500)
+                db.close()
+
+        run1(app)
+
+    def test_major_merge_drops_tombstones(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("pcmajor", small_options(
+                    compaction_interval=2, compaction_major_every=2))
+                _fill(db, 200)
+                for i in range(0, 200, 2):
+                    db.delete(f"w{i:04d}".encode())
+                # churn until a major pass has consumed the tombstones
+                _fill(db, 200, tag="x")
+                db.flush()
+                assert db.stats.compaction_majors >= 1
+                live = db.scan_local()
+                keys = {k for k, _ in live}
+                assert not any(
+                    f"w{i:04d}".encode() in keys for i in range(0, 200, 2)
+                )
+                assert all(
+                    f"w{i:04d}".encode() in keys for i in range(1, 200, 2)
+                )
+                db.close()
+
+        run1(app)
+
+    def test_legacy_monolithic_fallback(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("pcmono", small_options(
+                    compaction_partitions=1))
+                _fill(db, 400)
+                db.flush()
+                assert db.stats.compactions >= 1
+                assert db.stats.compaction_partition_jobs == 0
+                _check(db, 400)
+                db.close()
+
+        run1(app)
+
+    def test_precise_reader_invalidation(self):
+        """Compaction drops cached readers for its inputs only; survivor
+        tables keep their cached readers."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("pcinv", small_options(
+                    compaction_interval=0))
+                _fill(db, 400)
+                db.flush()
+                # touch every table so readers get cached
+                _check(db, 400)
+                with db._readers_lock:
+                    cached_before = set(db._readers)
+                survivors = [s for s in db.ssids if s not in db._l0][:0]
+                inputs = list(db._l0)
+                db._schedule_compaction(ctx.clock.now)
+                with db._readers_lock:
+                    cached_after = set(db._readers)
+                # inputs' readers are gone; nothing else was touched
+                assert not (cached_after & set(inputs))
+                assert cached_after <= cached_before
+                del survivors
+                _check(db, 400)
+                db.close()
+
+        run1(app)
+
+    def test_rate_limit_paces_worker(self):
+        """duty < 1 forces idle gaps: the compaction worker's horizon
+        stretches past its busy time."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("pcrate", small_options(
+                    compaction_interval=2, compaction_rate_limit=0.25))
+                _fill(db, 400)
+                db.flush()
+                w = db.compaction_worker
+                assert w.jobs > 0
+                assert w.available > w.busy_time * 1.5
+                db.close()
+
+        run1(app)
+
+    def test_multirank_compaction_visibility(self):
+        """Peers still resolve keys after partitioned compactions churn
+        the owner's table set (fresh-SSID invariant)."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("pcmr", small_options(compaction_interval=2))
+                me = ctx.world_rank
+                for i in range(200):
+                    db.put(f"r{me}:{i:04d}".encode(), b"v" * 32)
+                db.barrier(SSTABLE)
+                other = (me + 1) % ctx.nranks
+                for i in range(0, 200, 10):
+                    assert db.get(f"r{other}:{i:04d}".encode()) == b"v" * 32
+                db.barrier()
+                db.close()
+
+        spmd_run(4, app, timeout=120)
+
+
+class TestWriteBatch:
+    def test_durability_flush_persists(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("wbf", small_options(
+                    memtable_capacity=1 << 20))
+                with db.batch(durability="flush") as b:
+                    for i in range(40):
+                        b.put(f"d{i}".encode(), b"v" * 16)
+                assert db.ssids  # local shard hit the SSTable tier
+                assert b.written == 40
+                db.close()
+
+        run1(app)
+
+    def test_durability_fence_acks_remote(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("wbfe", small_options())
+                me = ctx.world_rank
+                with db.batch(durability="fence") as b:
+                    for i in range(40):
+                        b.put(f"f{me}:{i}".encode(), b"v" * 16)
+                assert not db._pending_acks  # fence drained them
+                db.barrier()
+                other = (me + 1) % ctx.nranks
+                for i in range(40):
+                    assert db.get(f"f{other}:{i}".encode()) == b"v" * 16
+                db.barrier()
+                db.close()
+
+        spmd_run(2, app, timeout=120)
+
+    def test_max_bytes_autoflush(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("wbmb", small_options())
+                with db.batch(max_bytes=256) as b:
+                    for i in range(64):
+                        b.put(f"a{i:02d}".encode(), b"v" * 28)
+                        assert b._bytes < 256 + 32  # bounded buffer
+                assert db.stats.bulk_batches > 1  # flushed mid-stream
+                assert b.written == 64
+                db.close()
+
+        run1(app)
+
+    def test_delete_parity_and_written(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("wbd", small_options())
+                with db.batch() as b:
+                    b.put(b"keep", b"v")
+                    b.put(b"gone", b"v")
+                with db.batch() as b:
+                    b.delete(b"gone")
+                    del b[b"never-there"]
+                assert b.written == 2
+                assert db.get_or_none(b"keep") == b"v"
+                assert db.get_or_none(b"gone") is None
+                db.close()
+
+        run1(app)
+
+    def test_invalid_arguments(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("wbinv", small_options())
+                with pytest.raises(InvalidOptionError):
+                    db.batch(durability="eventually")
+                with pytest.raises(InvalidOptionError):
+                    db.batch(max_bytes=0)
+                db.close()
+
+        run1(app)
+
+    def test_bulk_shims_warn_and_work(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("wbdep", small_options())
+                with pytest.warns(DeprecationWarning):
+                    assert db.put_bulk([(b"a", b"1"), (b"b", b"2")]) == 2
+                with pytest.warns(DeprecationWarning):
+                    assert db.delete_bulk([b"a"]) == 1
+                assert db.get_or_none(b"a") is None
+                assert db.get(b"b") == b"2"
+                db.close()
+
+        run1(app)
+
+
+class TestScanCollectStreaming:
+    def test_streamed_merge_equals_sorted_union(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("scs", small_options())
+                me = ctx.world_rank
+                mine = {}
+                for i in range(60):
+                    k = f"s{me}:{i:04d}".encode()
+                    mine[k] = f"val{me}-{i}".encode()
+                    db.put(k, mine[k])
+                db.barrier(SSTABLE)
+                # tiny chunk: force several broadcast rounds per rank
+                got = db.scan_collect(chunk=7)
+                keys = [k for k, _ in got]
+                assert keys == sorted(keys)
+                assert len(got) == 60 * ctx.nranks
+                for k, v in mine.items():
+                    assert dict(got)[k] == v
+                # bounded scans agree with the full merge
+                lo, hi = keys[10], keys[-10]
+                window = db.scan_collect(lo, hi, chunk=7)
+                assert window == [kv for kv in got if lo <= kv[0] < hi]
+                db.barrier()
+                db.close()
+
+        spmd_run(4, app, timeout=120)
+
+    def test_empty_scan(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("scse", small_options())
+                assert db.scan_collect() == []
+                db.close()
+
+        spmd_run(2, app, timeout=120)
+
+
+class TestFlushCrashPoints:
+    """Kill a rank at each pipeline stage boundary; on restart no
+    acknowledged durable state may be wrong and no partial table may be
+    admitted silently."""
+
+    SITES = ["flush.freeze", "flush.build", "flush.sync", "flush.retire"]
+
+    def test_crash_at_each_stage_recovers(self, tmp_path):
+        model = {
+            f"fc{i:03d}".encode(): f"fv{i:03d}".encode() * 6
+            for i in range(120)
+        }
+
+        def workload(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("flcrash", small_options())
+                for k, v in sorted(model.items()):
+                    db.put(k, v)
+                db.barrier(SSTABLE)
+                db.close()
+
+        # record the pipeline sites rank 1 actually visits
+        recorder = FaultPlan(seed=11, record_sites=True)
+        m0 = Machine(SUMMITDEV, 2, base_dir=str(tmp_path / "rec"))
+        spmd_run(2, workload, machine=m0, faults=recorder, timeout=120)
+        m0.close()
+        seen = recorder.sites_seen
+        picks = []
+        for stage in self.SITES:
+            match = [
+                s for s in seen
+                if s.startswith(stage) and ("rank1" in s)
+            ]
+            assert match, f"no {stage} site recorded: {seen[:10]}"
+            # crash the *second* visit where one exists, so a completed
+            # first flush is already durable when the crash lands
+            picks.append(match[min(1, len(match) - 1)])
+
+        def audit(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("flcrash", small_options())
+                db.coll_comm.barrier()
+                wrong = []
+                if ctx.world_rank == 0:
+                    for k, v in model.items():
+                        got = db.get_or_none(k)
+                        if got is not None and got != v:
+                            wrong.append(k)
+                db.barrier()
+                db.close()
+                return wrong
+
+        for i, site in enumerate(picks):
+            machine = Machine(SUMMITDEV, 2, base_dir=str(tmp_path / f"c{i}"))
+            plan = FaultPlan(seed=11).crash(site, rank=1)
+            with pytest.raises(RankFailure) as ei:
+                spmd_run(2, workload, machine=machine, faults=plan,
+                         timeout=120)
+            kinds = {type(e).__name__ for _, e in ei.value.failures}
+            assert "RankCrashError" in kinds, (site, kinds)
+            assert spmd_run(2, audit, machine=machine, timeout=120)[0] == [], \
+                f"wrong value after crash at {site}"
+            machine.close()
+
+    def test_no_partial_table_after_sync_crash(self, tmp_path):
+        """A crash mid-sync leaves either no table or a repairable one —
+        reopen must admit or rebuild, never serve a torn table."""
+
+        def workload(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("torn", small_options())
+                _fill(db, 150)
+                db.barrier(SSTABLE)
+                db.close()
+
+        machine = Machine(SUMMITDEV, 1, base_dir=str(tmp_path))
+        plan = FaultPlan(seed=13).crash("flush.sync", rank=0)
+        with pytest.raises(RankFailure):
+            spmd_run(1, workload, machine=machine, faults=plan, timeout=120)
+
+        def reopen(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("torn", small_options())
+                # every admitted table answers point gets coherently
+                ok = 0
+                for i in range(150):
+                    got = db.get_or_none(f"w{i:04d}".encode())
+                    if got is not None:
+                        assert got == f"v{i}".encode().ljust(48, b".")
+                        ok += 1
+                db.close()
+                return ok
+
+        assert spmd_run(1, reopen, machine=machine, timeout=120)[0] >= 0
+        machine.close()
+
+
+class TestOptionsValidation:
+    def test_new_options_validate(self):
+        with pytest.raises(InvalidOptionError):
+            Options(group_commit_interval=-1.0)
+        with pytest.raises(InvalidOptionError):
+            Options(group_commit_bytes=-1)
+        with pytest.raises(InvalidOptionError):
+            Options(compaction_partitions=-2)
+        with pytest.raises(InvalidOptionError):
+            Options(compaction_major_every=-1)
+        with pytest.raises(InvalidOptionError):
+            Options(compaction_rate_limit=0.0)
+        with pytest.raises(InvalidOptionError):
+            Options(compaction_rate_limit=1.5)
+        # the boundary duty cycle is legal
+        assert Options(compaction_rate_limit=1.0)

@@ -83,7 +83,9 @@ class TestDatabaseIntegration:
         results = spmd_run(2, app)
         lanes = set().union(*(r[0] for r in results))
         assert "main" in lanes
-        assert "compaction" in lanes
+        # flushes trace on the pipeline's stage lanes now
+        assert "flush-build" in lanes
+        assert "flush-sync" in lanes
         assert "dispatcher" in lanes
         assert "handler" in lanes
         assert all(r[1] > 0 for r in results)
