@@ -49,6 +49,14 @@ LOCK_ORDER: Tuple[LockClass, ...] = (
         guards="MemTables, caches, ssids, inflight, quarantine list",
     ),
     LockClass(
+        name="db.membership",
+        level=15,
+        attrs=("_mv_lock",),
+        holder="core.membership.MembershipView",
+        guards="replica-group membership: epoch, dead set, last-heard "
+               "times, suspicion, pending re-replication work",
+    ),
+    LockClass(
         name="db.readers",
         level=20,
         attrs=("_readers_lock",),
@@ -142,11 +150,15 @@ def render_threads_map() -> str:
         "Threads and the locks they take, in acquisition order:",
         "",
         "* **rank main** — `db.state` (every put/get/scan/fence), "
+        "`db.membership` (replica-group routing and failure "
+        "declarations when `replicas > 1`), "
         "`db.readers` (SSTable lookups), `world.comm`/`world.mailboxes` "
         "(comm management), `comm.collective` (collectives), `queue.fifo`, "
         "`sstable.block_cache` (block-cached SSData probes).",
         "* **message handler** (per rank × database) — `db.state` "
-        "(serving migrations and remote gets), `db.readers` (SSTable "
+        "(serving migrations and remote gets), `db.membership` "
+        "(heartbeats, piggybacked liveness, epoch checks), "
+        "`db.readers` (SSTable "
         "lookups on behalf of remote ranks), `sstable.block_cache` "
         "(those lookups' SSData probes), `world.mailboxes` (its "
         "blocking receive).",

@@ -280,7 +280,14 @@ _MSG_CLASS_RE = re.compile(r"(Msg|Reply)$")
 
 def _check_wire_tags(path: str, tree: ast.Module,
                      findings: List[Finding]) -> None:
-    """R003: WIRE_TAGS covers every message class; handler covers Msgs."""
+    """R003: WIRE_TAGS covers every message class; handler covers Msgs.
+
+    Requests (``*Msg``) must be referenced by the sibling ``handler.py``
+    — a request without a handler arm hangs its sender.  Replies
+    (``*Reply``) must be referenced by ``handler.py`` *or* the sibling
+    ``db.py``: the handler constructs them and the client side consumes
+    them, so a reply class neither file mentions is dead wire format.
+    """
     classes: Dict[str, int] = {}
     consts: Dict[str, int] = {}
     wire_tags: Optional[Dict[str, object]] = None
@@ -392,6 +399,28 @@ def _check_wire_tags(path: str, tree: ast.Module,
                 message=f"message class `{cls}` is never referenced by"
                         " the handler — requests without a handler arm"
                         " hang their sender",
+                path=path, line=line, function=cls,
+            ))
+    # every response (*Reply) class must be consumed by the handler or
+    # the client side (sibling db.py)
+    db_path = os.path.join(os.path.dirname(path), "db.py")
+    db_names: Set[str] = set()
+    if os.path.exists(db_path):
+        with open(db_path, encoding="utf-8") as f:
+            db_src = f.read()
+        for node in ast.walk(ast.parse(db_src)):
+            if isinstance(node, ast.Name):
+                db_names.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                db_names.add(node.attr)
+    for cls, line in sorted(classes.items(), key=lambda kv: kv[1]):
+        if (cls.endswith("Reply") and cls not in handler_names
+                and cls not in db_names):
+            findings.append(Finding(
+                tool="pkvlint", rule="R003",
+                message=f"reply class `{cls}` is referenced by neither"
+                        " handler.py nor db.py — a reply nobody builds"
+                        " or reads is dead wire format",
                 path=path, line=line, function=cls,
             ))
 

@@ -140,6 +140,23 @@ class Options:
     #: verify SSTable checksums when (re)opening a database; incomplete
     #: tables are always detected regardless of this knob
     verify_on_open: bool = False
+    #: number of ranks holding each key (1 = the paper's unreplicated
+    #: placement: owner only).  With R > 1 every put fans out to the key's
+    #: replica group — the owner plus the next R-1 live ranks on the hash
+    #: ring — and rank failure no longer takes a key range offline
+    replicas: int = 1
+    #: how many durable copies a put waits for before returning (counts
+    #: the writer's own copy when it is a group member); must satisfy
+    #: ``1 <= write_quorum <= replicas``
+    write_quorum: int = 1
+    #: virtual seconds between heartbeat pings to live peers (failure
+    #: detector; only active when ``replicas > 1``)
+    heartbeat_interval: float = 500e-6
+    #: virtual seconds of ping silence after which a peer is suspected
+    suspect_timeout: float = 2e-3
+    #: virtual seconds of ping silence after which a suspected peer is
+    #: declared dead (after a final wall-clock grace wait for its pong)
+    dead_timeout: float = 5e-3
     #: enable the dynamic race / lock-order / deadlock detector
     #: (:mod:`repro.analysis.runtime`); also switched on process-wide by
     #: the ``PKV_RACE_DETECT=1`` environment variable
@@ -184,6 +201,23 @@ class Options:
             raise InvalidOptionError("remote_timeout must be positive or None")
         if self.remote_retries < 0:
             raise InvalidOptionError("remote_retries must be >= 0")
+        if self.replicas < 1:
+            raise InvalidOptionError("replicas must be >= 1")
+        if not 1 <= self.write_quorum <= self.replicas:
+            raise InvalidOptionError(
+                f"write_quorum must satisfy 1 <= Q <= replicas, got "
+                f"Q={self.write_quorum} R={self.replicas}"
+            )
+        if self.heartbeat_interval <= 0:
+            raise InvalidOptionError("heartbeat_interval must be positive")
+        if self.suspect_timeout <= 0 or self.dead_timeout <= 0:
+            raise InvalidOptionError(
+                "suspect_timeout and dead_timeout must be positive"
+            )
+        if self.suspect_timeout > self.dead_timeout:
+            raise InvalidOptionError(
+                "suspect_timeout must not exceed dead_timeout"
+            )
 
     def with_(self, **kw) -> "Options":
         """Return a copy with the given fields replaced."""
@@ -204,9 +238,10 @@ def options_from_env(env: Optional[Mapping[str, str]] = None,
     ``PAPYRUSKV_FENCE_PRUNING`` (0 disables footer key-fence pruning),
     ``PAPYRUSKV_GROUP_COMMIT`` (0 disables write-side group commit, any
     other value is the commit window's byte budget),
-    ``PAPYRUSKV_FLUSH_PIPELINE`` (0 restores the monolithic flush), and
+    ``PAPYRUSKV_FLUSH_PIPELINE`` (0 restores the monolithic flush),
     ``PAPYRUSKV_COMPACTION_PARTITIONS`` (1 restores monolithic
-    compaction).
+    compaction), ``PAPYRUSKV_REPLICAS`` (copies per key), and
+    ``PAPYRUSKV_WRITE_QUORUM`` (durable copies a put waits for).
     """
     env = os.environ if env is None else env
     opt = base or Options()
@@ -246,4 +281,12 @@ def options_from_env(env: Optional[Mapping[str, str]] = None,
         opt = opt.with_(
             compaction_partitions=int(env["PAPYRUSKV_COMPACTION_PARTITIONS"])
         )
+    if "PAPYRUSKV_REPLICAS" in env:
+        replicas = int(env["PAPYRUSKV_REPLICAS"])
+        # keep the pair valid: shrinking R below the current quorum
+        # drags the quorum down with it
+        opt = opt.with_(replicas=replicas,
+                        write_quorum=min(opt.write_quorum, replicas))
+    if "PAPYRUSKV_WRITE_QUORUM" in env:
+        opt = opt.with_(write_quorum=int(env["PAPYRUSKV_WRITE_QUORUM"]))
     return opt

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import json
 import posixpath
+import warnings
 from typing import List, Optional, Tuple
 
 from repro import config
@@ -243,18 +244,42 @@ def restart(env, path: str, name: str,
     different rank count (or ``force_redistribute`` is set), every pair
     is re-put through the normal distribution path — "restart with
     redistribution".
+
+    The decision is explicit on the returned event:
+    ``event.redistributed`` is True when the redistribution path ran and
+    ``event.redistribute_reason`` says why (``"forced"`` or
+    ``"rank count changed N->M"``; ``"none"`` for the plain copy path).
+    A rank-count change overrides ``force_redistribute=False`` — the
+    copy path cannot relocate shards — and emits a ``RuntimeWarning`` on
+    rank 0 rather than redistributing silently.
     """
     manifest = read_manifest(env.ctx.machine, path, name)
     snap_nranks = int(manifest["nranks"])
     gen = int(manifest["generation"])
     db = env.open(name, options)
     db._last_checkpoint_path = path
-    redistribute = force_redistribute or snap_nranks != db.nranks
+    if force_redistribute:
+        redistribute, reason = True, "forced"
+    elif snap_nranks != db.nranks:
+        redistribute = True
+        reason = f"rank count changed {snap_nranks}->{db.nranks}"
+        if db.rank == 0:
+            warnings.warn(
+                f"restart({path!r}, {name!r}): snapshot was taken with "
+                f"{snap_nranks} ranks but the job has {db.nranks}; "
+                "redistributing despite force_redistribute=False",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    else:
+        redistribute, reason = False, "none"
     if redistribute:
         end = _restart_redistribute(env, db, path, name, snap_nranks, gen)
     else:
         end = _restart_copy(env, db, path, name, gen)
     event = Event(f"restart:{name}:{path}").complete_at(end)
+    event.redistributed = redistribute
+    event.redistribute_reason = reason
     event.on_wait(lambda: _refresh(db))
     return db, event
 

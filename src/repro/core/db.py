@@ -45,11 +45,14 @@ from repro.errors import (
     InvalidKeyError,
     InvalidValueError,
     ProtectionError,
+    QuorumLostError,
     RemoteTimeoutError,
     StorageError,
 )
 from repro.core import messages as msg
+from repro.core.membership import MembershipView
 from repro.core.memtable import Entry, MemTable
+from repro.faults import RankKilledError
 from repro.mpi.comm import ANY_SOURCE, Comm
 from repro.nvm.posixfs import PosixStore
 from repro.nvm.storage import StorageLayout
@@ -76,6 +79,10 @@ from repro.util.lru import LRUCache
 
 #: tag used on the ack comm for migration acknowledgements
 ACK_TAG = 7
+#: tag used on the ack comm for heartbeat pongs (failure detector) —
+#: separate from ACK_TAG so pongs never interleave with the migration
+#: ack stream the quorum/fence drains consume
+HB_TAG = 8
 
 
 @dataclass(frozen=True)
@@ -174,6 +181,19 @@ class DbStats:
     #: bloom filter saying "definitely absent"
     fence_skips: int = 0
     bloom_skips: int = 0
+    #: replication counters: fan-out messages sent and the pairs they
+    #: carried, pairs applied on the receiving side, heartbeat pings
+    #: sent, stale-epoch rejections served, ranks this view declared
+    #: dead, pairs pushed by re-replication after a death, and gets that
+    #: had to consult a non-primary replica (failover or paranoia read)
+    replica_msgs: int = 0
+    replica_pairs: int = 0
+    replica_pairs_applied: int = 0
+    heartbeats_sent: int = 0
+    epoch_rejections: int = 0
+    rank_deaths: int = 0
+    rereplicated_pairs: int = 0
+    failover_gets: int = 0
     get_tiers: Dict[str, int] = field(default_factory=dict)
 
     def hit(self, tier: str) -> None:
@@ -347,6 +367,36 @@ class Database:
         self._next_seq = self.rank + 1  # distinct across ranks for debugging
         #: handler-side dedup of applied mutating seqs, per source rank
         self._seq_dedup: Dict[int, _SeqWindow] = {}
+
+        # -- replication plane: per-key replica groups + write quorum --
+        if options.replicas > self.nranks:
+            raise InvalidOptionError(
+                f"replicas={options.replicas} exceeds the world size "
+                f"({self.nranks} rank(s))"
+            )
+        #: membership view of the replica plane; None ⇔ replicas == 1
+        #: (the unreplicated paths never touch it)
+        self.membership: Optional[MembershipView] = (
+            MembershipView(self.rank, self.nranks)
+            if options.replicas > 1 else None
+        )
+        #: seqs currently in flight as replica fan-outs (vs migrations):
+        #: a retransmit must rebuild the right message type.  Guarded by
+        #: db.state alongside _pending_acks/inflight.
+        self._replica_seqs: set = set()
+        #: quorum debts deferred by group-commit riders: (seqs, need),
+        #: drained by the next window opener and by fence.  Main-thread
+        #: only, like the _gc_* window state below — no lock needed.
+        self._quorum_due: List[Tuple[List[int], int]] = []
+        #: failure-detector ping state — main-thread only: virtual time
+        #: of the last ping per peer, and of the first unanswered ping
+        self._hb_last: Dict[int, float] = {}
+        self._hb_ping: Dict[int, float] = {}
+        #: set once the fault plane kills this rank mid-run
+        self._killed = False
+        #: re-entrancy guard: a re-replication push does its own sends
+        #: and must not recurse into the detector/put machinery
+        self._in_rerepl = False
 
         self.ssids: List[int] = []
         self._next_ssid = 1
@@ -616,6 +666,7 @@ class Database:
 
     def _put_impl(self, key: bytes, value: bytes, tombstone: bool) -> None:
         self._check_open()
+        self._maybe_kill()
         if self.protection == config.RDONLY:
             raise ProtectionError("database is read-only (PAPYRUSKV_RDONLY)")
         self.stats.puts += 1
@@ -624,6 +675,7 @@ class Database:
         t_start = self.clock.now
         nbytes = len(key) + len(value)
         opts = self.options
+        gc_rider = False
         if opts.group_commit_interval > 0 and opts.group_commit_bytes > 0:
             # group commit: puts landing inside an open commit window
             # coalesce — they share the window-opener's durability charge
@@ -638,9 +690,11 @@ class Database:
                 self.clock.advance(cpu.kv_op_s + nbytes / self._memcpy_Bps)
                 self._gc_bytes += nbytes
                 self.stats.group_commit_coalesced += 1
+                gc_rider = True
             else:
                 self._charge_op(nbytes)
                 self._drain_acks(blocking=False)
+                self._quorum_drain()  # settle the previous window's debts
                 self._gc_open = True
                 self._gc_t0 = t_start
                 self._gc_bytes = nbytes
@@ -648,16 +702,29 @@ class Database:
         else:
             self._charge_op(nbytes)
             self._drain_acks(blocking=False)
-        owner = self.owner_of(key)
-        if owner == self.rank:
-            self.stats.local_puts += 1
-            self._local_insert(key, value, tombstone, self.clock)
-        elif self.consistency == config.SEQUENTIAL:
-            self.stats.remote_puts += 1
-            self._put_sync(owner, key, value, tombstone)
+        if self._replication_on:
+            # replicated write: fan to the key's group; return once the
+            # write quorum has durably logged it.  Riders in an open
+            # group-commit window defer their quorum wait to the window
+            # boundary (next opener / fence), exactly like they defer
+            # their ack drain; sequential mode always waits here.
+            self._tick()
+            seqs, need = self._put_replicated(key, value, tombstone)
+            if gc_rider and self.consistency != config.SEQUENTIAL:
+                self._quorum_due.append((seqs, need))
+            else:
+                self._await_quorum(seqs, need)
         else:
-            self.stats.remote_puts += 1
-            self._remote_stage(owner, key, value, tombstone)
+            owner = self.owner_of(key)
+            if owner == self.rank:
+                self.stats.local_puts += 1
+                self._local_insert(key, value, tombstone, self.clock)
+            elif self.consistency == config.SEQUENTIAL:
+                self.stats.remote_puts += 1
+                self._put_sync(owner, key, value, tombstone)
+            else:
+                self.stats.remote_puts += 1
+                self._remote_stage(owner, key, value, tombstone)
         self.latency.observe(
             "delete" if tombstone else "put", self.clock.now - t_start
         )
@@ -1029,7 +1096,10 @@ class Database:
         With ``Options.remote_timeout`` set, a blocking drain that stalls
         retransmits every unacked chunk (the handler's seq dedup makes
         the replay idempotent) up to ``remote_retries`` times before
-        raising :class:`RemoteTimeoutError`.
+        raising :class:`RemoteTimeoutError` — except under replication,
+        where a rank still silent after the retry budget is **declared
+        dead** instead (its pending seqs are purged by the declaration)
+        so a fence never wedges on a killed rank.
         """
         timeout = self.options.remote_timeout
         rounds = 0
@@ -1044,6 +1114,17 @@ class Database:
                 except TimeoutError:
                     self.stats.remote_timeouts += 1
                     if rounds >= self.options.remote_retries:
+                        if self._replication_on:
+                            with self._lock:
+                                silent = {
+                                    o for s, o, _ in self.inflight
+                                    if s in self._pending_acks
+                                }
+                            if silent:
+                                for r in sorted(silent):
+                                    self._declare_dead(r)
+                                rounds = 0
+                                continue
                         raise RemoteTimeoutError(
                             f"{len(self._pending_acks)} migration ack(s) "
                             f"missing after {rounds + 1} round(s) of "
@@ -1057,18 +1138,29 @@ class Database:
                             (s, o, dict(d)) for s, o, d in self.inflight
                             if s in self._pending_acks
                         ]
+                        replica = set(self._replica_seqs)
+                    mv = self.membership
+                    epoch, dead = mv.wire() if mv is not None else (0, ())
                     for seq, owner, chunk in resend:
                         pairs = [(k, v, tomb)
                                  for k, (v, tomb) in chunk.items()]
-                        self.srv_comm.send(msg.MigrateMsg(pairs, seq),
-                                           owner, tag=0)
+                        if seq in replica:
+                            payload: object = msg.ReplicaPutBatchMsg(
+                                pairs, seq, epoch, dead
+                            )
+                        else:
+                            payload = msg.MigrateMsg(pairs, seq)
+                        self.srv_comm.send(payload, owner, tag=0)
                     continue
             else:
                 if not self.ack_comm.iprobe(ANY_SOURCE, ACK_TAG):
                     return
                 ack = self.ack_comm.recv(ANY_SOURCE, ACK_TAG)
+            if isinstance(ack, msg.ReplicaAckMsg):
+                self._absorb_replica_ack(ack)
             with self._lock:
                 self._pending_acks.discard(ack.seq)
+                self._replica_seqs.discard(ack.seq)
                 self.inflight = [
                     entry for entry in self.inflight if entry[0] != ack.seq
                 ]
@@ -1127,6 +1219,423 @@ class Database:
         reply = self._await_reply(owner, payload, seq)
         assert isinstance(reply, msg.AckMsg) and reply.seq == seq
 
+    # ============================================================ REPLICATION
+    @property
+    def _replication_on(self) -> bool:
+        """True when this database runs with ``Options(replicas > 1)``."""
+        return self.membership is not None
+
+    def _maybe_kill(self) -> None:
+        """Fault plane: die here if the plan kills this rank at this op."""
+        if self._killed:
+            raise RankKilledError(f"rank {self.rank} killed by fault plan")
+        plan = self.ctx.faults
+        if plan is not None and plan.check_kill(self.rank):
+            self._die()
+
+    def _die(self) -> None:
+        """Kill this rank: mark its mailboxes dead (the handler's
+        blocking receive raises out) and unwind the application with
+        :class:`RankKilledError`.  In-flight messages to and from this
+        rank are dropped by the world from here on."""
+        self._killed = True
+        self._closed = True
+        self.srv_comm.kill_world_rank(self.rank)
+        raise RankKilledError(f"rank {self.rank} killed by fault plan")
+
+    def _replica_group(self, key: bytes, check: bool = True) -> List[int]:
+        """The key's replica group: a ring walk from the hash owner.
+
+        Walks rank ``owner_of(key)`` and its successors, skipping dead
+        ranks, until ``replicas`` live members are collected; the first
+        member is the **acting primary** (after any single death this is
+        always a pre-death group member, since the ring only shifts).
+        With ``check`` the group must still satisfy the write quorum, or
+        :class:`QuorumLostError` is raised.
+        """
+        mv = self.membership
+        home = self.owner_of(key)
+        if mv is None:
+            return [home]
+        group: List[int] = []
+        for i in range(self.nranks):
+            r = (home + i) % self.nranks
+            if mv.is_dead(r):
+                continue
+            group.append(r)
+            if len(group) == self.options.replicas:
+                break
+        if check and len(group) < self.options.write_quorum:
+            raise QuorumLostError(
+                f"only {len(group)} live replica(s) for key {key!r}; "
+                f"write quorum is {self.options.write_quorum}"
+            )
+        return group
+
+    def _acting_owner(self, key: bytes) -> int:
+        """The rank currently answering for ``key`` (group head)."""
+        if not self._replication_on:
+            return self.owner_of(key)
+        group = self._replica_group(key, check=False)
+        return group[0] if group else self.owner_of(key)
+
+    def _is_acting_primary(self, key: bytes) -> bool:
+        """Whether this rank is the key's current acting primary."""
+        return self._acting_owner(key) == self.rank
+
+    def _put_replicated(self, key: bytes, value: bytes,
+                        tombstone: bool) -> Tuple[List[int], int]:
+        """Fan one put to its replica group; returns ``(seqs, need)``.
+
+        The pair is inserted locally when this rank is a group member
+        and shipped to every other member as a
+        :class:`~repro.core.messages.ReplicaPutBatchMsg` stamped with
+        the current ``(epoch, dead)`` view.  Each fan-out seq joins
+        ``_pending_acks``/``inflight`` — giving the staged write get
+        visibility through the inflight tier — and ``need`` is how many
+        of those acks the quorum still requires after counting a local
+        insert.
+        """
+        group = self._replica_group(key)
+        mv = self.membership
+        assert mv is not None
+        epoch, dead = mv.wire()
+        if self.rank in group:
+            self.stats.local_puts += 1
+            self._local_insert(key, value, tombstone, self.clock)
+        else:
+            self.stats.remote_puts += 1
+        targets = [r for r in group if r != self.rank]
+        seqs: List[int] = []
+        with self._lock:
+            for _t in targets:
+                seq = self._next_seq
+                self._next_seq += self.nranks
+                seqs.append(seq)
+                self._pending_acks.add(seq)
+                self._replica_seqs.add(seq)
+        pair = (key, value, tombstone)
+        for seq, target in zip(seqs, targets):
+            with self._lock:
+                self.inflight.append((seq, target, {key: (value, tombstone)}))
+            self.srv_comm.send(
+                msg.ReplicaPutBatchMsg([pair], seq, epoch, dead),
+                target, tag=0,
+            )
+            self.stats.replica_msgs += 1
+            self.stats.replica_pairs += 1
+        need = self.options.write_quorum - (1 if self.rank in group else 0)
+        return seqs, max(0, need)
+
+    def _await_quorum(self, seqs: List[int], need: int) -> None:
+        """Block until ``need`` of ``seqs`` have settled.
+
+        A seq settles when its ack arrives, when a rejected batch was
+        re-fanned under fresh seqs (the fence drains those), or when its
+        target was declared dead (the membership change plus
+        re-replication restore the copy count) — the latter two release
+        the waiter so a death can never wedge an acknowledged put.
+        """
+        if need <= 0:
+            return
+        while True:
+            with self._lock:
+                settled = sum(
+                    1 for s in seqs if s not in self._pending_acks
+                )
+            if settled >= need:
+                return
+            self._drain_acks(blocking=True, at_most=1)
+
+    def _quorum_drain(self) -> None:
+        """Settle every quorum debt deferred by group-commit riders."""
+        if not self._quorum_due:
+            return
+        due, self._quorum_due = self._quorum_due, []
+        for seqs, need in due:
+            self._await_quorum(seqs, need)
+
+    def _absorb_replica_ack(self, ack: msg.ReplicaAckMsg) -> None:
+        """Membership gossip + stale-rejection handling for one ack.
+
+        An ``applied=False`` ack means the receiver held our membership
+        stamp stale: merge its newer view, then re-fan the rejected pair
+        to the *current* group under fresh seqs.  Durability across the
+        transition window is preserved because the re-fan reaches every
+        live member and the fence drains the fresh seqs too.
+        """
+        mv = self.membership
+        if mv is None:
+            return
+        mv.merge(ack.epoch, ack.dead)
+        if ack.applied:
+            return
+        with self._lock:
+            chunk = next(
+                (dict(d) for s, _o, d in self.inflight if s == ack.seq),
+                None,
+            )
+        if not chunk:
+            return
+        for key, (value, tomb) in chunk.items():
+            self._put_replicated(key, value, tomb)
+
+    def _declare_dead(self, rank: int) -> None:
+        """Declare a silent rank dead; release everything waiting on it.
+
+        Idempotent.  Purges the dead rank's pending acks and inflight
+        chunks (each replica-fanned pair still lives on the surviving
+        group members, so no acknowledged write loses visibility) and
+        drops any cached view of its SSTables.  The membership view
+        queues the rank for re-replication, pushed by the next tick.
+        """
+        mv = self.membership
+        if mv is None or not mv.declare_dead(rank):
+            return
+        self.stats.rank_deaths += 1
+        self._hb_ping.pop(rank, None)
+        self._hb_last.pop(rank, None)
+        with self._lock:
+            doomed = [s for s, o, _ in self.inflight if o == rank]
+            for s in doomed:
+                self._pending_acks.discard(s)
+                self._replica_seqs.discard(s)
+            self.inflight = [e for e in self.inflight if e[1] != rank]
+        self._drop_peer_cache(rank, f"{self.dbdir}/rank{rank}")
+
+    def _absorb_pong(self, pong: msg.ReplicaAckMsg, source: int) -> None:
+        """One heartbeat pong: proof of life plus membership gossip."""
+        mv = self.membership
+        if mv is None or mv.is_dead(source):
+            return
+        mv.merge(pong.epoch, pong.dead)
+        mv.heard_from(source, self.clock.now)
+        self._hb_ping.pop(source, None)
+
+    def tick(self) -> None:
+        """Run one failure-detector maintenance pass explicitly.
+
+        The detector normally piggybacks on put/get traffic; an
+        application that goes quiet (e.g. a pure consumer waiting for
+        recovery to finish) can call this to keep heartbeats, death
+        declarations and re-replication moving.
+        """
+        self._check_open()
+        self._maybe_kill()
+        # a poll is not free — and advancing the virtual clock is what
+        # lets silence accumulate toward the detector's timeouts when
+        # the application itself has gone quiet
+        self.clock.advance(self.options.heartbeat_interval)
+        self._tick()
+
+    def _tick(self) -> None:
+        """Failure-detector maintenance (main thread, replication only).
+
+        Runs opportunistically at the top of every put/get: absorb
+        heartbeat pongs, ping peers silent for ``heartbeat_interval``,
+        mark ``suspect_timeout`` silences suspected, and declare a peer
+        dead only when its oldest unanswered ping exceeds the *virtual*
+        ``dead_timeout`` AND it stays silent through a *wall-clock*
+        grace receive — a live handler always pongs promptly in real
+        time, so a live rank is never falsely declared (this is what
+        makes kill tests deterministic).  Finishes by pushing any
+        pending re-replication work.
+        """
+        mv = self.membership
+        if mv is None or self._in_rerepl or self._killed:
+            return
+        now = self.clock.now
+        opts = self.options
+        while self.ack_comm.iprobe(ANY_SOURCE, HB_TAG):
+            status: dict = {}
+            pong = self.ack_comm.recv(ANY_SOURCE, HB_TAG, status=status)
+            self._absorb_pong(pong, status["source"])
+        for r in mv.alive_ranks():
+            if r == self.rank:
+                continue
+            silence = now - mv.last_heard(r)
+            if silence < opts.heartbeat_interval:
+                self._hb_ping.pop(r, None)
+                continue
+            if now - self._hb_last.get(r, -1.0) >= opts.heartbeat_interval:
+                epoch, dead = mv.wire()
+                self.srv_comm.send(
+                    msg.HeartbeatMsg(epoch, dead, ping=True), r, tag=0
+                )
+                self.stats.heartbeats_sent += 1
+                self._hb_last[r] = now
+                self._hb_ping.setdefault(r, now)
+            if silence >= opts.suspect_timeout:
+                mv.suspect(r)
+            if (silence >= opts.dead_timeout
+                    and now - self._hb_ping.get(r, now) >= opts.dead_timeout):
+                self._grace_then_declare(r)
+        if mv.pending_rereplication:
+            self._rereplicate()
+
+    def _grace_then_declare(self, rank: int) -> None:
+        """Last chance before a death declaration: wall-clock grace.
+
+        The virtual timeouts have expired; now give the peer *real* time
+        to answer — its handler thread runs concurrently and a live one
+        pongs within microseconds of wall time.  Only a peer silent
+        through the grace receive is declared dead.
+        """
+        grace = self.options.remote_timeout or 0.05
+        while rank in self._hb_ping:
+            try:
+                status: dict = {}
+                pong = self.ack_comm.recv(
+                    ANY_SOURCE, HB_TAG, timeout=grace, status=status
+                )
+            except TimeoutError:
+                break
+            self._absorb_pong(pong, status["source"])
+        if rank in self._hb_ping:
+            self._declare_dead(rank)
+
+    def _all_local_records(self) -> List[msg.Pair]:
+        """Every pair this rank holds, newest version per key wins.
+
+        Unlike :func:`repro.core.scan.local_scan` this **keeps
+        tombstones**: a re-replication push must propagate deletes, or a
+        dead rank's deleted keys would resurrect on the new replica.
+        """
+        out: Dict[bytes, Tuple[bytes, bool]] = {}
+        with self._lock:
+            self._retire_flushed(self.clock.now)
+            ssids = list(self.ssids)
+            mem_tiers = [
+                [(k, e.value, e.tombstone) for k, e in imm.items()]
+                for imm, _t in self.flushing  # oldest first
+            ]
+            mem_tiers.append(
+                [(k, e.value, e.tombstone) for k, e in self.local_mt.items()]
+            )
+        t = self.clock.now
+        for ssid in ssids:  # ascending SSID = oldest first
+            reader = self._reader(ssid)
+            records, t = reader.read_all(t)
+            for rec in records:
+                out[rec.key] = (rec.value, rec.tombstone)
+        self.clock.advance_to(t)
+        for tier in mem_tiers:  # memory tiers are newer than any table
+            for k, v, tomb in tier:
+                out[k] = (v, tomb)
+        return [(k, v, tomb) for k, (v, tomb) in out.items()]
+
+    def _rereplicate(self) -> None:
+        """Restore the replication factor after a death (main thread).
+
+        For every key whose current group this rank heads (the acting
+        primary always held the data before the death — the ring only
+        shifts), push the pair to every other group member in chunked
+        :class:`~repro.core.messages.ReplicaSyncMsg` batches, each acked
+        on the rsp comm.  Members that already hold a pair re-apply the
+        same bytes (idempotent).  A member that dies mid-push is
+        declared dead and re-queued for the next pass.
+        """
+        mv = self.membership
+        if mv is None or self._in_rerepl:
+            return
+        self._in_rerepl = True
+        try:
+            newly_dead = mv.take_pending_rereplication()
+            if not newly_dead:
+                return
+            targets: Dict[int, List[msg.Pair]] = {}
+            for key, value, tomb in self._all_local_records():
+                group = self._replica_group(key, check=False)
+                if not group or group[0] != self.rank:
+                    continue
+                for r in group[1:]:
+                    targets.setdefault(r, []).append((key, value, tomb))
+            chunk = 256
+            epoch, dead = mv.wire()
+            grace = self.options.remote_timeout or 0.25
+            for target in sorted(targets):
+                pairs = targets[target]
+                for i in range(0, len(pairs), chunk):
+                    part = pairs[i:i + chunk]
+                    seq = self._next_seq
+                    self._next_seq += self.nranks
+                    self.srv_comm.send(
+                        msg.ReplicaSyncMsg(part, seq, epoch, dead),
+                        target, tag=0,
+                    )
+                    try:
+                        reply = self.rsp_comm.recv(
+                            source=target, tag=seq, timeout=grace
+                        )
+                    except TimeoutError:
+                        # a second death mid-push: declare it and let the
+                        # next tick re-replicate around it
+                        self._declare_dead(target)
+                        break
+                    assert isinstance(reply, msg.ReplicaAckMsg)
+                    mv.merge(reply.epoch, reply.dead)
+                    self.stats.rereplicated_pairs += len(part)
+        finally:
+            self._in_rerepl = False
+
+    def _replicated_get(self, key: bytes) -> Optional[GetResult]:
+        """One get under replication: staged tiers, then group members.
+
+        A member of the key's group answers locally; otherwise the
+        acting primary is asked, and a timeout declares it dead and
+        re-routes.  After any death (``epoch > 0``) a *miss* is
+        cross-checked against the remaining members before being
+        believed — a freshly promoted member may not have received its
+        re-replication push yet.  Deletes stay correct under that
+        paranoia read: every member of the group applied the acked
+        tombstone, so all of them answer "absent".
+
+        Reads do **not** require the write quorum: any single live
+        replica can serve a get, so ``check=False`` here — only a group
+        with zero live members is unanswerable.
+        """
+        mv = self.membership
+        assert mv is not None
+        with self._lock:
+            entry, tier = self._search_memory_remote(key)
+        if entry is not None:
+            if entry.tombstone:
+                return None
+            return GetResult(entry.value, tier)
+        for _attempt in range(self.nranks + 1):
+            group = self._replica_group(key, check=False)
+            if not group:
+                break
+            if self.rank in group:
+                self.stats.local_gets += 1
+                result = self._local_get(key)
+                if result is not None or mv.epoch == 0:
+                    return result
+                others = [r for r in group if r != self.rank]
+            else:
+                self.stats.remote_gets += 1
+                primary = group[0]
+                try:
+                    result = self._remote_get(primary, key)
+                except RemoteTimeoutError:
+                    self.stats.failover_gets += 1
+                    self._declare_dead(primary)
+                    continue
+                if result is not None or mv.epoch == 0:
+                    return result
+                others = group[1:]
+            for r in others:
+                self.stats.failover_gets += 1
+                try:
+                    result = self._remote_get(r, key)
+                except RemoteTimeoutError:
+                    self._declare_dead(r)
+                    continue
+                if result is not None:
+                    return result
+            return None
+        raise QuorumLostError(f"no live replica answered for key {key!r}")
+
     # ==================================================================== GET
     def get(self, key: bytes) -> bytes:
         """Retrieve the value for ``key`` (``papyruskv_get``).
@@ -1146,6 +1655,7 @@ class Database:
     def get_ex(self, key: bytes) -> GetResult:
         """Like :meth:`get` but reports which tier satisfied the lookup."""
         self._check_open()
+        self._maybe_kill()
         self._validate_kv(key, None)
         if self.protection == config.WRONLY:
             raise ProtectionError("database is write-only (PAPYRUSKV_WRONLY)")
@@ -1153,13 +1663,17 @@ class Database:
         t_start = self.clock.now
         self._charge_op(len(key))
         self._drain_acks(blocking=False)
-        owner = self.owner_of(key)
-        if owner == self.rank:
-            self.stats.local_gets += 1
-            result = self._local_get(key)
+        if self._replication_on:
+            self._tick()
+            result = self._replicated_get(key)
         else:
-            self.stats.remote_gets += 1
-            result = self._remote_get(owner, key)
+            owner = self.owner_of(key)
+            if owner == self.rank:
+                self.stats.local_gets += 1
+                result = self._local_get(key)
+            else:
+                self.stats.remote_gets += 1
+                result = self._remote_get(owner, key)
         self.latency.observe("get", self.clock.now - t_start)
         self._trace("get", "main", t_start, self.clock.now)
         if result is None:
@@ -1499,6 +2013,7 @@ class Database:
     def _write_bulk(self, ops: List[Tuple[bytes, bytes, bool]]) -> int:
         """The shared engine of put_bulk/delete_bulk/WriteBatch."""
         self._check_open()
+        self._maybe_kill()
         if self.protection == config.RDONLY:
             raise ProtectionError("database is read-only (PAPYRUSKV_RDONLY)")
         if not ops:
@@ -1523,6 +2038,25 @@ class Database:
             # and one ack drain amortized over every key in it
             self.stats.group_commits += 1
             self.stats.group_commit_coalesced += len(final) - 1
+        if self._replication_on:
+            # replicated bulk write: fan every pair first (scatter), then
+            # gather the quorums — all the owners' handlers apply batches
+            # while this rank is still collecting acks
+            self._tick()
+            debts: List[Tuple[List[int], int]] = []
+            for key, (value, tomb) in final.items():
+                self.stats.puts += 1
+                if tomb:
+                    self.stats.deletes += 1
+                debts.append(self._put_replicated(key, value, tomb))
+            for seqs, need in debts:
+                self._await_quorum(seqs, need)
+            self.stats.bulk_batches += 1
+            self.stats.bulk_keys += len(final)
+            self.latency.observe("put_bulk", self.clock.now - t_start)
+            self._trace(f"put_bulk({len(final)})", "main", t_start,
+                        self.clock.now)
+            return len(final)
         # single-pass partition by owner rank
         local: List[Tuple[bytes, bytes, bool]] = []
         remote: Dict[int, List[msg.Pair]] = {}
@@ -1593,6 +2127,7 @@ class Database:
         bloom tiers consulted per key on both sides.
         """
         self._check_open()
+        self._maybe_kill()
         if self.protection == config.WRONLY:
             raise ProtectionError("database is write-only (PAPYRUSKV_WRONLY)")
         norm: List[bytes] = []
@@ -1614,6 +2149,29 @@ class Database:
         )
         self._drain_acks(blocking=False)
         self.stats.gets += len(index_of)
+        if self._replication_on:
+            # replicated reads go through the per-key failover path: the
+            # group routing (and its paranoia read after a death) cannot
+            # be expressed as one MGET per hash owner
+            self._tick()
+            found_r: Dict[bytes, Optional[bytes]] = {}
+            for key in index_of:
+                r = self._replicated_get(key)
+                if r is None:
+                    found_r[key] = None
+                else:
+                    found_r[key] = r.value
+                    self.stats.hit(r.tier)
+            results_r: List[Optional[bytes]] = [None] * len(keys)
+            for key, value in found_r.items():
+                for i in index_of[key]:
+                    results_r[i] = value
+            self.stats.bulk_batches += 1
+            self.stats.bulk_keys += len(index_of)
+            self.latency.observe("get_bulk", self.clock.now - t_start)
+            self._trace(f"get_bulk({len(index_of)})", "main", t_start,
+                        self.clock.now)
+            return results_r
         local_keys: List[bytes] = []
         remote: Dict[int, List[bytes]] = {}
         for key in index_of:
@@ -1783,13 +2341,19 @@ class Database:
 
     # ==================================================== CONSISTENCY CONTROL
     def fence(self) -> None:
-        """Migrate the remote MemTable immediately (``papyruskv_fence``)."""
+        """Migrate the remote MemTable immediately (``papyruskv_fence``).
+
+        Under replication the fence additionally settles every deferred
+        write-quorum debt: once it returns, all fanned-out replica puts
+        are durably logged on every live group member.
+        """
         self._check_open()
         with self._lock:
             imm = self._swap_remote_mt() if len(self.remote_mt) else None
         if imm is not None:
             self._migrate(imm)
         self._drain_acks(blocking=True)
+        self._quorum_due = []  # drained above: no pending acks remain
 
     def barrier(self, level: int = config.MEMTABLE) -> None:
         """Collective fence (+ SSTable flush at ``SSTABLE`` level)."""
@@ -1864,18 +2428,23 @@ class Database:
 
     # =================================================================== SCAN
     def scan_local(self, start: Optional[bytes] = None,
-                   end: Optional[bytes] = None) -> List[Tuple[bytes, bytes]]:
+                   end: Optional[bytes] = None,
+                   include_replicas: bool = False
+                   ) -> List[Tuple[bytes, bytes]]:
         """Sorted live pairs of this rank's shard within ``[start, end)``.
 
         Extension beyond the paper's Table 1 — an LSM merge over the
         MemTable tiers and SSTables.  See :mod:`repro.core.scan`.
+        Under replication only keys this rank is acting primary for are
+        returned (each key appears on exactly one rank's scan);
+        ``include_replicas=True`` returns every pair physically held.
         """
         self._check_open()
         if self.protection == config.WRONLY:
             raise ProtectionError("database is write-only (PAPYRUSKV_WRONLY)")
         from repro.core.scan import local_scan
 
-        return local_scan(self, start, end)
+        return local_scan(self, start, end, include_replicas)
 
     def scan_collect(self, start: Optional[bytes] = None,
                      end: Optional[bytes] = None,

@@ -26,7 +26,8 @@ a storage-group peer climbing its recovery ladder.
 from __future__ import annotations
 
 from repro.core import messages as msg
-from repro.core.db import ACK_TAG, Database
+from repro.core.db import ACK_TAG, HB_TAG, Database
+from repro.faults import RankKilledError
 from repro.mpi.comm import ANY_SOURCE, ANY_TAG, AbortedError
 from repro.mpi.launcher import RankContext, bind_context
 from repro.simtime.clock import VirtualClock
@@ -54,9 +55,14 @@ def handler_main(db: Database) -> None:
             status: dict = {}
             try:
                 m = db.srv_comm.recv(ANY_SOURCE, ANY_TAG, status=status)
-            except (AbortedError, QueueClosed):
+            except (RankKilledError, AbortedError, QueueClosed):
+                # RankKilledError: this rank was killed by the fault
+                # plane — its handler dies with it, quietly
                 return
             source = status["source"]
+            if db.membership is not None:
+                # every message is proof of life (piggybacked detection)
+                db.membership.heard_from(source, hclock.now)
             if isinstance(m, msg.StopMsg):
                 return
             hclock.advance(cpu.kv_op_s)  # request decode
@@ -84,9 +90,21 @@ def handler_main(db: Database) -> None:
                 _serve_fetch_table(db, m, source, hclock, cpu)
                 db._trace(f"serve fetch_table({m.ssid})", "handler",
                           t_service, hclock.now)
+            elif isinstance(m, msg.ReplicaPutBatchMsg):
+                _serve_replica_put(db, m, source, hclock, cpu)
+                db._trace(f"serve replica_put({len(m.pairs)})", "handler",
+                          t_service, hclock.now)
+            elif isinstance(m, msg.HeartbeatMsg):
+                _serve_heartbeat(db, m, source, hclock, cpu)
+                db._trace("serve heartbeat", "handler", t_service,
+                          hclock.now)
+            elif isinstance(m, msg.ReplicaSyncMsg):
+                _serve_replica_sync(db, m, source, hclock, cpu)
+                db._trace(f"serve replica_sync({len(m.pairs)})",
+                          "handler", t_service, hclock.now)
             else:  # pragma: no cover - protocol error
                 raise TypeError(f"handler got unexpected message {m!r}")
-    except AbortedError:  # run torn down mid-service
+    except (RankKilledError, AbortedError):  # killed / torn down mid-service
         return
     except BaseException:
         # a dying handler would otherwise hang every rank that sends
@@ -134,6 +152,75 @@ def _serve_put_sync_batch(db: Database, m: msg.PutSyncBatchMsg,
             hclock.advance(cpu.kv_op_s + len(key + value) / cpu.memcpy_Bps)
             db._local_insert(key, value, tombstone, hclock)
     db.rsp_comm.send(msg.AckMsg(m.seq), source, tag=m.seq)
+
+
+def _serve_replica_put(db: Database, m: msg.ReplicaPutBatchMsg,
+                       source: int, hclock: VirtualClock, cpu) -> None:
+    """Apply a replicated put fan-out, or reject it deterministically.
+
+    A batch stamped with an older epoch than this view's — or sent by a
+    rank this view holds dead — is **rejected** (``applied=False``) so
+    the writer re-routes against the current group; otherwise the pairs
+    are applied under the usual seq-dedup and acknowledged.
+    """
+    mv = db.membership
+    if mv is not None and mv.is_stale(m.epoch, source):
+        db.stats.epoch_rejections += 1
+        epoch, dead = mv.wire()
+        db.ack_comm.send(
+            msg.ReplicaAckMsg(m.seq, epoch, dead, applied=False),
+            source, tag=ACK_TAG,
+        )
+        return
+    if mv is not None:
+        mv.merge(m.epoch, m.dead)
+    if not db._already_applied(source, m.seq):
+        for key, value, tombstone in m.pairs:
+            hclock.advance(cpu.kv_op_s + len(key + value) / cpu.memcpy_Bps)
+            db._local_insert(key, value, tombstone, hclock)
+        db.stats.replica_pairs_applied += len(m.pairs)
+    epoch, dead = mv.wire() if mv is not None else (0, ())
+    db.ack_comm.send(
+        msg.ReplicaAckMsg(m.seq, epoch, dead, applied=True),
+        source, tag=ACK_TAG,
+    )
+
+
+def _serve_heartbeat(db: Database, m: msg.HeartbeatMsg, source: int,
+                     hclock: VirtualClock, cpu) -> None:
+    """Merge the sender's membership gossip; pong if it was a ping."""
+    mv = db.membership
+    if mv is None or mv.is_dead(source):
+        return  # no membership plane, or a zombie ping: stay silent
+    mv.merge(m.epoch, m.dead)
+    if m.ping:
+        epoch, dead = mv.wire()
+        db.ack_comm.send(
+            msg.ReplicaAckMsg(0, epoch, dead, applied=True),
+            source, tag=HB_TAG,
+        )
+
+
+def _serve_replica_sync(db: Database, m: msg.ReplicaSyncMsg, source: int,
+                        hclock: VirtualClock, cpu) -> None:
+    """Install a re-replication push from the new acting primary.
+
+    Never epoch-rejected: a sync carries the post-death epoch by
+    construction, and its pairs are valid data regardless — apply under
+    seq-dedup and ack on the rsp comm.
+    """
+    mv = db.membership
+    if mv is not None:
+        mv.merge(m.epoch, m.dead)
+    if not db._already_applied(source, m.seq):
+        for key, value, tombstone in m.pairs:
+            hclock.advance(cpu.kv_op_s + len(key + value) / cpu.memcpy_Bps)
+            db._local_insert(key, value, tombstone, hclock)
+    epoch, dead = mv.wire() if mv is not None else (0, ())
+    db.rsp_comm.send(
+        msg.ReplicaAckMsg(m.seq, epoch, dead, applied=True),
+        source, tag=m.seq,
+    )
 
 
 def _serve_fetch_table(db: Database, m: msg.FetchTableMsg, source: int,

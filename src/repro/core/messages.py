@@ -23,6 +23,9 @@ CHECKPOINT_MARK = 5  # reserved for future coordinated snapshot protocols
 MGET = 6          # batched multi-get (one request per owner per bulk get)
 PUT_SYNC_BATCH = 7  # per-owner batch of synchronous puts (bulk pipeline)
 FETCH_TABLE = 8   # ship a whole SSTable's files (peer rebuild)
+REPLICA_PUT = 9   # replicated put/delete fan-out to a group member
+HEARTBEAT = 10    # failure-detector ping (pong travels on the ack comm)
+REPLICA_SYNC = 11  # re-replication push after a rank death
 
 # GET reply status
 FOUND = 0
@@ -196,6 +199,82 @@ class AckMsg:
 
 
 @dataclass
+class ReplicaPutBatchMsg:
+    """Replicated put/delete fan-out to one replica-group member.
+
+    Carries the writer's ``(epoch, dead)`` membership stamp; a receiver
+    whose view is newer — or that holds the sender dead — rejects the
+    batch deterministically with ``applied=False`` so the writer can
+    re-route against the current group.
+    """
+
+    pairs: List[Pair]
+    seq: int
+    epoch: int
+    dead: Tuple[int, ...] = ()
+
+    def wire_nbytes(self) -> int:
+        """Wire size: header + membership stamp + every pair."""
+        return 24 + 4 * len(self.dead) + sum(
+            len(k) + len(v) + 9 for k, v, _ in self.pairs
+        )
+
+
+@dataclass
+class HeartbeatMsg:
+    """Failure-detector ping, also the carrier of membership gossip.
+
+    ``ping=True`` requests a pong (a :class:`ReplicaAckMsg` on the ack
+    comm's heartbeat tag); ``ping=False`` is pure gossip.
+    """
+
+    epoch: int
+    dead: Tuple[int, ...] = ()
+    ping: bool = True
+
+    def wire_nbytes(self) -> int:
+        """Wire size of a heartbeat."""
+        return 24 + 4 * len(self.dead)
+
+
+@dataclass
+class ReplicaSyncMsg:
+    """Re-replication push: part of a dead rank's key range, shipped by
+    the new acting primary to a group member that lacks it.  Applied
+    under the same seq-dedup as every other mutation and acknowledged
+    with a :class:`ReplicaAckMsg` on the rsp comm."""
+
+    pairs: List[Pair]
+    seq: int
+    epoch: int
+    dead: Tuple[int, ...] = ()
+
+    def wire_nbytes(self) -> int:
+        """Wire size: header + membership stamp + every pair."""
+        return 24 + 4 * len(self.dead) + sum(
+            len(k) + len(v) + 9 for k, v, _ in self.pairs
+        )
+
+
+@dataclass
+class ReplicaAckMsg:
+    """Replication acknowledgement: replica puts (ack comm), heartbeat
+    pongs (ack comm, heartbeat tag), and re-replication pushes (rsp
+    comm).  Always carries the replier's membership stamp so liveness
+    and epoch news piggyback on every exchange; ``applied=False`` means
+    the message was rejected as stale and must be re-routed."""
+
+    seq: int
+    epoch: int
+    dead: Tuple[int, ...] = ()
+    applied: bool = True
+
+    def wire_nbytes(self) -> int:
+        """Wire size of a replication acknowledgement."""
+        return 24 + 4 * len(self.dead)
+
+
+@dataclass
 class StopMsg:
     """Shut the handler thread down (database close)."""
 
@@ -216,8 +295,12 @@ WIRE_TAGS = {
     "MGetMsg": MGET,
     "FetchTableMsg": FETCH_TABLE,
     "StopMsg": STOP,
+    "ReplicaPutBatchMsg": REPLICA_PUT,
+    "HeartbeatMsg": HEARTBEAT,
+    "ReplicaSyncMsg": REPLICA_SYNC,
     "GetReply": 100,
     "MGetReply": 101,
     "FetchTableReply": 102,
     "AckMsg": 103,
+    "ReplicaAckMsg": 104,
 }

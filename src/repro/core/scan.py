@@ -59,11 +59,18 @@ def _in_range(key: bytes, start: Optional[bytes], end: Optional[bytes]) -> bool:
 
 
 def local_scan(db, start: Optional[bytes] = None,
-               end: Optional[bytes] = None) -> List[Tuple[bytes, bytes]]:
+               end: Optional[bytes] = None,
+               include_replicas: bool = False) -> List[Tuple[bytes, bytes]]:
     """Sorted live pairs of this rank's shard within [start, end).
 
     Charges the caller's clock for the SSTable reads (sequential whole-
     table reads, the natural scan access pattern).
+
+    Under replication a rank also stores copies of other ranks' shards;
+    by default those are filtered out — only keys this rank is the
+    *acting primary* for are returned, so a collective scan sees each
+    key exactly once.  ``include_replicas=True`` returns everything this
+    rank physically holds (diagnostics, replication tests).
     """
     with db._lock:
         db._retire_flushed(db.clock.now)
@@ -87,7 +94,10 @@ def local_scan(db, start: Optional[bytes] = None,
             if _in_range(r.key, start, end)
         ])
     db.clock.advance_to(t)
-    return list(merge_scan(tiers, start, end))
+    pairs = list(merge_scan(tiers, start, end))
+    if db.membership is not None and not include_replicas:
+        pairs = [(k, v) for k, v in pairs if db._is_acting_primary(k)]
+    return pairs
 
 
 def count_live(db) -> int:

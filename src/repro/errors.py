@@ -31,6 +31,9 @@ class ErrorCode(enum.IntEnum):
     INTERNAL = 14
     CORRUPTED = 15
     TIMEOUT = 16
+    REPLICA_STALE = 17
+    MEMBERSHIP_EPOCH = 18
+    QUORUM_LOST = 19
 
 
 #: Aliases matching the paper's spelling.
@@ -140,6 +143,43 @@ class RemoteTimeoutError(PapyrusError, TimeoutError):
     """A remote rank did not reply within the retry budget."""
 
     code = ErrorCode.TIMEOUT
+
+
+class ReplicationError(PapyrusError):
+    """Base class for replication-plane failures.
+
+    Raised only when ``Options(replicas=...)`` is greater than one; the
+    unreplicated paths never see these.
+    """
+
+    code = ErrorCode.INTERNAL
+
+
+class ReplicaStaleError(ReplicationError):
+    """A replica served (or was asked to serve) state it is known to be
+    behind on — e.g. a read routed to a group member that has not yet
+    caught up through re-replication.  Callers should retry against the
+    acting primary or another live group member."""
+
+    code = ErrorCode.REPLICA_STALE
+
+
+class MembershipEpochError(ReplicationError):
+    """A message carried a membership epoch that can no longer be
+    honoured — most seriously, a rank learned that the rest of the group
+    declared *it* dead.  In-flight traffic from a dead epoch is rejected
+    deterministically (the sender re-routes against the current view);
+    a self-death notice is unrecoverable and surfaces as this error."""
+
+    code = ErrorCode.MEMBERSHIP_EPOCH
+
+
+class QuorumLostError(ReplicationError):
+    """Fewer live replicas remain than ``write_quorum`` requires, so an
+    acknowledged-durable put is impossible; the write is refused rather
+    than silently under-replicated."""
+
+    code = ErrorCode.QUORUM_LOST
 
 
 def code_of(exc: BaseException) -> ErrorCode:

@@ -26,6 +26,12 @@ Supported faults
 * ``drop/delay/duplicate(message_type)`` — the nth sent message whose
   class name matches is dropped, delivered late (virtual time), or
   delivered twice.
+* ``kill_rank(rank, nth=N)`` — rank ``r`` dies at the start of its nth
+  database operation: the op raises :class:`RankKilledError`, the rank's
+  mailboxes go dead (its handler thread exits), and its sends are
+  suppressed — but the world does **not** abort, so surviving ranks can
+  detect the death and re-replicate.  Deliberately *not* an ``at_site``
+  crash site, so crash-point enumeration tests stay unpolluted.
 
 Every rule fires on the ``nth`` matching event (1-based) and then for
 ``count`` consecutive matches.  With ``record_sites=True`` the plan
@@ -43,12 +49,20 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import StorageError
 
-__all__ = ["FaultPlan", "RankCrashError"]
+__all__ = ["FaultPlan", "RankCrashError", "RankKilledError"]
 
 
 class RankCrashError(RuntimeError):
     """Injected rank crash; propagates out of the rank's main function
     and surfaces through :class:`repro.mpi.launcher.RankFailure`."""
+
+
+class RankKilledError(RankCrashError):
+    """Injected *rank kill*: unlike a plain crash, a killed rank takes
+    its whole simulated process down (handler thread included, via the
+    world's dead-rank plumbing) while the surviving ranks keep running —
+    the launcher records the death without aborting the world, so
+    replication-level recovery can be exercised end to end."""
 
 
 @dataclass
@@ -145,6 +159,11 @@ class FaultPlan:
                                  count=count))
         return self
 
+    def kill_rank(self, rank: int, nth: int = 1) -> "FaultPlan":
+        """Kill rank ``rank`` at the start of its ``nth`` database op."""
+        self._rules.append(_Rule("kill_rank", "*", nth=nth, rank=rank))
+        return self
+
     # -- hook points ---------------------------------------------------
 
     @staticmethod
@@ -197,6 +216,22 @@ class FaultPlan:
                         data = bytes(buf)
                         self.fired.append(f"bit_flip {relpath} bit {pos}")
         return data
+
+    def check_kill(self, rank: int) -> bool:
+        """Kill hook; called by the database at the top of each op.
+
+        True means rank ``rank`` dies *now* — the caller is expected to
+        mark itself dead in the world and raise
+        :class:`RankKilledError`.  The ``nth`` counter counts only the
+        victim's own ops, so a schedule is deterministic regardless of
+        how the other ranks interleave.
+        """
+        with self._lock:
+            for rule in self._rules:
+                if rule.kind == "kill_rank" and rule.applies("op", rank):
+                    self.fired.append(f"kill_rank rank={rank}")
+                    return True
+        return False
 
     def check_read(self, relpath: str) -> None:
         """Read hook; may raise ``StorageError``."""

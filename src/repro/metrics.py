@@ -64,6 +64,14 @@ def database_metrics(db) -> Dict[str, Any]:
         "remote_timeouts": stats.remote_timeouts,
         "fence_skips": stats.fence_skips,
         "bloom_skips": stats.bloom_skips,
+        "replica_msgs": stats.replica_msgs,
+        "replica_pairs": stats.replica_pairs,
+        "replica_pairs_applied": stats.replica_pairs_applied,
+        "heartbeats_sent": stats.heartbeats_sent,
+        "epoch_rejections": stats.epoch_rejections,
+        "rank_deaths": stats.rank_deaths,
+        "rereplicated_pairs": stats.rereplicated_pairs,
+        "failover_gets": stats.failover_gets,
         "get_tiers": dict(stats.get_tiers),
         "sstables": len(db.ssids),
         "memtable_bytes": db.local_mt.size_bytes,
@@ -151,6 +159,18 @@ def format_report(db_metrics: Dict[str, Any]) -> str:
             f"{m['tables_quarantined']} quarantined, "
             f"{m['remote_retries']} remote retries "
             f"({m['remote_timeouts']} timeouts)"
+        )
+    if m.get("replica_msgs") or m.get("rank_deaths") \
+            or m.get("replica_pairs_applied"):
+        lines.append(
+            f"  replication: {m.get('replica_msgs', 0)} fan-out msgs "
+            f"({m.get('replica_pairs', 0)} pairs sent, "
+            f"{m.get('replica_pairs_applied', 0)} applied), "
+            f"{m.get('heartbeats_sent', 0)} heartbeats, "
+            f"{m.get('epoch_rejections', 0)} epoch rejections, "
+            f"{m.get('rank_deaths', 0)} deaths declared, "
+            f"{m.get('rereplicated_pairs', 0)} pairs re-replicated, "
+            f"{m.get('failover_gets', 0)} failover gets"
         )
     if m.get("get_tiers"):
         tiers = ", ".join(f"{k}={v}" for k, v in sorted(m["get_tiers"].items()))

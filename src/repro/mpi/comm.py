@@ -19,6 +19,7 @@ from typing import (
 )
 
 from repro.analysis.runtime import get_detector, make_lock
+from repro.faults import RankKilledError
 from repro.mpi.message import Envelope, payload_nbytes
 from repro.simtime.clock import VirtualClock
 from repro.simtime.profiles import NetworkProfile
@@ -42,9 +43,18 @@ class _Mailbox:
         self._items: List[Envelope] = []
         self._cond = threading.Condition()
         self._abort = abort_event
+        self._dead = False
 
     def wake_all(self) -> None:
         with self._cond:
+            self._cond.notify_all()
+
+    def mark_dead(self) -> None:
+        """The owning rank was killed: every blocked or future receive
+        on this inbox raises :class:`~repro.faults.RankKilledError`, so
+        the rank's handler thread unwinds without aborting the world."""
+        with self._cond:
+            self._dead = True
             self._cond.notify_all()
 
     def deliver(self, env: Envelope) -> None:
@@ -63,6 +73,8 @@ class _Mailbox:
     def take(self, source: int, tag: int, timeout: Optional[float]) -> Envelope:
         with self._cond:
             while True:
+                if self._dead:
+                    raise RankKilledError("rank killed by fault plan")
                 if self._abort.is_set():
                     raise AbortedError("SPMD run aborted")
                 idx = self._match_index(source, tag)
@@ -132,6 +144,8 @@ class World:
         self.abort_event = threading.Event()
         self._coll_states: List[_CollectiveState] = []
         self.faults = None  # Optional[repro.faults.FaultPlan]
+        #: ranks killed by the fault plane; guarded by ``_mbx_lock``
+        self._dead_ranks: set = set()
 
     def register_coll(self, coll: "_CollectiveState") -> "_CollectiveState":
         """Track a collective state so abort() can break its barrier."""
@@ -158,6 +172,27 @@ class World:
             self._next_comm_id += 1
             return cid
 
+    def kill_rank(self, world_rank: int) -> None:
+        """Take one rank out of the run without aborting the world.
+
+        The rank's inboxes (present and future) go dead so its threads
+        unwind with :class:`~repro.faults.RankKilledError`, its sends
+        are suppressed, and messages addressed to it vanish — exactly
+        the observable behaviour of a crashed MPI process to the
+        survivors.
+        """
+        with self._mbx_lock:
+            self._dead_ranks.add(world_rank)
+            boxes = [b for (_, r), b in self._mailboxes.items()
+                     if r == world_rank]
+        for box in boxes:
+            box.mark_dead()
+
+    def is_dead(self, world_rank: int) -> bool:
+        """True if the rank was killed by the fault plane."""
+        with self._mbx_lock:
+            return world_rank in self._dead_ranks
+
     def mailbox(self, comm_id: int, world_rank: int) -> _Mailbox:
         """The (lazily created) inbox of one rank on one communicator."""
         key = (comm_id, world_rank)
@@ -165,6 +200,8 @@ class World:
             box = self._mailboxes.get(key)
             if box is None:
                 box = self._mailboxes[key] = _Mailbox(self.abort_event)
+                if world_rank in self._dead_ranks:
+                    box._dead = True
             return box
 
     def transfer_cost(self, src: int, dst: int, nbytes: int) -> float:
@@ -279,6 +316,13 @@ class Comm:
         is delivered as two distinct envelopes (the receiver must
         dedupe); a delay shifts only the virtual arrival time.
         """
+        world = self._world
+        if world._dead_ranks and (
+            world.is_dead(dst_w) or world.is_dead(src_w)
+        ):
+            # a dead rank neither sends nor receives: traffic to it
+            # vanishes, traffic from its dying threads is suppressed
+            return
         plan = self._world.faults
         box = self._world.mailbox(self._comm_id, dst_w)
         duplicate = False
@@ -565,6 +609,10 @@ class Comm:
     def abort_world(self) -> None:
         """Abort the whole SPMD run (service-thread crash escalation)."""
         self._world.abort()
+
+    def kill_world_rank(self, world_rank: int) -> None:
+        """Mark one world rank dead (injected kill; the world survives)."""
+        self._world.kill_rank(world_rank)
 
     # ------------------------------------------------------- comm management
     def dup(self) -> "Comm":

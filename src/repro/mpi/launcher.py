@@ -16,6 +16,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence
 
+from repro.faults import RankKilledError
 from repro.mpi.comm import Comm, World
 from repro.simtime.clock import VirtualClock, set_current_clock
 from repro.simtime.profiles import SUMMITDEV, SystemProfile
@@ -90,6 +91,10 @@ def spmd_run(
         run's stores and message layer for this run only.
     timeout: wall-clock seconds to wait for completion before aborting.
     collect: if True, return the list of per-rank return values.
+
+    A rank killed by ``FaultPlan.kill_rank`` is not a run failure: its
+    result slot stays ``None`` and the remaining ranks run to completion
+    (that is what replication-recovery tests exercise).
     """
     if nranks <= 0:
         raise ValueError("nranks must be positive")
@@ -127,6 +132,11 @@ def spmd_run(
         bind_context(ctx)
         try:
             results[rank] = main(ctx)
+        except RankKilledError:
+            # an injected rank kill is not a run failure: the victim is
+            # simply gone (results[rank] stays None) and the surviving
+            # ranks keep running — do NOT abort the world
+            pass
         except BaseException as exc:  # noqa: BLE001 - reported to caller
             with failures_lock:
                 failures.append((rank, exc))

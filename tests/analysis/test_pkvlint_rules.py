@@ -227,6 +227,38 @@ class TestR003WireTags:
         """)
         assert lint_file(path) == []
 
+    def test_orphan_reply_class_flags(self, tmp_path):
+        path = self._write(tmp_path, """
+            class GetMsg:
+                pass
+            class GhostReply:
+                pass
+            WIRE_TAGS = {"GetMsg": 1, "GhostReply": 2}
+        """)
+        fs = lint_file(path)
+        assert any(f.rule == "R003" and "GhostReply" in f.message for f in fs)
+
+    def test_reply_referenced_by_db_is_clean(self, tmp_path):
+        path = self._write(tmp_path, """
+            class GetMsg:
+                pass
+            class GetReply:
+                pass
+            WIRE_TAGS = {"GetMsg": 1, "GetReply": 2}
+        """)
+        (tmp_path / "db.py").write_text("x = GetReply\n")
+        assert lint_file(path) == []
+
+    def test_reply_referenced_by_handler_is_clean(self, tmp_path):
+        path = self._write(tmp_path, """
+            class GetMsg:
+                pass
+            class GetReply:
+                pass
+            WIRE_TAGS = {"GetMsg": 1, "GetReply": 2}
+        """, handler_src="x = (GetMsg, GetReply)\n")
+        assert lint_file(path) == []
+
 
 class TestSuppressionAndOutput:
     def test_inline_suppression(self):

@@ -28,7 +28,14 @@ def _old_unlocked_reader(self, ssid):
 
 def test_unlocked_reader_cache_is_flagged(monkeypatch):
     monkeypatch.setattr(Database, "_reader", _old_unlocked_reader)
-    report = run_stress()
-    races = [f for f in report["findings"]
-             if f["rule"] == "RACE" and "db.readers" in f["message"]]
-    assert races, report
+    # FastTrack keeps last-access epochs, not full history, so one
+    # scheduling-lucky interleaving can mask the race; a couple of
+    # attempts make the verdict about the code, not the scheduler
+    report = None
+    for _attempt in range(3):
+        report = run_stress()
+        races = [f for f in report["findings"]
+                 if f["rule"] == "RACE" and "db.readers" in f["message"]]
+        if races:
+            return
+    raise AssertionError(f"unlocked reader cache never flagged: {report}")

@@ -221,6 +221,87 @@ class TestRedistribution:
         machine.close()
 
 
+class TestRestartDecision:
+    """restart() reports the redistribute decision on the event."""
+
+    def test_copy_path_reports_no_redistribution(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("db", small_options())
+                _populate(db, ctx.world_rank, n=20)
+                db.checkpoint("dec1").wait(ctx.clock)
+                db.destroy().wait(ctx.clock)
+                db2, ev = env.restart("dec1", "db", small_options())
+                assert ev.redistributed is False
+                assert ev.redistribute_reason == "none"
+                ev.wait(ctx.clock)
+                db2.barrier()
+                _verify(db2, ctx.nranks, n=20)
+                db2.close()
+
+        spmd_run(2, app, timeout=240)
+
+    def test_forced_reports_forced(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("db", small_options())
+                _populate(db, ctx.world_rank, n=20)
+                db.checkpoint("dec2").wait(ctx.clock)
+                db.destroy().wait(ctx.clock)
+                db2, ev = env.restart(
+                    "dec2", "db", small_options(), force_redistribute=True
+                )
+                assert ev.redistributed is True
+                assert ev.redistribute_reason == "forced"
+                ev.wait(ctx.clock)
+                db2.barrier()
+                _verify(db2, ctx.nranks, n=20)
+                db2.close()
+
+        spmd_run(2, app, timeout=240)
+
+    def test_rank_count_change_warns_despite_force_false(self, tmp_path):
+        """A changed rank count overrides force_redistribute=False: the
+        event says so and rank 0 gets a RuntimeWarning instead of a
+        silent redistribution."""
+        import warnings
+
+        machine = Machine(SUMMITDEV, 8, base_dir=str(tmp_path))
+
+        def writer(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("db", small_options())
+                _populate(db, ctx.world_rank, n=20)
+                db.checkpoint("dec3").wait(ctx.clock)
+                db.coll_comm.barrier()
+                db.destroy().wait(ctx.clock)
+
+        spmd_run(2, writer, machine=machine)
+
+        def reader(ctx):
+            with Papyrus(ctx) as env:
+                with warnings.catch_warnings(record=True) as caught:
+                    warnings.simplefilter("always")
+                    db, ev = env.restart("dec3", "db", small_options())
+                assert ev.redistributed is True
+                assert ev.redistribute_reason == "rank count changed 2->1"
+                assert any(
+                    issubclass(w.category, RuntimeWarning)
+                    and "force_redistribute=False" in str(w.message)
+                    for w in caught
+                ), "expected a RuntimeWarning about the overridden flag"
+                ev.wait(ctx.clock)
+                for rr in range(2):  # writer ran with 2 ranks
+                    assert (
+                        db.get(f"x-{rr}-000".encode())
+                        == f"y-{rr}-000".encode() * 3
+                    )
+                db.close()
+
+        spmd_run(1, reader, machine=machine, timeout=240)
+        machine.close()
+
+
 class TestDestroy:
     def test_destroy_removes_data(self):
         def app(ctx):

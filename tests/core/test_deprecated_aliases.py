@@ -1,0 +1,130 @@
+"""The deprecated write-surface aliases still work and still warn.
+
+``put_bulk``/``delete_bulk``/``flush_sstables`` are kept as thin shims
+over :meth:`Database.batch` and :meth:`Database.flush`; these tests pin
+both halves of that contract — a ``DeprecationWarning`` fires, and the
+results are byte-identical to the supported path.
+
+Warning capture runs single-rank: ``warnings.catch_warnings`` mutates
+the process-global filter list, which races with other rank threads.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro import Papyrus
+from repro.mpi.launcher import spmd_run
+from tests.conftest import run4, small_options
+
+
+def _deprecations(caught):
+    return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+class TestWarningsFire:
+    def test_put_bulk_warns(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("db", small_options())
+                with warnings.catch_warnings(record=True) as caught:
+                    warnings.simplefilter("always")
+                    n = db.put_bulk({b"k1": b"v1", b"k2": b"v2"})
+                assert n == 2
+                deps = _deprecations(caught)
+                assert deps and "put_bulk" in str(deps[0].message)
+                assert "db.batch()" in str(deps[0].message)
+                db.close()
+
+        spmd_run(1, app)
+
+    def test_delete_bulk_warns(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("db", small_options())
+                db.put(b"k1", b"v1")
+                with warnings.catch_warnings(record=True) as caught:
+                    warnings.simplefilter("always")
+                    n = db.delete_bulk([b"k1"])
+                assert n == 1
+                deps = _deprecations(caught)
+                assert deps and "delete_bulk" in str(deps[0].message)
+                assert db.get_or_none(b"k1") is None
+                db.close()
+
+        spmd_run(1, app)
+
+    def test_flush_sstables_warns(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("db", small_options())
+                db.put(b"k1", b"v1" * 64)
+                with warnings.catch_warnings(record=True) as caught:
+                    warnings.simplefilter("always")
+                    db.flush_sstables()
+                deps = _deprecations(caught)
+                assert deps and "flush_sstables" in str(deps[0].message)
+                assert len(db.local_mt) == 0, "alias must flush like flush()"
+                assert db.ssids, "flush_sstables left no SSTable behind"
+                db.close()
+
+        spmd_run(1, app)
+
+
+class TestAliasesMatchBatchPath:
+    """The shims and WriteBatch must land identical state (4 ranks)."""
+
+    def test_put_bulk_matches_write_batch(self):
+        def app(ctx):
+            warnings.simplefilter("ignore", DeprecationWarning)
+            items = {
+                f"k-{ctx.world_rank}-{i:03d}".encode(): f"v{i}".encode() * 3
+                for i in range(40)
+            }
+            with Papyrus(ctx) as env:
+                old = env.open("old", small_options())
+                new = env.open("new", small_options())
+                n_old = old.put_bulk(items)
+                with new.batch() as b:
+                    for k, v in items.items():
+                        b.put(k, v)
+                n_new = b.written
+                old.barrier()
+                new.barrier()
+                assert n_old == n_new == len(items)
+                for rr in range(ctx.nranks):
+                    for i in range(40):
+                        k = f"k-{rr}-{i:03d}".encode()
+                        assert old.get(k) == new.get(k)
+                old.close()
+                new.close()
+
+        run4(app)
+
+    def test_delete_bulk_matches_write_batch(self):
+        def app(ctx):
+            warnings.simplefilter("ignore", DeprecationWarning)
+            keys = [f"d-{ctx.world_rank}-{i:03d}".encode() for i in range(20)]
+            with Papyrus(ctx) as env:
+                old = env.open("old", small_options())
+                new = env.open("new", small_options())
+                for db in (old, new):
+                    for k in keys:
+                        db.put(k, b"doomed")
+                    db.barrier()
+                n_old = old.delete_bulk(keys[::2])
+                with new.batch() as b:
+                    for k in keys[::2]:
+                        b.delete(k)
+                n_new = b.written
+                old.barrier()
+                new.barrier()
+                assert n_old == n_new == len(keys[::2])
+                for rr in range(ctx.nranks):
+                    for i in range(20):
+                        k = f"d-{rr}-{i:03d}".encode()
+                        assert old.get_or_none(k) == new.get_or_none(k)
+                old.close()
+                new.close()
+
+        run4(app)

@@ -1,0 +1,289 @@
+"""Replication, write quorum, and rank-failure recovery.
+
+The acceptance contract: with ``replicas=3, write_quorum=2`` on four
+ranks, killing any single rank mid-run loses **zero acknowledged
+writes**, gets keep succeeding while the group recovers, and automatic
+re-replication returns every key to full replication factor.  The kill
+schedule is seeded (CI's fault matrix re-runs this module under
+``PKV_FAULT_SEED`` 7/23/1009) so the runs are deterministic.
+
+Survivor shutdown: after a kill the collective ``close()`` would hang
+on the dead rank, so survivors stop their own handler with a self-sent
+``StopMsg`` and mark themselves closed — the documented pattern for
+post-failure teardown.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro import Papyrus
+from repro.config import Options
+from repro.core import messages as msg
+from repro.errors import InvalidOptionError, QuorumLostError
+from repro.faults import FaultPlan
+from repro.mpi.launcher import spmd_run
+from tests.conftest import run4, small_options
+
+#: CI's fault matrix re-runs this module under several seeds
+FAULT_SEED = int(os.environ.get("PKV_FAULT_SEED", "7"))
+
+NRANKS = 4
+#: the kill schedule varies with the seed: which rank dies and when
+VICTIM = FAULT_SEED % NRANKS
+KILL_NTH = 90 + FAULT_SEED % 97
+
+
+def _repl_options(**kw) -> Options:
+    base = dict(
+        replicas=3,
+        write_quorum=2,
+        remote_timeout=0.2,
+        memtable_capacity=1 << 12,
+    )
+    base.update(kw)
+    return Options(**base)
+
+
+def _survivor_close(db) -> None:
+    """Non-collective close for ranks that outlive a killed peer."""
+    db.srv_comm.send(msg.StopMsg(), db.rank, tag=0)
+    db._handler_thread.join(10)
+    db._closed = True
+
+
+class TestReplicatedOperation:
+    """Failure-free replication semantics."""
+
+    def test_put_get_and_physical_copies(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("repl", _repl_options())
+                rank = ctx.world_rank
+                for i in range(40):
+                    db.put(f"r{rank}-{i:03d}".encode(), f"v{i}".encode())
+                db.fence()
+                db.barrier()
+                for rr in range(ctx.nranks):
+                    for i in range(0, 40, 7):
+                        assert (
+                            db.get(f"r{rr}-{i:03d}".encode())
+                            == f"v{i}".encode()
+                        )
+                # every key is physically held by exactly R ranks, and
+                # the primary-filtered scans partition the key space
+                held = len(db.scan_local(include_replicas=True))
+                primary = len(db.scan_local())
+                helds = db.coll_comm.allgather(held)
+                primaries = db.coll_comm.allgather(primary)
+                assert sum(helds) == 40 * ctx.nranks * 3
+                assert sum(primaries) == 40 * ctx.nranks
+                db.close()
+
+        run4(app)
+
+    def test_replicated_delete_propagates(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("repl", _repl_options())
+                rank = ctx.world_rank
+                for i in range(10):
+                    db.put(f"d{rank}-{i}".encode(), b"doomed")
+                db.fence()
+                db.barrier()
+                db.delete(f"d{rank}-0".encode())
+                db.fence()
+                db.barrier()
+                for rr in range(ctx.nranks):
+                    assert db.get_or_none(f"d{rr}-0".encode()) is None
+                    assert db.get(f"d{rr}-1".encode()) == b"doomed"
+                db.close()
+
+        run4(app)
+
+    def test_write_batch_replicated(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("repl", _repl_options())
+                rank = ctx.world_rank
+                with db.batch() as b:
+                    for i in range(30):
+                        b.put(f"b{rank}-{i:03d}".encode(), f"w{i}".encode())
+                db.fence()
+                db.barrier()
+                for rr in range(ctx.nranks):
+                    assert db.get(f"b{rr}-015".encode()) == b"w15"
+                db.close()
+
+        run4(app)
+
+    def test_options_validation(self):
+        with pytest.raises(InvalidOptionError):
+            Options(replicas=2, write_quorum=3)
+        with pytest.raises(InvalidOptionError):
+            Options(replicas=0)
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                with pytest.raises(InvalidOptionError):
+                    env.open("repl", _repl_options(replicas=5))
+
+        run4(app)
+
+
+class TestKillRank:
+    """The headline fault test: seeded mid-run kill, zero acked loss."""
+
+    def test_kill_loses_no_acked_writes(self):
+        shared = {"acked": {}, "held": {}}
+        survivors = threading.Barrier(NRANKS - 1)
+
+        def app(ctx):
+            env = Papyrus(ctx)
+            db = env.open("kill", _repl_options())
+            rank = ctx.world_rank
+            acked: set = set()
+            shared["acked"][rank] = acked
+            for i in range(120):
+                key = f"k{rank}-{i:04d}".encode()
+                db.put(key, f"v{i}".encode())
+                acked.add(key)
+                if i % 3 == 0:
+                    db.get(key)
+            if rank == VICTIM:
+                raise AssertionError("victim survived its kill schedule")
+            db.fence()
+            survivors.wait()
+            # recovery: spin the failure detector until the victim is
+            # declared dead and re-replication has drained — gets must
+            # keep succeeding the whole time
+            mv = db.membership
+            probe = sorted(acked)[0]
+            for _ in range(10000):
+                db.tick()
+                assert db.get_or_none(probe) is not None, (
+                    "get failed during recovery"
+                )
+                if mv.is_dead(VICTIM) and not mv.pending_rereplication:
+                    break
+            assert mv.is_dead(VICTIM), (
+                f"rank {rank} never declared {VICTIM} dead"
+            )
+            survivors.wait()
+            # zero acknowledged writes lost — including the victim's
+            lost = []
+            for r, keys in shared["acked"].items():
+                for key in sorted(keys):
+                    if db.get_or_none(key) is None:
+                        lost.append((r, key))
+            assert not lost, (
+                f"rank {rank} lost {len(lost)} acked writes: {lost[:5]}"
+            )
+            # back to full replication factor: every acked key must be
+            # physically held by >= R of the survivors
+            shared["held"][rank] = {
+                k for k, v, tomb in db._all_local_records() if not tomb
+            }
+            survivors.wait()
+            if rank == min(r for r in range(NRANKS) if r != VICTIM):
+                under = []
+                for key in set().union(*shared["acked"].values()):
+                    copies = sum(
+                        1 for h in shared["held"].values() if key in h
+                    )
+                    if copies < 3:
+                        under.append((key, copies))
+                assert not under, f"under-replicated: {under[:5]}"
+            survivors.wait()
+            _survivor_close(db)
+            return len(acked)
+
+        faults = FaultPlan(seed=FAULT_SEED).kill_rank(VICTIM, nth=KILL_NTH)
+        res = spmd_run(NRANKS, app, faults=faults, timeout=240)
+        assert res[VICTIM] is None  # the kill fired
+        assert all(r == 120 for i, r in enumerate(res) if i != VICTIM)
+        # the victim acked some writes before dying; none were lost
+        assert shared["acked"][VICTIM]
+
+    def test_quorum_lost_when_too_few_survivors(self):
+        """With R=Q=2 on two ranks a single death makes writes refuse
+        loudly (QuorumLostError) instead of acking unreplicated data."""
+
+        def app(ctx):
+            env = Papyrus(ctx)
+            db = env.open("qlost", _repl_options(replicas=2))
+            rank = ctx.world_rank
+            try:
+                for i in range(60):
+                    db.put(f"q{rank}-{i:03d}".encode(), b"x")
+            except QuorumLostError:
+                pass  # the peer died mid-loop: writes refuse from here on
+            if rank == 1:
+                raise AssertionError("victim survived its kill schedule")
+            mv = db.membership
+            for _ in range(10000):
+                db.tick()
+                if mv.is_dead(1):
+                    break
+            assert mv.is_dead(1)
+            with pytest.raises(QuorumLostError):
+                db.put(b"after-death", b"y")
+            # acked pre-death writes are still readable from the survivor
+            assert db.get_or_none(b"q0-000") is not None
+            _survivor_close(db)
+
+        faults = FaultPlan(seed=FAULT_SEED).kill_rank(1, nth=40)
+        res = spmd_run(2, app, faults=faults, timeout=240)
+        assert res[1] is None
+
+
+class TestKillRecoverUnderRaceDetector:
+    """The kill/recover stress loop runs clean under the detector."""
+
+    def test_detector_reports_no_findings(self):
+        from repro.analysis import runtime
+
+        saved = runtime.get_detector()
+        det = runtime.enable(reset=True)
+        try:
+            shared = {"acked": {}}
+            survivors = threading.Barrier(NRANKS - 1)
+
+            def app(ctx):
+                env = Papyrus(ctx)
+                db = env.open("race", _repl_options())
+                rank = ctx.world_rank
+                acked = set()
+                shared["acked"][rank] = acked
+                for i in range(80):
+                    key = f"s{rank}-{i:03d}".encode()
+                    db.put(key, b"z")
+                    acked.add(key)
+                    if i % 5 == 0:
+                        db.get(key)
+                if rank == VICTIM:
+                    raise AssertionError("victim survived")
+                db.fence()
+                survivors.wait()
+                mv = db.membership
+                for _ in range(10000):
+                    db.tick()
+                    if mv.is_dead(VICTIM) and not mv.pending_rereplication:
+                        break
+                for keys in shared["acked"].values():
+                    for key in sorted(keys)[:10]:
+                        assert db.get_or_none(key) is not None
+                survivors.wait()
+                _survivor_close(db)
+
+            faults = FaultPlan(seed=FAULT_SEED).kill_rank(VICTIM, nth=60)
+            spmd_run(NRANKS, app, faults=faults, timeout=240)
+            report = det.report()
+            assert report["findings"] == [], report["findings"]
+            assert report["summary"]["locations"] > 0
+        finally:
+            runtime.disable()
+            runtime.restore(saved)
