@@ -24,9 +24,10 @@ being exercised (zero hits / zero skips = a wiring regression).
 
 from __future__ import annotations
 
+import json
 import os
 
-from benchmarks.harness import KB, MB, Report, run_once, write_json
+from benchmarks.harness import KB, MB, REPO_ROOT, Report, run_once, write_json
 from repro.config import Options, SSTABLE
 from repro.core.env import Papyrus
 from repro.mpi.launcher import spmd_run
@@ -43,6 +44,7 @@ QUICK = os.environ.get("PKV_BENCH_QUICK", "") not in ("", "0")
 PHASES = 4 if QUICK else 6
 KEYS_PER_PHASE = 24 if QUICK else 40
 ITERS = 150 if QUICK else 1200
+XG_ITERS = 120 if QUICK else 800
 
 
 def _shard_keys(rank: int, nranks: int) -> list:
@@ -186,4 +188,167 @@ def test_read_path_regression(benchmark):
         # double read throughput on this workload
         assert payload["speedup"] >= 2.0, (
             f"read-path speedup {payload['speedup']}x < 2x"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Cross-group phase: one-sided index replication vs. handler round-trips.
+#
+# Same 4 ranks on SUMMITDEV, but split into two storage groups
+# (group_size=2 → {0,1} and {2,3}). After the fenced load, every rank
+# runs the Zipfian read phase twice against *peer-owned* keys:
+#
+# * **same-group** — the peer is rank^1 (shared NVM): the §2.7 direct
+#   SSTable read path, the reference cost of a non-local get (note it
+#   still pays a NOT_IN_MEMORY handshake round-trip per get);
+# * **cross-group** — the peer is (rank+2)%4 (the other group's NVM):
+#   without `index_replication` every get is a handler round-trip;
+#   with it the requester pulls the owner's metadata bundles once and
+#   resolves each get with a local gate walk plus one direct block
+#   read — no message at all at steady state.
+#
+# The gates: with index replication on, cross-group gets must land
+# within 2x of the same-group direct-read cost (they actually come in
+# *under* it, because the one-sided path is the only non-local tier
+# with no per-get round-trip), and must beat the handler-only
+# cross-group phase outright.
+# ---------------------------------------------------------------------------
+
+
+def _xgroup_app_factory(index_repl: bool):
+    def app(ctx):
+        opts = Options(
+            memtable_capacity=1 * MB,
+            cache_local_enabled=False,  # measure the SSTable path itself
+            compaction_interval=0,      # keep one table per load phase
+            group_size=2,               # {0,1} and {2,3} on 4 ranks
+            index_replication=index_repl,
+        )
+        env = Papyrus(ctx)
+        db = env.open("xgroup", opts)
+        r = ctx.world_rank
+        value = value_of_size(VALLEN)
+        keys = _shard_keys(r, ctx.nranks)
+        per_phase = len(keys) // PHASES
+        for p in range(PHASES):
+            for k in keys[p * per_phase:(p + 1) * per_phase]:
+                db.put(k, value)
+            db.barrier(SSTABLE)  # one SSTable per prefix range
+
+        db._invalidate_readers()
+        same_keys = _shard_keys(r ^ 1, ctx.nranks)
+        cross_keys = _shard_keys((r + 2) % ctx.nranks, ctx.nranks)
+
+        zipf = ZipfianGenerator(len(same_keys), ZIPF_THETA, seed=23 + r)
+        t0 = ctx.clock.now
+        for _ in range(XG_ITERS):
+            db.get(same_keys[zipf.next()])
+        same_elapsed = ctx.clock.now - t0
+        db.barrier()
+
+        tiers0 = dict(db.stats.get_tiers)
+        zipf = ZipfianGenerator(len(cross_keys), ZIPF_THETA, seed=31 + r)
+        t0 = ctx.clock.now
+        for _ in range(XG_ITERS):
+            db.get(cross_keys[zipf.next()])
+        cross_elapsed = ctx.clock.now - t0
+
+        tiers1 = dict(db.stats.get_tiers)
+        out = {
+            "same_elapsed": same_elapsed,
+            "cross_elapsed": cross_elapsed,
+            "index_repl_hits": db.stats.index_repl_hits,
+            "index_repl_fallbacks": db.stats.index_repl_fallbacks,
+            "index_pulls": db.stats.index_pulls,
+            "cross_remote_tier_gets":
+                tiers1.get("remote", 0) - tiers0.get("remote", 0),
+        }
+        db.barrier()
+        db.close()
+        env.finalize()
+        return out
+
+    return app
+
+
+def _run_xgroup_config(index_repl: bool) -> dict:
+    results = spmd_run(
+        RANKS, _xgroup_app_factory(index_repl),
+        system=SUMMITDEV, timeout=300,
+    )
+    same = max(r["same_elapsed"] for r in results)
+    cross = max(r["cross_elapsed"] for r in results)
+    return {
+        "same_group_ops_per_sec": RANKS * XG_ITERS / same,
+        "cross_group_ops_per_sec": RANKS * XG_ITERS / cross,
+        "same_group_elapsed_s": same,
+        "cross_group_elapsed_s": cross,
+        "cross_over_same": round(cross / same, 3),
+        "index_repl_hits": sum(r["index_repl_hits"] for r in results),
+        "index_repl_fallbacks":
+            sum(r["index_repl_fallbacks"] for r in results),
+        "index_pulls": sum(r["index_pulls"] for r in results),
+        "cross_remote_tier_gets":
+            sum(r["cross_remote_tier_gets"] for r in results),
+    }
+
+
+def test_cross_group_read_regression(benchmark):
+    def run():
+        without = _run_xgroup_config(index_repl=False)
+        with_repl = _run_xgroup_config(index_repl=True)
+
+        rep = Report(
+            "cross_group — 4 ranks, 2 storage groups, peer reads (KRPS)",
+            ["config", "same_KRPS", "cross_KRPS", "cross/same", "1sided"],
+        )
+        for name, r in (("handler_only", without),
+                        ("index_repl", with_repl)):
+            rep.add(name, r["same_group_ops_per_sec"] / 1e3,
+                    r["cross_group_ops_per_sec"] / 1e3,
+                    r["cross_over_same"], r["index_repl_hits"])
+        rep.emit()
+
+        section = {
+            "gets_per_rank_per_phase": XG_ITERS,
+            "group_size": 2,
+            "quick": QUICK,
+            "without_index_replication": without,
+            "with_index_replication": with_repl,
+            "one_sided_improvement": round(
+                without["cross_group_elapsed_s"]
+                / with_repl["cross_group_elapsed_s"], 3),
+        }
+        # merge into the read-path JSON (written by the test above in a
+        # full file run; the checked-in copy otherwise)
+        path = os.path.join(REPO_ROOT, "BENCH_READ_PATH.json")
+        with open(path) as f:
+            payload = json.load(f)
+        payload["cross_group"] = section
+        write_json("BENCH_READ_PATH.json", payload)
+        return section
+
+    section = run_once(benchmark, run)
+
+    w = section["with_index_replication"]
+    wo = section["without_index_replication"]
+    # wiring guards (both modes): the one-sided path must carry the
+    # cross-group phase, with handler traffic amortized to ~zero
+    assert w["index_repl_hits"] > 0, "one-sided path saw zero hits"
+    assert w["index_pulls"] > 0, "no metadata bundles were ever pulled"
+    assert wo["index_repl_hits"] == 0  # feature off ⇒ tier never fires
+    assert w["cross_remote_tier_gets"] <= 0.05 * RANKS * XG_ITERS, (
+        "cross-group gets still riding the owner's handler"
+    )
+    if not QUICK:
+        # the perf gates proper: one-sided cross-group gets land within
+        # 2x of same-group direct reads, and beat the handler-only
+        # cross-group phase outright (the round-trip they eliminate)
+        assert w["cross_over_same"] <= 2.0, (
+            f"cross-group {w['cross_over_same']}x same-group > 2x "
+            "with index replication"
+        )
+        assert section["one_sided_improvement"] >= 1.25, (
+            "index replication did not pay for itself: cross-group "
+            f"phase only {section['one_sided_improvement']}x faster"
         )

@@ -64,6 +64,14 @@ LOCK_ORDER: Tuple[LockClass, ...] = (
         guards="the per-SSID SSTableReader cache (main + handler threads)",
     ),
     LockClass(
+        name="db.index_cache",
+        level=25,
+        attrs=("_index_lock",),
+        holder="core.db.Database",
+        guards="replicated peer index views and the metadata-bundle LRU "
+               "(one-sided cross-group reads; main + handler threads)",
+    ),
+    LockClass(
         name="world.comm",
         level=30,
         attrs=("_comm_lock",),
@@ -152,14 +160,18 @@ def render_threads_map() -> str:
         "* **rank main** — `db.state` (every put/get/scan/fence), "
         "`db.membership` (replica-group routing and failure "
         "declarations when `replicas > 1`), "
-        "`db.readers` (SSTable lookups), `world.comm`/`world.mailboxes` "
+        "`db.readers` (SSTable lookups), `db.index_cache` (replicated "
+        "peer metadata on one-sided cross-group gets), "
+        "`world.comm`/`world.mailboxes` "
         "(comm management), `comm.collective` (collectives), `queue.fifo`, "
         "`sstable.block_cache` (block-cached SSData probes).",
         "* **message handler** (per rank × database) — `db.state` "
         "(serving migrations and remote gets), `db.membership` "
         "(heartbeats, piggybacked liveness, epoch checks), "
         "`db.readers` (SSTable "
-        "lookups on behalf of remote ranks), `sstable.block_cache` "
+        "lookups on behalf of remote ranks), `db.index_cache` "
+        "(installing eagerly published index bundles), "
+        "`sstable.block_cache` "
         "(those lookups' SSData probes), `world.mailboxes` (its "
         "blocking receive).",
         "* **virtual background workers** (compaction, dispatcher) are "

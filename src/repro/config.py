@@ -157,6 +157,19 @@ class Options:
     #: virtual seconds of ping silence after which a suspected peer is
     #: declared dead (after a final wall-clock grace wait for its pong)
     dead_timeout: float = 5e-3
+    #: one-sided index replication: cache peers' SSTable metadata
+    #: bundles (bloom + index + footer fences) locally and resolve
+    #: cross-group remote gets with direct data reads against the
+    #: owner's NVM, falling back to the handler on staleness.  Opt-in:
+    #: gets bypass the owner's handler, so only enable under the relaxed
+    #: consistency contract (or RDONLY) the direct path requires
+    index_replication: bool = False
+    #: byte budget of the replicated-metadata bundle cache (per rank)
+    index_cache_capacity: int = 8 * MB
+    #: owners eagerly push fresh bundles to their replica group at
+    #: flush/compaction time (replicas > 1); False leaves peers to pull
+    #: lazily on first miss
+    index_push_eager: bool = True
     #: enable the dynamic race / lock-order / deadlock detector
     #: (:mod:`repro.analysis.runtime`); also switched on process-wide by
     #: the ``PKV_RACE_DETECT=1`` environment variable
@@ -218,6 +231,8 @@ class Options:
             raise InvalidOptionError(
                 "suspect_timeout must not exceed dead_timeout"
             )
+        if self.index_cache_capacity <= 0:
+            raise InvalidOptionError("index_cache_capacity must be positive")
 
     def with_(self, **kw) -> "Options":
         """Return a copy with the given fields replaced."""
@@ -240,8 +255,13 @@ def options_from_env(env: Optional[Mapping[str, str]] = None,
     other value is the commit window's byte budget),
     ``PAPYRUSKV_FLUSH_PIPELINE`` (0 restores the monolithic flush),
     ``PAPYRUSKV_COMPACTION_PARTITIONS`` (1 restores monolithic
-    compaction), ``PAPYRUSKV_REPLICAS`` (copies per key), and
-    ``PAPYRUSKV_WRITE_QUORUM`` (durable copies a put waits for).
+    compaction), ``PAPYRUSKV_REPLICAS`` (copies per key),
+    ``PAPYRUSKV_WRITE_QUORUM`` (durable copies a put waits for),
+    ``PAPYRUSKV_INDEX_REPLICATION`` (1 enables one-sided index
+    replication), ``PAPYRUSKV_INDEX_CACHE`` (0 disables index
+    replication, any other value is the bundle cache's byte budget),
+    and ``PAPYRUSKV_INDEX_PUSH`` (0 disables the eager publish to the
+    replica group).
     """
     env = os.environ if env is None else env
     opt = base or Options()
@@ -289,4 +309,17 @@ def options_from_env(env: Optional[Mapping[str, str]] = None,
                         write_quorum=min(opt.write_quorum, replicas))
     if "PAPYRUSKV_WRITE_QUORUM" in env:
         opt = opt.with_(write_quorum=int(env["PAPYRUSKV_WRITE_QUORUM"]))
+    if "PAPYRUSKV_INDEX_REPLICATION" in env:
+        opt = opt.with_(
+            index_replication=int(env["PAPYRUSKV_INDEX_REPLICATION"]) != 0
+        )
+    if "PAPYRUSKV_INDEX_CACHE" in env:
+        # 0 disables the whole plane; any other value is the byte budget
+        val = int(env["PAPYRUSKV_INDEX_CACHE"])
+        if val == 0:
+            opt = opt.with_(index_replication=False)
+        else:
+            opt = opt.with_(index_cache_capacity=val)
+    if "PAPYRUSKV_INDEX_PUSH" in env:
+        opt = opt.with_(index_push_eager=int(env["PAPYRUSKV_INDEX_PUSH"]) != 0)
     return opt

@@ -44,6 +44,7 @@ from repro.errors import (
     KeyNotFoundError,
     InvalidKeyError,
     InvalidValueError,
+    MetadataStaleError,
     ProtectionError,
     QuorumLostError,
     RemoteTimeoutError,
@@ -62,7 +63,9 @@ from repro.sstable.compaction import compact, partition_records, read_and_merge
 from repro.sstable.format import (
     QUARANTINE_SUFFIX,
     Record,
+    decode_meta_bundle,
     decode_records,
+    encode_meta_bundle,
     parse_index,
     sstable_filenames,
 )
@@ -75,10 +78,17 @@ from repro.sstable.writer import (
     write_tables_ordered,
 )
 from repro.util.hashing import owner_rank
-from repro.util.lru import LRUCache
+from repro.util.lru import LRUCache, ObjectLRU
 
 #: tag used on the ack comm for migration acknowledgements
 ACK_TAG = 7
+#: entry bound of the peer-reader LRU (readers are small handles; the
+#: bound only caps pathological many-owner working sets)
+PEER_READER_CACHE_ENTRIES = 256
+
+#: sentinel returned by the one-sided read path when the get must fall
+#: back to the owner's handler (staleness, dirty memtable, dead owner)
+_INDEX_FALLBACK = object()
 #: tag used on the ack comm for heartbeat pongs (failure detector) —
 #: separate from ACK_TAG so pongs never interleave with the migration
 #: ack stream the quorum/fence drains consume
@@ -131,13 +141,36 @@ class _SeqWindow:
         return False
 
 
+@dataclass(frozen=True)
+class _PeerIndexView:
+    """One owner's replicated index view, as cached by a non-owner.
+
+    ``ssids`` is the owner's authoritative table set at publish/pull
+    time; a one-sided get revalidates it against a (free) directory
+    listing before trusting any bundle — the newest-ssid handshake.
+    ``mem_clean`` records whether the owner's local MemTable was empty
+    when the view was taken (a direct read cannot see memtable state);
+    ``quarantine_free`` whether none of its range was quarantined.
+    ``epoch`` is the membership epoch at install time: any later epoch
+    bump invalidates the view wholesale.
+    """
+
+    owner_dir: str
+    newest_ssid: int
+    ssids: Tuple[int, ...]
+    mem_clean: bool
+    quarantine_free: bool
+    epoch: int = 0
+
+
 @dataclass
 class GetResult:
     """A get outcome with provenance (which tier satisfied it)."""
 
     value: bytes
     tier: str  # local_mt | flushing | local_cache | sstable | remote_mt |
-    #          inflight | remote_cache | remote | shared_sstable
+    #          inflight | remote_cache | remote | shared_sstable |
+    #          index_sstable (one-sided read via replicated metadata)
 
 
 @dataclass
@@ -194,6 +227,17 @@ class DbStats:
     rank_deaths: int = 0
     rereplicated_pairs: int = 0
     failover_gets: int = 0
+    #: one-sided index-replication counters: gets resolved entirely from
+    #: replicated metadata (plus a direct data read), gets that found no
+    #: usable view and pulled one, views invalidated by the newest-ssid
+    #: handshake (or a dead epoch), gets that fell back to the owner's
+    #: handler, and pull/publish messages exchanged
+    index_repl_hits: int = 0
+    index_repl_misses: int = 0
+    index_repl_stale: int = 0
+    index_repl_fallbacks: int = 0
+    index_pulls: int = 0
+    index_publishes: int = 0
     get_tiers: Dict[str, int] = field(default_factory=dict)
 
     def hit(self, tier: str) -> None:
@@ -411,8 +455,26 @@ class Database:
         #: cached view of group peers' SSTable sets: owner -> (newest, ssids)
         self._peer_readers: Dict[int, Tuple[int, List[int]]] = {}
         #: reader objects per (directory, ssid) — SSTables are immutable,
-        #: so these stay valid until the file disappears (compaction)
-        self._peer_reader_cache: Dict[Tuple[str, int], SSTableReader] = {}
+        #: so these stay valid until the file disappears (compaction).
+        #: Entry-bounded: many-owner workloads must not grow it forever.
+        #: Main-thread only (remote gets), so unlocked.
+        self._peer_reader_cache = ObjectLRU(PEER_READER_CACHE_ENTRIES)
+
+        # -- one-sided index replication (Options.index_replication) --
+        #: guards the two structures below: the rank-main thread reads
+        #: views and bundles on every direct get, the handler thread
+        #: installs eagerly pushed publishes.  Level 25 in the canonical
+        #: order (between db.readers and world.comm); never held across
+        #: a send or an SSTable search
+        self._index_lock = make_lock("db.index_cache")
+        #: per-owner replicated index views (newest-ssid handshake state)
+        self._index_views: Dict[int, _PeerIndexView] = {}
+        #: detached readers built from replicated metadata bundles, keyed
+        #: (owner_dir, ssid), charged at the encoded bundle's byte size
+        self._index_bundles = ObjectLRU(options.index_cache_capacity)
+        #: ssids flushed/compacted since the last eager publish drain
+        #: (guarded by db.state; drained by the main-thread _tick)
+        self._index_pub_due: List[int] = []
 
         self.local_cache: Optional[LRUCache] = (
             LRUCache(options.cache_local_capacity)
@@ -803,6 +865,7 @@ class Database:
         self.ssids.append(ssid)
         self._l0.append(ssid)
         self.flushing.append((imm, end))
+        self._index_publish_due([ssid])
         self.stats.flushes += 1
         self._retire_flushed(clock.now)
         interval = self.options.compaction_interval
@@ -977,6 +1040,7 @@ class Database:
         for s in inputs:
             self._invalidate_readers(s)
         self._l0 = []
+        self._index_publish_due(new_ssids)
         self._minor_gens = 0 if major else self._minor_gens + 1
         self.stats.compactions += 1
         if major:
@@ -1023,6 +1087,7 @@ class Database:
         self.ssids = [new_ssid]
         self._l0 = []
         self._invalidate_readers()
+        self._index_publish_due([new_ssid])
         self.stats.compactions += 1
 
     # ------------------------------------------------------ remote put paths
@@ -1472,6 +1537,7 @@ class Database:
                 self._grace_then_declare(r)
         if mv.pending_rereplication:
             self._rereplicate()
+        self._drain_index_publishes()
 
     def _grace_then_declare(self, rank: int) -> None:
         """Last chance before a death declaration: wall-clock grace.
@@ -1765,22 +1831,27 @@ class Database:
         disappears — which surfaces as StorageError and drops the
         owner's whole cached view.  Shares the block cache with own
         readers.  Only the rank-main thread does remote gets, so no
-        lock guards this dict.
+        lock guards this LRU.
         """
         rd = self._peer_reader_cache.get((directory, ssid))
         if rd is None:
             rd = SSTableReader(self.store, directory, ssid,
                                block_cache=self.block_cache)
-            self._peer_reader_cache[(directory, ssid)] = rd
+            self._peer_reader_cache.put((directory, ssid), rd)
         return rd
 
     def _drop_peer_cache(self, owner: int, owner_dir: str) -> None:
         """Forget every cached view of one owner's tables (compaction
-        race): the SSID list, the reader objects, and any cached data
-        blocks under the owner's directory."""
+        race, rank death): the SSID list, the reader objects, the
+        replicated index view and its metadata bundles, and — in the
+        same call — any cached data blocks under the owner's directory,
+        so no stale ``(dir, ssid, block)`` span survives to age out."""
         self._peer_readers.pop(owner, None)
-        for k in [k for k in self._peer_reader_cache if k[0] == owner_dir]:
-            self._peer_reader_cache.pop(k, None)
+        self._peer_reader_cache.invalidate_where(lambda k: k[0] == owner_dir)
+        with self._index_lock:
+            annotate_write(self, "db.index_cache")
+            self._index_views.pop(owner, None)
+            self._index_bundles.invalidate_where(lambda k: k[0] == owner_dir)
         if self.block_cache is not None:
             self.block_cache.invalidate_dir(owner_dir)
 
@@ -1795,6 +1866,23 @@ class Database:
                 self._readers.clear()
             else:
                 self._readers.pop(ssid, None)
+        # the peer-facing caches funnel through here too: a table
+        # replaced in place (quarantine repair, checkpoint restore)
+        # must not survive under any cache keyed by its old bytes
+        if ssid is None:
+            self._peer_reader_cache.invalidate_where(
+                lambda k: k[0] == self.rank_dir
+            )
+        else:
+            self._peer_reader_cache.invalidate((self.rank_dir, ssid))
+        with self._index_lock:
+            annotate_write(self, "db.index_cache")
+            if ssid is None:
+                self._index_bundles.invalidate_where(
+                    lambda k: k[0] == self.rank_dir
+                )
+            else:
+                self._index_bundles.invalidate((self.rank_dir, ssid))
         if self.block_cache is not None:
             if ssid is None:
                 self.block_cache.invalidate_dir(self.rank_dir)
@@ -1901,6 +1989,14 @@ class Database:
             cached = self.remote_cache.get(key)
             if cached is not None:
                 return GetResult(cached, "remote_cache")
+        if self._index_direct_eligible(owner):
+            res = self._index_replicated_get(owner, key)
+            if res is not _INDEX_FALLBACK:
+                if res is None:
+                    return None
+                if remote_cache_on:
+                    self.remote_cache.put(key, res.value)
+                return res
         for attempt in range(3):
             force = attempt == 2
             reply = self._request_get(owner, key, force)
@@ -1971,6 +2067,316 @@ class Database:
         return self._search_sstables(
             self.store, owner_dir, ssids, key, self.clock.now, own=False,
         )
+
+    # ========================================= ONE-SIDED INDEX REPLICATION
+    def _owner_dir(self, owner: int) -> str:
+        """Shared-NVM directory of another rank's SSTables."""
+        return f"{self.dbdir}/rank{owner}"
+
+    def _index_direct_eligible(self, owner: int) -> bool:
+        """May this get try the one-sided path against ``owner``?
+
+        Requires the option, a consistency regime whose visibility
+        contract a direct read can honour (relaxed — remote puts are
+        only promised visible after a barrier — or RDONLY, where no
+        writes exist), an owner outside my storage group (§2.7 already
+        reads same-group tables one-sidedly, handshake included), and
+        an owner not held dead.
+        """
+        if not self.options.index_replication:
+            return False
+        if (self.consistency != config.RELAXED
+                and self.protection != config.RDONLY):
+            return False
+        if self.shares_storage_with(owner):
+            return False
+        mv = self.membership
+        if mv is not None and mv.is_dead(owner):
+            return False
+        return True
+
+    def _index_view_of(self, owner: int) -> Optional[_PeerIndexView]:
+        with self._index_lock:
+            annotate_read(self, "db.index_cache")
+            return self._index_views.get(owner)
+
+    def _drop_index_view(self, owner: int) -> None:
+        """Forget one owner's view; its bundles stay cached — a re-pull
+        re-validates them via ``have`` without re-shipping bytes."""
+        with self._index_lock:
+            annotate_write(self, "db.index_cache")
+            self._index_views.pop(owner, None)
+
+    def _index_mark_all_dirty(self) -> None:
+        """Drop every ``mem_clean`` stamp (fence = visibility boundary).
+
+        After my fence, pairs I migrated live in their owners'
+        MemTables — state a direct read cannot see — so every cached
+        view must stop claiming the owner's memory is clean.  The next
+        get falls back to the handler until a re-pull (post-flush)
+        restores a clean stamp.  Barrier calls fence on every rank, so
+        barrier-visibility for *other* ranks' puts follows too.
+        """
+        with self._index_lock:
+            annotate_write(self, "db.index_cache")
+            for owner, view in list(self._index_views.items()):
+                if view.mem_clean:
+                    self._index_views[owner] = _PeerIndexView(
+                        view.owner_dir, view.newest_ssid, view.ssids,
+                        False, view.quarantine_free, view.epoch,
+                    )
+
+    def _install_index_view(self, owner: int, owner_dir: str,
+                            newest_ssid: int, ssids: Tuple[int, ...],
+                            bundles: Dict[int, bytes], mem_clean: bool,
+                            quarantine_free: bool) -> bool:
+        """Decode shipped bundles and install the owner's view.
+
+        Called by the main thread (pull replies) and the handler thread
+        (eager publishes); reader construction happens outside the lock.
+        Returns False — installing nothing — if any bundle fails its
+        CRC or structural checks: a half-trusted view is worse than a
+        handler round trip.
+        """
+        readers: Dict[int, Tuple[SSTableReader, int]] = {}
+        for ssid, blob in bundles.items():
+            try:
+                b_ssid, index_blob, bloom_blob = decode_meta_bundle(blob)
+                if b_ssid != ssid:
+                    raise CorruptionError(
+                        f"bundle labelled ssid {b_ssid}, shipped as {ssid}"
+                    )
+                rd = SSTableReader.from_bundle(
+                    self.store, owner_dir, ssid, index_blob, bloom_blob,
+                    block_cache=self.block_cache,
+                )
+            except CorruptionError:
+                self.stats.corruptions_detected += 1
+                return False
+            readers[ssid] = (rd, len(blob))
+        mv = self.membership
+        epoch = mv.epoch if mv is not None else 0
+        live = set(ssids)
+        with self._index_lock:
+            annotate_write(self, "db.index_cache")
+            self._index_views[owner] = _PeerIndexView(
+                owner_dir, newest_ssid, tuple(ssids), mem_clean,
+                quarantine_free, epoch,
+            )
+            # retired tables' bundles die with the view that named them
+            self._index_bundles.invalidate_where(
+                lambda k: k[0] == owner_dir and k[1] not in live
+            )
+            for ssid, (rd, cost) in readers.items():
+                self._index_bundles.put((owner_dir, ssid), rd, cost)
+        return True
+
+    def _index_pull(self, owner: int) -> bool:
+        """Pull the owner's index view + missing bundles (lazy path).
+
+        Returns True when a usable view was installed.  A timeout is
+        absorbed (False): the caller's handler fallback owns the
+        retry/failover machinery.
+        """
+        owner_dir = self._owner_dir(owner)
+        with self._index_lock:
+            annotate_read(self, "db.index_cache")
+            have = tuple(sorted(
+                s for d, s in self._index_bundles.keys() if d == owner_dir
+            ))
+        seq = self._next_seq
+        self._next_seq += self.nranks
+        payload = msg.IndexPullMsg(have, seq)
+        self.srv_comm.send(payload, owner, tag=0)
+        try:
+            reply = self._await_reply(owner, payload, seq)
+        except RemoteTimeoutError:
+            return False
+        assert isinstance(reply, msg.IndexPullReply)
+        self.stats.index_pulls += 1
+        mv = self.membership
+        if mv is not None:
+            mv.merge(reply.epoch, reply.dead)
+            mv.heard_from(owner, self.clock.now)
+        return self._install_index_view(
+            owner, reply.owner_dir, reply.newest_ssid, reply.ssids,
+            reply.bundles, reply.mem_clean, reply.quarantine_free,
+        )
+
+    def _search_bundles(self, view: _PeerIndexView, key: bytes,
+                        t: float) -> Tuple[Optional[Record], float]:
+        """PR 5 gate order over replicated metadata, newest-SSID first.
+
+        Fences and bloom are free (the bundle pre-populated them); only
+        the data probe touches the owner's NVM, through the shared
+        block cache.  A bundle the view names but the LRU evicted
+        raises :class:`MetadataStaleError` — the caller re-pulls just
+        the missing bundles via ``have``.
+        """
+        for ssid in sorted(view.ssids, reverse=True):
+            with self._index_lock:
+                annotate_read(self, "db.index_cache")
+                reader = self._index_bundles.get((view.owner_dir, ssid))
+            if reader is None:
+                raise MetadataStaleError(
+                    f"no replicated metadata for {view.owner_dir}/{ssid}"
+                )
+            if self.options.fence_pruning:
+                fences, t = reader.key_range(t)
+                if fences is not None:
+                    mn, mx = fences
+                    if not mx or key < mn or key > mx:
+                        self.stats.fence_skips += 1
+                        continue
+            if self.options.bloom_enabled:
+                hit, t = reader.may_contain(key, t)
+                if not hit:
+                    self.stats.bloom_skips += 1
+                    continue
+            rec, t = reader.get(
+                key, t, binary_search=self.binary_search, use_bloom=False,
+            )
+            if rec is not None:
+                return rec, t
+        return None, t
+
+    def _index_replicated_get(self, owner: int, key: bytes):
+        """Resolve a remote get one-sidedly from replicated metadata.
+
+        The full sequence: validate the cached view with the newest-ssid
+        handshake (a free directory listing must match the view's table
+        set, the epoch must be current, the owner's memory clean), walk
+        the bundles through the gate order, and issue direct data reads
+        against the owner's NVM.  Any staleness re-pulls and retries
+        once; anything else returns ``_INDEX_FALLBACK`` and the caller
+        takes the handler round trip.  Returns a :class:`GetResult`,
+        ``None`` (definitively absent/deleted), or ``_INDEX_FALLBACK``.
+        """
+        mv = self.membership
+        pulled = False
+        for _attempt in range(2):
+            view = self._index_view_of(owner)
+            if view is not None:
+                epoch_ok = mv is None or view.epoch >= mv.epoch
+                fresh = epoch_ok and (
+                    tuple(list_ssids(self.store, view.owner_dir))
+                    == view.ssids
+                )
+            if view is None or not fresh:
+                if view is not None:
+                    self.stats.index_repl_stale += 1
+                    self._drop_index_view(owner)
+                if pulled:
+                    break
+                self.stats.index_repl_misses += 1
+                if not self._index_pull(owner):
+                    break
+                pulled = True
+                continue
+            if not (view.mem_clean and view.quarantine_free):
+                break  # owner-side state only its handler can see
+            try:
+                rec, t_end = self._search_bundles(view, key, self.clock.now)
+            except (MetadataStaleError, StorageError) as exc:
+                # an evicted bundle, or a direct read racing the owner's
+                # compaction (file gone): drop, re-pull, retry once
+                self.stats.index_repl_stale += 1
+                if isinstance(exc, StorageError) and not isinstance(
+                        exc, MetadataStaleError):
+                    self._drop_peer_cache(owner, view.owner_dir)
+                else:
+                    self._drop_index_view(owner)
+                if pulled:
+                    break
+                self.stats.index_repl_misses += 1
+                if not self._index_pull(owner):
+                    break
+                pulled = True
+                continue
+            except CorruptionError:
+                break  # owner's data failed its CRC: let the owner judge
+            self.clock.advance_to(t_end)
+            self.stats.index_repl_hits += 1
+            if rec is None or rec.tombstone:
+                return None
+            return GetResult(rec.value, "index_sstable")
+        self.stats.index_repl_fallbacks += 1
+        return _INDEX_FALLBACK
+
+    def _read_bundle_blobs(self, ssids, t: float
+                           ) -> Tuple[Dict[int, bytes], float]:
+        """Read my own sidecar files and frame them as bundles (owner
+        side of pull/publish).  Raises StorageError if a table vanished
+        (caller re-snapshots)."""
+        bundles: Dict[int, bytes] = {}
+        for ssid in ssids:
+            _, index_name, bloom_name = sstable_filenames(ssid)
+            index_blob, t = self.store.read(
+                f"{self.rank_dir}/{index_name}", t
+            )
+            bloom_blob, t = self.store.read(
+                f"{self.rank_dir}/{bloom_name}", t
+            )
+            bundles[ssid] = encode_meta_bundle(ssid, index_blob, bloom_blob)
+        return bundles, t
+
+    def _index_publish_due(self, ssids: List[int]) -> None:
+        """Record freshly retired tables for the next eager publish
+        (call under db.state; flush may run on the handler thread)."""
+        if (self.options.index_replication
+                and self.options.index_push_eager
+                and self.membership is not None):
+            self._index_pub_due.extend(ssids)
+
+    def _drain_index_publishes(self) -> None:
+        """Eagerly push fresh bundles to my replica group (main thread).
+
+        Fire-and-forget: installation is idempotent and a lost publish
+        only costs the receiver a lazy pull.  Runs from ``_tick`` so it
+        never sends while a lock is held and never runs on the handler
+        thread.
+        """
+        with self._lock:
+            due, self._index_pub_due = self._index_pub_due, []
+        if not due:
+            return
+        mv = self.membership
+        if mv is None:
+            return
+        targets = [
+            r for r in (
+                (self.rank + i) % self.nranks
+                for i in range(1, self.options.replicas)
+            )
+            if r != self.rank and not mv.is_dead(r)
+        ]
+        if not targets:
+            return
+        with self._lock:
+            self._retire_flushed(self.clock.now)
+            ssids = tuple(self.ssids)
+            newest = ssids[-1] if ssids else 0
+            mem_clean = len(self.local_mt) == 0
+            annotate_read(self, "db.quarantined")
+            quarantine_free = not self._quarantined
+        fresh = [s for s in dict.fromkeys(due) if s in set(ssids)]
+        try:
+            bundles, t_end = self._read_bundle_blobs(fresh, self.clock.now)
+        except StorageError:
+            return  # raced my own compaction; the retired ssid is moot
+        self.clock.advance_to(t_end)
+        epoch, dead = mv.wire()
+        for target in targets:
+            seq = self._next_seq
+            self._next_seq += self.nranks
+            self.srv_comm.send(
+                msg.IndexPublishMsg(
+                    self.rank_dir, newest, ssids, bundles, mem_clean,
+                    quarantine_free, seq, epoch, dead,
+                ),
+                target, tag=0,
+            )
+            self.stats.index_publishes += 1
 
     # ======================================================== BULK PIPELINE
     def put_bulk(self, items) -> int:
@@ -2265,6 +2671,31 @@ class Database:
                     del need[owner]
         if not need:
             return out
+        # resolve whole owners one-sidedly first: a cross-group owner
+        # with a fresh replicated index costs zero handler messages
+        if self.options.index_replication:
+            for owner in sorted(need):
+                if not self._index_direct_eligible(owner):
+                    continue
+                still2: List[bytes] = []
+                for key in need[owner]:
+                    res = self._index_replicated_get(owner, key)
+                    if res is _INDEX_FALLBACK:
+                        still2.append(key)
+                        continue
+                    if res is None:
+                        out[key] = None
+                        continue
+                    out[key] = res.value
+                    if remote_cache_on:
+                        self.remote_cache.put(key, res.value)
+                    self.stats.hit("index_sstable")
+                if still2:
+                    need[owner] = still2
+                else:
+                    del need[owner]
+            if not need:
+                return out
         # scatter one multi-get per owner, then gather the replies —
         # every owner's handler works while we are still collecting
         seqs: Dict[int, int] = {}
@@ -2354,6 +2785,12 @@ class Database:
             self._migrate(imm)
         self._drain_acks(blocking=True)
         self._quorum_due = []  # drained above: no pending acks remain
+        # visibility boundary: pairs I just migrated live in their
+        # owners' MemTables, which a one-sided read cannot see — every
+        # cached index view must stop claiming the owner's memory is
+        # clean until a re-pull proves it again
+        if self.options.index_replication:
+            self._index_mark_all_dirty()
 
     def barrier(self, level: int = config.MEMTABLE) -> None:
         """Collective fence (+ SSTable flush at ``SSTABLE`` level)."""

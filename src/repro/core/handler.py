@@ -102,6 +102,14 @@ def handler_main(db: Database) -> None:
                 _serve_replica_sync(db, m, source, hclock, cpu)
                 db._trace(f"serve replica_sync({len(m.pairs)})",
                           "handler", t_service, hclock.now)
+            elif isinstance(m, msg.IndexPullMsg):
+                _serve_index_pull(db, m, source, hclock, cpu)
+                db._trace("serve index_pull", "handler", t_service,
+                          hclock.now)
+            elif isinstance(m, msg.IndexPublishMsg):
+                _serve_index_publish(db, m, source, hclock, cpu)
+                db._trace(f"serve index_publish({len(m.bundles)})",
+                          "handler", t_service, hclock.now)
             else:  # pragma: no cover - protocol error
                 raise TypeError(f"handler got unexpected message {m!r}")
     except (RankKilledError, AbortedError):  # killed / torn down mid-service
@@ -312,6 +320,76 @@ def _lookup_one(db: Database, key: bytes, source: int,
         if db.local_cache is not None and not rec.tombstone:
             db.local_cache.put(key, rec.value)
     return msg.FOUND, rec.value, rec.tombstone, newest
+
+
+def _serve_index_pull(db: Database, m: msg.IndexPullMsg, source: int,
+                      hclock: VirtualClock, cpu) -> None:
+    """Answer a pull with this rank's index view and missing bundles.
+
+    The snapshot (table set, memory-clean and quarantine-free flags) is
+    taken under the state lock; the sidecar reads happen outside it.  A
+    compaction retiring a table between snapshot and read surfaces as a
+    StorageError — re-snapshot once and read the fresh set.  Only ssids
+    the requester did not report in ``have`` are shipped.
+    """
+    from repro.errors import StorageError
+
+    have = set(m.have)
+    t = hclock.now
+    for _attempt in range(2):
+        with db._lock:
+            db._retire_flushed(hclock.now)
+            ssids = tuple(db.ssids)
+            newest = ssids[-1] if ssids else 0
+            mem_clean = len(db.local_mt) == 0
+            quarantine_free = not db._quarantined
+        try:
+            bundles, t = db._read_bundle_blobs(
+                [s for s in ssids if s not in have], t
+            )
+            break
+        except StorageError:
+            continue  # raced my own compaction: snapshot again
+    else:
+        bundles = {}
+        ssids = ()
+        newest = 0
+        mem_clean = False  # unusable view: force the handler path
+        quarantine_free = True
+    hclock.advance_to(t)
+    mv = db.membership
+    epoch, dead = mv.wire() if mv is not None else (0, ())
+    db.rsp_comm.send(
+        msg.IndexPullReply(
+            db.rank_dir, newest, ssids, bundles, mem_clean,
+            quarantine_free, m.seq, epoch, dead,
+        ),
+        source, tag=m.seq,
+    )
+
+
+def _serve_index_publish(db: Database, m: msg.IndexPublishMsg, source: int,
+                         hclock: VirtualClock, cpu) -> None:
+    """Install an owner's eagerly pushed index view (fire-and-forget).
+
+    A publish stamped with an older epoch than this view's — or sent by
+    a rank this view holds dead — is dropped: bundles from a dead epoch
+    must never revive a retired view.  Installation is idempotent, so
+    no ack travels back.
+    """
+    mv = db.membership
+    if mv is not None and mv.is_stale(m.epoch, source):
+        db.stats.epoch_rejections += 1
+        return
+    if mv is not None:
+        mv.merge(m.epoch, m.dead)
+    if not db.options.index_replication:
+        return
+    hclock.advance(cpu.kv_op_s * max(1, len(m.bundles)))
+    db._install_index_view(
+        source, m.owner_dir, m.newest_ssid, tuple(m.ssids), m.bundles,
+        m.mem_clean, m.quarantine_free,
+    )
 
 
 def _serve_get(db: Database, m: msg.GetMsg, source: int,

@@ -26,6 +26,8 @@ FETCH_TABLE = 8   # ship a whole SSTable's files (peer rebuild)
 REPLICA_PUT = 9   # replicated put/delete fan-out to a group member
 HEARTBEAT = 10    # failure-detector ping (pong travels on the ack comm)
 REPLICA_SYNC = 11  # re-replication push after a rank death
+INDEX_PULL = 12   # fetch replicated SSTable metadata bundles from an owner
+INDEX_PUBLISH = 13  # owner's eager push of fresh bundles to its replica group
 
 # GET reply status
 FOUND = 0
@@ -275,6 +277,81 @@ class ReplicaAckMsg:
 
 
 @dataclass
+class IndexPullMsg:
+    """Ask an owner for its current index view and metadata bundles.
+
+    ``have`` lists the ssids whose bundles the requester already caches
+    for this owner, so an unchanged bundle is never re-shipped — after a
+    flush only the new table's metadata travels.
+    """
+
+    have: Tuple[int, ...]
+    seq: int
+
+    def wire_nbytes(self) -> int:
+        """Wire size of a pull request (ssid list + header)."""
+        return 16 + 4 * len(self.have)
+
+
+@dataclass
+class IndexPullReply:
+    """The owner's index view: table set, flags, and missing bundles.
+
+    ``ssids`` is the authoritative table set at reply time (the value a
+    requester's one-sided directory listings must match before trusting
+    the view); ``mem_clean`` is False when the owner's local MemTable
+    holds unflushed pairs a direct read could not see;
+    ``quarantine_free`` is False while any of the owner's key range is
+    quarantined.  ``bundles`` maps ssid → encoded metadata bundle for
+    every table the requester reported missing.  Carries the owner's
+    ``(epoch, dead)`` membership stamp like every replication reply.
+    """
+
+    owner_dir: str
+    newest_ssid: int
+    ssids: Tuple[int, ...]
+    bundles: dict  # ssid -> encoded bundle bytes
+    mem_clean: bool
+    quarantine_free: bool
+    seq: int
+    epoch: int = 0
+    dead: Tuple[int, ...] = ()
+
+    def wire_nbytes(self) -> int:
+        """Wire size: the shipped bundles dominate."""
+        return (32 + len(self.owner_dir) + 4 * len(self.ssids)
+                + 4 * len(self.dead)
+                + sum(8 + len(b) for b in self.bundles.values()))
+
+
+@dataclass
+class IndexPublishMsg:
+    """Owner's eager push of its index view to a replica-group member.
+
+    Same payload as :class:`IndexPullReply` but unsolicited and
+    unacknowledged: installation is idempotent and a dropped publish
+    only costs the receiver a lazy re-pull.  The receiver rejects a
+    publish whose membership stamp is stale (dead sender or old epoch).
+    """
+
+    owner_dir: str
+    newest_ssid: int
+    ssids: Tuple[int, ...]
+    bundles: dict  # ssid -> encoded bundle bytes
+    mem_clean: bool
+    quarantine_free: bool
+    seq: int
+    epoch: int = 0
+    dead: Tuple[int, ...] = ()
+
+    def wire_nbytes(self) -> int:
+        """Wire size: the shipped bundles dominate."""
+        return (32 + len(self.owner_dir) + 4 * len(self.ssids)
+                + 4 * len(self.dead)
+                + sum(8 + len(b) for b in self.bundles.values()))
+
+
+@dataclass
 class StopMsg:
     """Shut the handler thread down (database close)."""
 
@@ -298,9 +375,12 @@ WIRE_TAGS = {
     "ReplicaPutBatchMsg": REPLICA_PUT,
     "HeartbeatMsg": HEARTBEAT,
     "ReplicaSyncMsg": REPLICA_SYNC,
+    "IndexPullMsg": INDEX_PULL,
+    "IndexPublishMsg": INDEX_PUBLISH,
     "GetReply": 100,
     "MGetReply": 101,
     "FetchTableReply": 102,
     "AckMsg": 103,
     "ReplicaAckMsg": 104,
+    "IndexPullReply": 105,
 }

@@ -72,6 +72,12 @@ def database_metrics(db) -> Dict[str, Any]:
         "rank_deaths": stats.rank_deaths,
         "rereplicated_pairs": stats.rereplicated_pairs,
         "failover_gets": stats.failover_gets,
+        "index_repl_hits": stats.index_repl_hits,
+        "index_repl_misses": stats.index_repl_misses,
+        "index_repl_stale": stats.index_repl_stale,
+        "index_repl_fallbacks": stats.index_repl_fallbacks,
+        "index_pulls": stats.index_pulls,
+        "index_publishes": stats.index_publishes,
         "get_tiers": dict(stats.get_tiers),
         "sstables": len(db.ssids),
         "memtable_bytes": db.local_mt.size_bytes,
@@ -171,6 +177,16 @@ def format_report(db_metrics: Dict[str, Any]) -> str:
             f"{m.get('rank_deaths', 0)} deaths declared, "
             f"{m.get('rereplicated_pairs', 0)} pairs re-replicated, "
             f"{m.get('failover_gets', 0)} failover gets"
+        )
+    if (m.get("index_repl_hits") or m.get("index_pulls")
+            or m.get("index_publishes")):
+        lines.append(
+            f"  index repl: {m.get('index_repl_hits', 0)} one-sided hits, "
+            f"{m.get('index_repl_misses', 0)} misses, "
+            f"{m.get('index_repl_stale', 0)} stale, "
+            f"{m.get('index_repl_fallbacks', 0)} fallbacks, "
+            f"{m.get('index_pulls', 0)} pulls, "
+            f"{m.get('index_publishes', 0)} publishes"
         )
     if m.get("get_tiers"):
         tiers = ", ".join(f"{k}={v}" for k, v in sorted(m["get_tiers"].items()))

@@ -94,6 +94,36 @@ class SSTableReader:
         self._cache = block_cache
         self._cache_promote = cache_priority == "normal"
 
+    @classmethod
+    def from_bundle(cls, store: PosixStore, directory: str, ssid: int,
+                    index_blob: bytes, bloom_blob: bytes,
+                    block_cache: Optional[BlockCache] = None,
+                    cache_priority: str = "normal") -> "SSTableReader":
+        """Build a reader from a replicated metadata bundle.
+
+        The bloom filter, index entries, and v2 footer are parsed from
+        the shipped blobs instead of the sidecar files, so the metadata
+        side of the gate order (fences → bloom → index) costs no device
+        time on the owner's NVM — only data-block probes touch
+        ``directory``.  Requires a v2 index (the footer's block CRCs are
+        what make one-sided data reads verifiable); raises
+        :class:`CorruptionError` if either blob fails its checksum or
+        the index has no footer.
+        """
+        reader = cls(store, directory, ssid, block_cache=block_cache,
+                     cache_priority=cache_priority)
+        try:
+            reader._bloom = decode_bloom_file(bloom_blob)
+            reader._index, reader._footer = parse_index(index_blob)
+        except CorruptionError as exc:
+            raise reader._corrupt(f"metadata bundle: {exc}") from exc
+        if reader._footer is None:
+            raise reader._corrupt(
+                "metadata bundle carries a v1 index (no footer); "
+                "one-sided reads need v2 block CRCs"
+            )
+        return reader
+
     def _corrupt(self, detail: str) -> CorruptionError:
         return CorruptionError(f"sstable {self.ssid} ({self.directory}): {detail}")
 

@@ -1,0 +1,608 @@
+"""One-sided index replication: cross-group gets without the handler.
+
+The contract under test: with ``index_replication=True`` a cross-group
+get runs the full gate order (quarantine flag, fences, bloom, index)
+against *replicated* SSTable metadata and issues a single direct data
+read into the owner's shared NVM — zero handler messages at steady
+state — while every owner-side mutation (flush, compaction, quarantine,
+delete, rank death) makes the replicated view detectably stale rather
+than silently wrong.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro import Papyrus, SSTABLE, spmd_run
+from repro.config import Options, SEQUENTIAL
+from repro.core import messages as msg
+from repro.errors import CorruptionError, KeyNotFoundError
+from repro.faults import FaultPlan
+from tests.conftest import small_options
+
+FAULT_SEED = int(os.environ.get("PKV_FAULT_SEED", "7"))
+
+
+def _ix_options(**kw) -> Options:
+    """group_size=1 puts every peer in a foreign storage group, so every
+    remote get exercises the cross-group path."""
+    base = dict(group_size=1, index_replication=True)
+    base.update(kw)
+    return small_options(**base)
+
+
+def _keys_of(db, owner: int, n: int = 200, prefix: str = "k"):
+    """The first keys (by index) that hash to ``owner``."""
+    out = []
+    for i in range(10000):
+        key = f"{prefix}{i:04d}".encode()
+        if db.owner_of(key) == owner:
+            out.append(key)
+            if len(out) == n:
+                break
+    return out
+
+
+class TestSteadyState:
+    def test_cross_group_gets_resolve_one_sided(self):
+        """After one pull, every cross-group get is a direct read: tier
+        ``index_sstable``, hit-rate 100%, zero fallbacks."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("ix", _ix_options())
+                r = ctx.world_rank
+                for i in range(60):
+                    db.put(f"k-{r}-{i:02d}".encode(), bytes([65 + r]) * 32)
+                db.barrier(SSTABLE)
+                other = (r + 1) % ctx.nranks
+                served = 0
+                for i in range(60):
+                    key = f"k-{other}-{i:02d}".encode()
+                    if db.owner_of(key) == r:
+                        continue  # stay on the cross-rank path only
+                    res = db.get_ex(key)
+                    assert res.value == bytes([65 + other]) * 32
+                    assert res.tier == "index_sstable"
+                    served += 1
+                st = db.stats
+                assert served > 0
+                assert st.index_repl_hits == served
+                assert st.index_pulls == 1  # one handshake, then silence
+                assert st.index_repl_misses == 1
+                assert st.index_repl_fallbacks == 0
+                # zero handler round trips: no remote/shared tiers at all
+                assert "remote" not in st.get_tiers
+                assert "shared_sstable" not in st.get_tiers
+                db.barrier()
+                db.close()
+
+        spmd_run(2, app)
+
+    def test_bulk_gets_route_one_sided(self):
+        """get_bulk resolves whole owners from replicated metadata."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("ixb", _ix_options())
+                r = ctx.world_rank
+                for i in range(60):
+                    db.put(f"b-{r}-{i:02d}".encode(), b"w" * 24)
+                db.barrier(SSTABLE)
+                other = (r + 1) % ctx.nranks
+                keys = [
+                    f"b-{other}-{i:02d}".encode() for i in range(60)
+                    if db.owner_of(f"b-{other}-{i:02d}".encode()) != r
+                ]
+                values = db.get_bulk(keys)
+                assert all(v == b"w" * 24 for v in values)
+                st = db.stats
+                assert st.index_repl_hits == len(keys)
+                assert st.get_tiers.get("index_sstable") == len(keys)
+                assert st.index_repl_fallbacks == 0
+                db.barrier()
+                db.close()
+
+        spmd_run(2, app)
+
+    def test_sequential_mode_stays_on_the_handler(self):
+        """Sequential consistency promises immediate remote visibility —
+        a state only the owner's handler can see — so the one-sided
+        path must disable itself."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open(
+                    "ixs", _ix_options(consistency=SEQUENTIAL)
+                )
+                r = ctx.world_rank
+                for i in range(30):
+                    db.put(f"s-{r}-{i:02d}".encode(), b"q" * 16)
+                db.barrier(SSTABLE)
+                other = (r + 1) % ctx.nranks
+                for i in range(30):
+                    key = f"s-{other}-{i:02d}".encode()
+                    if db.owner_of(key) != r:
+                        res = db.get_ex(key)
+                        assert res.tier == "remote"
+                st = db.stats
+                assert st.index_repl_hits == 0
+                assert st.index_pulls == 0
+                db.barrier()
+                db.close()
+
+        spmd_run(2, app)
+
+
+class TestStaleness:
+    def test_owner_flush_is_detected_and_repulled(self):
+        """A new table at the owner changes its directory listing; the
+        requester's next get re-pulls instead of trusting old metadata."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("ixf", _ix_options())
+                r = ctx.world_rank
+                for i in range(40):
+                    db.put(f"f-{r}-{i:02d}".encode(), b"1" * 24)
+                db.barrier(SSTABLE)
+                other = (r + 1) % ctx.nranks
+                keys = [k for k in
+                        (f"f-{other}-{i:02d}".encode() for i in range(40))
+                        if db.owner_of(k) != r]
+                for key in keys:
+                    assert db.get(key) == b"1" * 24  # warm view + bundles
+                db.barrier()
+                # the owner overwrites everything in a second generation
+                for i in range(40):
+                    db.put(f"f-{r}-{i:02d}".encode(), b"2" * 24)
+                db.barrier(SSTABLE)
+                st0 = db.stats.index_repl_stale
+                for key in keys:
+                    assert db.get(key) == b"2" * 24
+                st = db.stats
+                assert st.index_repl_stale > st0
+                assert st.index_repl_fallbacks == 0  # re-pull, not punt
+                db.barrier()
+                db.close()
+
+        spmd_run(2, app)
+
+    def test_stale_bundle_never_masks_a_newer_tombstone(self):
+        """Seeded fault shape from the issue: requester holds warm
+        bundles *and* warm data blocks for a key the owner has since
+        deleted and flushed.  The newest-ssid handshake must route the
+        get to the new tombstone, not the cached older version."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("ixt", _ix_options())
+                r = ctx.world_rank
+                for i in range(40):
+                    db.put(f"t-{r}-{i:02d}".encode(), b"old" * 8)
+                db.barrier(SSTABLE)
+                other = (r + 1) % ctx.nranks
+                victims = [k for k in
+                           (f"t-{other}-{i:02d}".encode() for i in range(40))
+                           if db.owner_of(k) != r][:5]
+                for key in victims:
+                    assert db.get(key) == b"old" * 8  # warm every cache
+                db.barrier()
+                # the owner deletes its own keys locally and flushes the
+                # tombstones into a fresh table
+                for i in range(40):
+                    db.delete(f"t-{r}-{i:02d}".encode())
+                db.barrier(SSTABLE)
+                for key in victims:
+                    assert db.get_or_none(key) is None
+                assert db.stats.index_repl_stale > 0
+                db.barrier()
+                db.close()
+
+        spmd_run(2, app)
+
+    def test_owner_compaction_is_detected(self):
+        """Compaction replaces tables under fresh SSIDs; the requester
+        re-pulls and keeps reading correct values one-sidedly."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("ixc", _ix_options(compaction_interval=2))
+                r = ctx.world_rank
+                other = (r + 1) % ctx.nranks
+                for gen in range(4):
+                    for i in range(40):
+                        db.put(f"c-{r}-{i:02d}".encode(),
+                               f"g{gen}".encode() * 8)
+                    db.barrier(SSTABLE)
+                    for i in range(0, 40, 5):
+                        key = f"c-{other}-{i:02d}".encode()
+                        if db.owner_of(key) != r:
+                            assert db.get(key) == f"g{gen}".encode() * 8
+                    db.barrier()
+                st = db.stats
+                assert st.index_repl_hits > 0
+                assert st.index_repl_fallbacks == 0
+                db.close()
+
+        spmd_run(2, app)
+
+    def test_owner_quarantine_forces_the_handler_path(self):
+        """A quarantined owner cannot be read one-sidedly: the rename to
+        ``.quar`` changes the listing, the re-pulled view says
+        ``quarantine_free=False``, and the get degrades through the
+        handler exactly like the two-sided protocol."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("ixq", _ix_options())
+                r = ctx.world_rank
+                for i in range(40):
+                    db.put(f"q-{r}-{i:02d}".encode(), b"h" * 48)
+                db.barrier(SSTABLE)
+                other = (r + 1) % ctx.nranks
+                keys = [k for k in
+                        (f"q-{other}-{i:02d}".encode() for i in range(40))
+                        if db.owner_of(k) != r]
+                for key in keys[:5]:
+                    assert db.get(key) == b"h" * 48  # warm the view
+                db.barrier()
+                victim = db.ssids[0]
+                path = f"{db.rank_dir}/{victim:010d}.ssd"
+                blob = db.store.read(path, db.clock.now)[0]
+                mutated = bytearray(blob)
+                mutated[min(500, len(blob) - 1)] ^= 0xFF
+                db.store.write(path, bytes(mutated), db.clock.now)
+                report = db.verify(repair=False)
+                assert victim in report["quarantined"]
+                db.barrier()
+                # every cross-group get now answers via the owner's
+                # handler: poisoned ranges degrade loudly, nothing is
+                # served from the stale replicated metadata
+                hits_before = db.stats.index_repl_hits
+                for key in keys[:5]:
+                    try:
+                        db.get(key)
+                    except CorruptionError:
+                        pass  # inside the poisoned range: correct refusal
+                assert db.stats.index_repl_hits == hits_before
+                assert db.stats.index_repl_fallbacks > 0
+                db.barrier()
+                db.close()
+
+        spmd_run(2, app)
+
+    def test_checkpoint_restore_keeps_one_sided_reads_correct(self):
+        """A table rewritten in place from a checkpoint (same ssid) must
+        not leave any peer serving torn or stale bytes."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("ixr", _ix_options())
+                r = ctx.world_rank
+                for i in range(40):
+                    db.put(f"r-{r}-{i:02d}".encode(), b"z" * 48)
+                db.barrier(SSTABLE)
+                db.checkpoint("ixrsnap").wait(ctx.clock)
+                db.coll_comm.barrier()
+                other = (r + 1) % ctx.nranks
+                keys = [k for k in
+                        (f"r-{other}-{i:02d}".encode() for i in range(40))
+                        if db.owner_of(k) != r]
+                for key in keys[:8]:
+                    assert db.get(key) == b"z" * 48  # warm bundles+blocks
+                db.barrier()
+                victim = db.ssids[0]
+                path = f"{db.rank_dir}/{victim:010d}.ssd"
+                blob = db.store.read(path, db.clock.now)[0]
+                mutated = bytearray(blob)
+                mutated[min(300, len(blob) - 1)] ^= 0xFF
+                db.store.write(path, bytes(mutated), db.clock.now)
+                report = db.verify(repair=True)
+                assert victim in report["rebuilt"]
+                db.barrier()
+                for key in keys[:8]:
+                    assert db.get(key) == b"z" * 48
+                db.barrier()
+                db.close()
+
+        spmd_run(2, app)
+
+    def test_fence_drops_the_mem_clean_stamp(self):
+        """Read-your-writes across the visibility boundary: after my
+        fence, my migrated put must be readable even though I hold a
+        (now stale) mem-clean view of the owner."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("ixw", _ix_options())
+                r = ctx.world_rank
+                for i in range(40):
+                    db.put(f"w-{r}-{i:02d}".encode(), b"v0" * 8)
+                db.barrier(SSTABLE)
+                other = (r + 1) % ctx.nranks
+                key = next(k for k in
+                           (f"w-{other}-{i:02d}".encode() for i in range(40))
+                           if db.owner_of(k) != r)
+                assert db.get(key) == b"v0" * 8  # view cached, mem_clean
+                db.put(key, b"v1" * 8)  # migrates into the owner's MemTable
+                db.fence()
+                # the stamp died with the fence: this get must take the
+                # handler and see the owner's MemTable
+                assert db.get(key) == b"v1" * 8
+                assert db.stats.index_repl_fallbacks > 0
+                db.barrier()
+                db.close()
+
+        spmd_run(2, app)
+
+
+class TestCacheBounds:
+    def test_peer_caches_are_bounded_and_funneled(self):
+        """White-box: the peer-reader cache and the bundle cache live
+        under cost-budgeted LRUs, and ``_drop_peer_cache`` purges the
+        readers, the views, the bundles AND the owner's cached data
+        blocks in one call (the historical leak: spans survived and
+        served stale bytes until they aged out)."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("ixd", _ix_options())
+                r = ctx.world_rank
+                for i in range(40):
+                    db.put(f"d-{r}-{i:02d}".encode(), b"p" * 64)
+                db.barrier(SSTABLE)
+                other = (r + 1) % ctx.nranks
+                owner_dir = f"{db.dbdir}/rank{other}"
+                keys = [k for k in
+                        (f"d-{other}-{i:02d}".encode() for i in range(40))
+                        if db.owner_of(k) != r]
+                for key in keys:
+                    assert db.get(key) == b"p" * 64
+                # direct reads warmed data blocks under the OWNER's dir
+                other_ssids = [s for d, s in db._index_bundles.keys()
+                               if d == owner_dir]
+                assert other_ssids
+                assert any(
+                    db.block_cache.cached_blocks(owner_dir, s) > 0
+                    for s in other_ssids
+                )
+                assert db._index_bundles.cost <= \
+                    db.options.index_cache_capacity
+                assert len(db._peer_reader_cache) <= 256
+                db._drop_peer_cache(other, owner_dir)
+                assert other not in db._index_views
+                assert not [k for k in db._index_bundles.keys()
+                            if k[0] == owner_dir]
+                assert not [k for k in db._peer_reader_cache.keys()
+                            if k[0] == owner_dir]
+                assert all(
+                    db.block_cache.cached_blocks(owner_dir, s) == 0
+                    for s in other_ssids
+                )
+                # the next get recovers by itself (re-pull)
+                assert db.get(keys[0]) == b"p" * 64
+                db.barrier()
+                db.close()
+
+        spmd_run(2, app)
+
+    def test_tiny_bundle_budget_still_serves_correctly(self):
+        """With a budget too small to hold every bundle the path keeps
+        falling back (or re-pulling) but never serves wrong data."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open(
+                    "ixe", _ix_options(index_cache_capacity=256)
+                )
+                r = ctx.world_rank
+                for gen in range(3):
+                    for i in range(40):
+                        db.put(f"e-{r}-{i:02d}".encode(), b"m" * 32)
+                    db.barrier(SSTABLE)
+                other = (r + 1) % ctx.nranks
+                for i in range(40):
+                    key = f"e-{other}-{i:02d}".encode()
+                    if db.owner_of(key) != r:
+                        assert db.get(key) == b"m" * 32
+                assert db._index_bundles.cost <= 256
+                db.barrier()
+                db.close()
+
+        spmd_run(2, app)
+
+
+class TestEagerPublish:
+    def test_owner_pushes_bundles_to_its_replica_group(self):
+        """With ``replicas=2`` the owner's flush eagerly publishes fresh
+        bundles to its ring successor, which installs the view without
+        ever sending a pull."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("ixp", _ix_options(
+                    replicas=2, write_quorum=1, remote_timeout=0.2,
+                ))
+                r = ctx.world_rank
+                other = (r + 1) % ctx.nranks
+                for i in range(40):
+                    db.put(f"p-{r}-{i:02d}".encode(), b"g" * 24)
+                db.barrier(SSTABLE)
+                db.tick()  # drain this rank's pending publishes
+                # publishes are fire-and-forget and a mid-load rotation
+                # may push a dirty intermediate view first: wait
+                # (wall-clock) for the handler to install the final,
+                # memory-clean one.  Check *before* the next barrier —
+                # its fence conservatively re-marks every view dirty
+                # for read-your-writes.
+                view = None
+                for _ in range(500):
+                    view = db._index_views.get(other)
+                    if view is not None and view.mem_clean:
+                        break
+                    time.sleep(0.01)
+                assert view is not None
+                assert view.mem_clean and view.quarantine_free
+                assert view.ssids  # the pushed bundles cover real tables
+                other_dir = f"{db.dbdir}/rank{other}"
+                assert all(
+                    (other_dir, s) in db._index_bundles
+                    for s in view.ssids
+                )
+                assert db.stats.index_pulls == 0  # pushed, never pulled
+                assert db.stats.index_publishes > 0
+                db.barrier()
+                # group members answer gets from their own replica copy;
+                # the pushed view stays warm for post-failover reads
+                for i in range(40):
+                    key = f"p-{other}-{i:02d}".encode()
+                    assert db.get(key) == b"g" * 24
+                db.barrier()
+                db.close()
+
+        spmd_run(2, app)
+
+    def test_push_disabled_leaves_peers_to_pull(self):
+        """``index_push_eager=False`` sends nothing: no view appears
+        until a get pulls one."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("ixnp", _ix_options(
+                    replicas=2, write_quorum=1, remote_timeout=0.2,
+                    index_push_eager=False,
+                ))
+                r = ctx.world_rank
+                other = (r + 1) % ctx.nranks
+                for i in range(40):
+                    db.put(f"n-{r}-{i:02d}".encode(), b"g" * 24)
+                db.barrier(SSTABLE)
+                db.tick()
+                db.barrier()
+                time.sleep(0.05)  # a publish, had one been sent, lands
+                assert other not in db._index_views
+                assert db.stats.index_publishes == 0
+                db.barrier()
+                db.close()
+
+        spmd_run(2, app)
+
+
+class TestRankDeath:
+    def test_dead_owner_bundles_are_dropped_and_rejected(self):
+        """After a rank death the epoch bumps, ``_drop_peer_cache``
+        purges the dead owner's views/bundles/blocks, and the one-sided
+        path refuses dead owners — gets fail over to the replica.
+
+        Three ranks, replicas=2: rank 2 is outside rank 0's replica
+        group, so its warm gets run one-sided against rank 0 — the rank
+        the fault plan kills."""
+        sync_all = threading.Barrier(3)
+        survivors = threading.Barrier(2)
+        shared: dict = {}
+
+        def app(ctx):
+            env = Papyrus(ctx)
+            db = env.open("ixk", _ix_options(
+                replicas=2, write_quorum=1, remote_timeout=0.2,
+            ))
+            r = ctx.world_rank
+            own = _keys_of(db, r, n=30, prefix="x")
+            for key in own:
+                db.put(key, b"s" * 24)
+            # fence-then-flush settles the replica fan-out before the
+            # flush, so every owner is memory-clean afterwards (nobody
+            # is dead yet, so the collective barrier is safe)
+            db.barrier(SSTABLE)
+            if r == 2:
+                warm = _keys_of(db, 0, n=3, prefix="x")
+                shared["warm"] = warm
+                for key in warm:
+                    # the metadata pull rides the wall-clock
+                    # remote_timeout; under a loaded machine it can
+                    # time out and fall back to the handler, so retry
+                    # until the get lands one-sided (the subject here
+                    # is the death-path purge, not pull latency)
+                    for _ in range(100):
+                        res = db.get_ex(key)
+                        if res.tier == "index_sstable":
+                            break
+                        time.sleep(0.05)
+                    assert res.value == b"s" * 24
+                    assert res.tier == "index_sstable"
+                assert 0 in db._index_views
+            sync_all.wait()  # rank 2's view is warm; rank 0 may die now
+            if r == 0:
+                for _ in range(100):  # burn ops into the kill schedule
+                    db.put(own[0], b"t" * 8)
+                raise AssertionError("victim survived its kill schedule")
+            mv = db.membership
+            for _ in range(30000):
+                db.tick()
+                if mv.is_dead(0) and not mv.pending_rereplication:
+                    break
+            assert mv.is_dead(0)
+            if r == 2:
+                # the epoch-bump drop point fired: nothing cached from
+                # the dead epoch survives, and the path refuses rank 0
+                assert 0 not in db._index_views
+                dead_dir = f"{db.dbdir}/rank0"
+                assert not [k for k in db._index_bundles.keys()
+                            if k[0] == dead_dir]
+                assert not db._index_direct_eligible(0)
+                hits0 = db.stats.index_repl_hits
+                for key in shared["warm"]:
+                    assert db.get_or_none(key) is not None  # failover
+                assert db.stats.index_repl_hits == hits0
+            survivors.wait()
+            db.srv_comm.send(msg.StopMsg(), db.rank, tag=0)
+            db._handler_thread.join(10)
+            db._closed = True
+            return "survivor-ok"
+
+        faults = FaultPlan(seed=FAULT_SEED).kill_rank(0, nth=40)
+        res = spmd_run(3, app, faults=faults, timeout=240)
+        assert res[0] is None  # the kill fired
+        assert res[1] == "survivor-ok" and res[2] == "survivor-ok"
+
+
+class TestRaceDetector:
+    def test_one_sided_path_is_race_clean(self):
+        """Pulls (main thread) racing eager publishes (handler thread)
+        run clean under the dynamic detector with the index-cache lock
+        in the canonical order."""
+        from repro.analysis import runtime
+
+        saved = runtime.get_detector()
+        det = runtime.enable(reset=True)
+        try:
+            def app(ctx):
+                with Papyrus(ctx) as env:
+                    db = env.open("ixrace", _ix_options(
+                        replicas=2, write_quorum=1, remote_timeout=0.2,
+                    ))
+                    r = ctx.world_rank
+                    other = (r + 1) % ctx.nranks
+                    for gen in range(3):
+                        for i in range(30):
+                            db.put(f"z-{r}-{i:02d}".encode(), b"y" * 16)
+                        db.barrier(SSTABLE)
+                        db.tick()
+                        for i in range(30):
+                            key = f"z-{other}-{i:02d}".encode()
+                            if db._acting_owner(key) == other:
+                                assert db.get(key) == b"y" * 16
+                        db.barrier()
+                    db.close()
+
+            spmd_run(2, app)
+            report = det.report()
+            assert report["findings"] == [], report["findings"]
+        finally:
+            runtime.disable()
+            runtime.restore(saved)

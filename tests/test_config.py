@@ -106,6 +106,23 @@ class TestOptionsValidation:
         with pytest.raises(InvalidModeError):
             Options().with_(consistency=7)
 
+    def test_index_replication_knobs(self):
+        opt = Options()
+        assert opt.index_replication is False  # opt-in
+        assert opt.index_cache_capacity == 8 << 20
+        assert opt.index_push_eager is True
+        opt = Options(index_replication=True,
+                      index_cache_capacity=1 << 16,
+                      index_push_eager=False)
+        assert opt.index_replication is True
+        assert opt.index_cache_capacity == 1 << 16
+        assert opt.index_push_eager is False
+
+    @pytest.mark.parametrize("value", [0, -1])
+    def test_index_cache_capacity_must_be_positive(self, value):
+        with pytest.raises(InvalidOptionError):
+            Options(index_cache_capacity=value)
+
 
 class TestEnvParsing:
     def test_empty_env_keeps_defaults(self):
@@ -145,3 +162,34 @@ class TestEnvParsing:
     def test_invalid_env_value_raises(self):
         with pytest.raises(InvalidModeError):
             options_from_env({"PAPYRUSKV_CONSISTENCY": "9"})
+
+    def test_index_replication_var(self):
+        assert options_from_env(
+            {"PAPYRUSKV_INDEX_REPLICATION": "1"}
+        ).index_replication is True
+        assert options_from_env(
+            {"PAPYRUSKV_INDEX_REPLICATION": "0"}
+        ).index_replication is False
+
+    def test_index_cache_var(self):
+        opt = options_from_env({
+            "PAPYRUSKV_INDEX_REPLICATION": "1",
+            "PAPYRUSKV_INDEX_CACHE": "65536",
+        })
+        assert opt.index_replication is True
+        assert opt.index_cache_capacity == 1 << 16
+        # 0 is not a budget: it switches the whole plane off
+        opt = options_from_env({
+            "PAPYRUSKV_INDEX_REPLICATION": "1",
+            "PAPYRUSKV_INDEX_CACHE": "0",
+        })
+        assert opt.index_replication is False
+        assert opt.index_cache_capacity == Options().index_cache_capacity
+
+    def test_index_push_var(self):
+        assert options_from_env(
+            {"PAPYRUSKV_INDEX_PUSH": "0"}
+        ).index_push_eager is False
+        assert options_from_env(
+            {"PAPYRUSKV_INDEX_PUSH": "1"}
+        ).index_push_eager is True
