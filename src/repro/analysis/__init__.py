@@ -3,9 +3,12 @@
 Three cooperating layers (see ``docs/analysis.md``):
 
 * :mod:`repro.analysis.pkvlint` — an AST-based static analyzer with
-  project-specific rules R001–R005 (no blocking ``Comm`` calls under a
-  lock, fsync-before-rename durability, message/handler/wire-tag
-  completeness, canonical lock order, no swallowed corruption errors);
+  project-specific rules R001–R007 (no blocking ``Comm`` calls under a
+  lock, crash-ordering durability, message/handler/wire-tag
+  completeness, canonical lock order, no swallowed corruption errors,
+  wire-protocol spec conformance, wall-clock taint) — since v2 run
+  *whole-program* over a call graph (:mod:`repro.analysis.callgraph`)
+  with a flow-sensitive interpreter (:mod:`repro.analysis.flow`);
 * :mod:`repro.analysis.runtime` — an opt-in vector-clock happens-before
   race detector plus a lock-order/deadlock checker, driven by
   instrumented locks and read/write annotations on the shared hot
@@ -19,12 +22,17 @@ the detector is disabled (the default).
 
 from __future__ import annotations
 
+from repro.analysis.callgraph import CallGraph, build_call_graph
 from repro.analysis.findings import (
+    SCHEMA_VERSION,
     Finding,
     findings_to_json,
     is_allowed,
     load_allowlist,
+    load_doc,
+    migrate_doc,
 )
+from repro.analysis.flow import Summary, compute_summaries
 from repro.analysis.lock_order import (
     LOCK_ORDER,
     LockClass,
@@ -34,6 +42,7 @@ from repro.analysis.lock_order import (
     render_threads_map,
 )
 from repro.analysis.pkvlint import lint_file, lint_paths
+from repro.analysis.sarif import findings_to_sarif
 from repro.analysis.runtime import (
     RaceDetector,
     annotate_read,
@@ -48,9 +57,17 @@ from repro.analysis.runtime import (
 
 __all__ = [
     "Finding",
+    "SCHEMA_VERSION",
     "findings_to_json",
+    "findings_to_sarif",
+    "load_doc",
+    "migrate_doc",
     "load_allowlist",
     "is_allowed",
+    "CallGraph",
+    "build_call_graph",
+    "Summary",
+    "compute_summaries",
     "LOCK_ORDER",
     "LockClass",
     "level_of",

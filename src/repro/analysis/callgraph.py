@@ -1,0 +1,270 @@
+"""Project-wide call graph for the whole-program lint rules.
+
+PR 4's pkvlint saw one function at a time; PRs 5–8 spread the runtime's
+invariants across helper chains (``Database._fence`` →
+``_drain_acks`` → ``Comm.recv``), which a per-function walker cannot
+see.  This module parses every file handed to the linter once, indexes
+the functions it finds, and resolves call expressions to project
+functions so :mod:`repro.analysis.flow` can propagate effects
+(blocking communication, lock acquisition, fsync, wall-clock taint)
+through calls.
+
+Resolution is deliberately conservative — precision over recall, since
+findings must be fixable, not allowlisted:
+
+* ``self.m(...)`` / ``cls.m(...)`` resolve within the receiver's class
+  (walking project-local base classes by name);
+* ``f(...)`` resolves to a same-module function or a
+  ``from mod import f`` import of another linted module;
+* ``mod.f(...)`` resolves through ``import repro.x as mod`` aliases;
+* ``obj.m(...)`` resolves **only** when ``obj`` is a parameter whose
+  annotation names a project class (the handler's ``db: Database``
+  pattern); every other attribute receiver is dynamic dispatch and
+  stays unresolved.
+
+Unresolved calls are simply absent from the graph: the flow rules then
+treat them as effect-free, which is the documented blind spot (see
+``docs/analysis.md``).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["FunctionInfo", "CallGraph", "build_call_graph"]
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method known to the project call graph."""
+
+    qualname: str               # "module:Class.method" or "module:func"
+    path: str
+    module: str                 # dotted module name derived from the path
+    name: str                   # bare function name
+    cls: Optional[str]          # owning class, None for module level
+    node: ast.AST               # the FunctionDef / AsyncFunctionDef
+    lineno: int
+    #: parameter name -> annotated project class name (best effort)
+    param_classes: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class _ModuleIndex:
+    """Per-module name tables used during call resolution."""
+
+    path: str
+    module: str
+    #: bare function name -> qualname (module-level defs)
+    functions: Dict[str, str] = field(default_factory=dict)
+    #: class name -> {method name -> qualname}
+    classes: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    #: class name -> base class names (as written)
+    bases: Dict[str, List[str]] = field(default_factory=dict)
+    #: local alias -> imported module dotted name (``import x.y as z``)
+    module_aliases: Dict[str, str] = field(default_factory=dict)
+    #: local name -> (source module, original name)  (``from m import f``)
+    from_imports: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a source path (best effort).
+
+    ``src/repro/core/db.py`` → ``repro.core.db``; paths outside a
+    recognizable package root fall back to their basename, which keeps
+    single-file fixtures resolvable.
+    """
+    norm = os.path.normpath(path).replace(os.sep, "/")
+    base = norm[:-3] if norm.endswith(".py") else norm
+    parts = base.split("/")
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(p for p in parts if p) or os.path.basename(base)
+
+
+def _annotation_class(node: Optional[ast.expr]) -> Optional[str]:
+    """The class name an annotation refers to (``Database``,
+    ``"Database"``, ``core.db.Database`` all yield ``Database``)."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.rsplit(".", 1)[-1] or None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):  # Optional[Database] etc.
+        if (isinstance(node.value, ast.Name)
+                and node.value.id in ("Optional",)):
+            return _annotation_class(node.slice)
+    return None
+
+
+class CallGraph:
+    """Function index + call resolution over one set of linted files."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.modules: Dict[str, _ModuleIndex] = {}       # module -> index
+        self._paths: Dict[str, str] = {}                 # path -> module
+        #: class name -> modules defining it (cross-module self fallback)
+        self._class_sites: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------- building
+    def add_module(self, path: str, tree: ast.Module) -> None:
+        """Index one parsed module's functions, classes, and imports."""
+        module = module_name_for(path)
+        idx = _ModuleIndex(path=path, module=module)
+        self.modules[module] = idx
+        self._paths[path] = module
+        for node in tree.body:
+            self._index_stmt(idx, node, cls=None)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    idx.module_aliases[alias.asname or
+                                       alias.name.split(".")[0]] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    idx.from_imports[alias.asname or alias.name] = (
+                        node.module, alias.name
+                    )
+
+    def _index_stmt(self, idx: _ModuleIndex, node: ast.stmt,
+                    cls: Optional[str]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qual = (f"{idx.module}:{cls}.{node.name}" if cls
+                    else f"{idx.module}:{node.name}")
+            params: Dict[str, str] = {}
+            for arg in list(node.args.posonlyargs) + list(node.args.args) \
+                    + list(node.args.kwonlyargs):
+                klass = _annotation_class(arg.annotation)
+                if klass:
+                    params[arg.arg] = klass
+            info = FunctionInfo(
+                qualname=qual, path=idx.path, module=idx.module,
+                name=node.name, cls=cls, node=node, lineno=node.lineno,
+                param_classes=params,
+            )
+            self.functions[qual] = info
+            if cls is None:
+                idx.functions[node.name] = qual
+            else:
+                idx.classes.setdefault(cls, {})[node.name] = qual
+        elif isinstance(node, ast.ClassDef):
+            idx.classes.setdefault(node.name, {})
+            idx.bases[node.name] = [
+                b.attr if isinstance(b, ast.Attribute)
+                else b.id if isinstance(b, ast.Name) else ""
+                for b in node.bases
+            ]
+            self._class_sites.setdefault(node.name, []).append(idx.module)
+            for sub in node.body:
+                self._index_stmt(idx, sub, cls=node.name)
+
+    # ----------------------------------------------------------- resolution
+    def _method_in_class(
+        self, module: str, cls: str, name: str,
+        _seen: Optional[Set[Tuple[str, str]]] = None,
+    ) -> Optional[str]:
+        """Find ``cls.name`` in ``module``, walking project-local bases."""
+        seen = _seen if _seen is not None else set()
+        if (module, cls) in seen:
+            return None
+        seen.add((module, cls))
+        idx = self.modules.get(module)
+        if idx is None or cls not in idx.classes:
+            # the class may be defined in another linted module
+            for site in self._class_sites.get(cls, []):
+                if site != module:
+                    hit = self._method_in_class(site, cls, name, seen)
+                    if hit:
+                        return hit
+            return None
+        qual = idx.classes[cls].get(name)
+        if qual:
+            return qual
+        for base in idx.bases.get(cls, []):
+            if not base:
+                continue
+            hit = self._method_in_class(module, base, name, seen)
+            if hit:
+                return hit
+        return None
+
+    def resolve_call(self, caller: FunctionInfo,
+                     call: ast.Call) -> List[FunctionInfo]:
+        """Project functions a call expression may invoke (possibly [])."""
+        quals = self._resolve_quals(caller, call.func)
+        return [self.functions[q] for q in quals if q in self.functions]
+
+    def _resolve_quals(self, caller: FunctionInfo,
+                       fn: ast.expr) -> List[str]:
+        idx = self.modules.get(caller.module)
+        if idx is None:
+            return []
+        if isinstance(fn, ast.Name):
+            # same-module function, or a from-import of a linted module
+            qual = idx.functions.get(fn.id)
+            if qual:
+                return [qual]
+            imp = idx.from_imports.get(fn.id)
+            if imp:
+                src_mod, orig = imp
+                for mod in self._matching_modules(src_mod):
+                    target = self.modules[mod].functions.get(orig)
+                    if target:
+                        return [target]
+            return []
+        if not isinstance(fn, ast.Attribute):
+            return []
+        recv = fn.value
+        method = fn.attr
+        if isinstance(recv, ast.Name):
+            if recv.id in ("self", "cls") and caller.cls is not None:
+                hit = self._method_in_class(caller.module, caller.cls, method)
+                return [hit] if hit else []
+            # annotated parameter: def _serve(db: Database, ...) -> db.m()
+            klass = caller.param_classes.get(recv.id)
+            if klass:
+                hit = self._method_in_class(caller.module, klass, method)
+                return [hit] if hit else []
+            # module alias: import repro.core.scan as scan -> scan.f()
+            target_mod = idx.module_aliases.get(recv.id)
+            if target_mod:
+                for mod in self._matching_modules(target_mod):
+                    qual = self.modules[mod].functions.get(method)
+                    if qual:
+                        return [qual]
+            # from repro.core import scan -> scan.f()
+            imp = idx.from_imports.get(recv.id)
+            if imp:
+                dotted = f"{imp[0]}.{imp[1]}"
+                for mod in self._matching_modules(dotted):
+                    qual = self.modules[mod].functions.get(method)
+                    if qual:
+                        return [qual]
+        return []
+
+    def _matching_modules(self, dotted: str) -> List[str]:
+        """Linted modules matching an imported dotted name (suffix-wise)."""
+        if dotted in self.modules:
+            return [dotted]
+        tail = dotted.rsplit(".", 1)[-1]
+        return [m for m in self.modules
+                if m == tail or m.endswith("." + tail)]
+
+
+def build_call_graph(trees: Sequence[Tuple[str, ast.Module]]) -> CallGraph:
+    """Build the call graph over ``(path, parsed module)`` pairs."""
+    cg = CallGraph()
+    for path, tree in trees:
+        cg.add_module(path, tree)
+    return cg

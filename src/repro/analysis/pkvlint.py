@@ -1,27 +1,45 @@
-"""pkvlint — the project's AST-based static analyzer.
+"""pkvlint — the project's AST-based static analyzer (v2).
 
-Five rules, each encoding an invariant of the PapyrusKV runtime that an
-ordinary linter cannot know:
+Seven rules, each encoding an invariant of the PapyrusKV runtime that
+an ordinary linter cannot know.  Since v2 the lock/persistence rules
+are **whole-program**: a call graph over every linted file
+(:mod:`repro.analysis.callgraph`) and a flow-sensitive abstract
+interpreter (:mod:`repro.analysis.flow`) propagate effects through
+helper calls, so invariants split across functions by PRs 5–8 are
+still enforced.
 
 ``R001``
-    No blocking ``Comm`` call (``send``/``recv``/``barrier``/collectives)
-    while lexically inside a ``with`` block holding a registered lock
-    (see :mod:`repro.analysis.lock_order`).  A handler blocked in
-    ``recv`` while holding ``db.state`` deadlocks the rank.
+    No blocking ``Comm`` call (``send``/``recv``/``barrier``/
+    collectives) while a registered lock is held — *including* comm
+    calls reached through any resolved helper chain (the finding
+    carries the call path).
 ``R002``
-    Every ``os.rename``/``os.replace``/``Path.rename`` must be preceded
-    (earlier in the same function) by an ``fsync``-named call: a rename
-    publishing non-durable bytes breaks crash consistency.
+    Crash-ordering: every ``os.rename``/``os.replace`` must see an
+    earlier fsync (a helper that fsyncs counts), and in persistence
+    modules a file opened for writing must reach an
+    fsync/``write_ordered`` on every path out of the call-graph root.
 ``R003``
-    ``core/messages.py`` must carry a ``WIRE_TAGS`` literal mapping with
-    a unique integer tag per message class, and every ``*Msg`` class
-    must be referenced by ``core/handler.py`` (i.e. have a handler arm).
+    ``core/messages.py`` must carry a ``WIRE_TAGS`` literal mapping
+    with a unique integer tag per message class, and every ``*Msg``
+    class must be referenced by ``core/handler.py``.
 ``R004``
-    Lexically nested ``with`` blocks on registered lock attributes must
-    follow the canonical order (inner level strictly greater).
+    Registered locks must be acquired in the canonical order
+    (:mod:`repro.analysis.lock_order`) — also through helper calls.
 ``R005``
-    No bare ``except:`` and no silently swallowed ``CorruptionError``
-    (an except arm whose body is only ``pass``).
+    No bare ``except:`` and no silently swallowed ``CorruptionError``.
+``R006``
+    The wire-protocol state machine extracted from ``WIRE_TAGS`` and
+    the handler dispatch must satisfy the checked-in spec
+    (``protocol.py`` next to ``messages.py``): retryable messages
+    dedup-keyed, ``Replica*``/``Index*`` messages epoch-stamped, every
+    request with a reply path, no handler send on the request comm.
+``R007``
+    Wall-clock values (``time.time``/``monotonic``) must not flow into
+    simtime-governed scheduling — through helpers included.
+
+``interprocedural=False`` (CLI ``--lexical``) reverts to the PR-4
+per-function behaviour: no call resolution, v1 rules only.  Kept so
+the regression fixtures can assert what the lexical checker *misses*.
 
 Suppression: append ``# pkvlint: disable=R00x[,R00y]`` to the flagged
 line, or add ``RULE pattern`` entries to an allowlist file (default
@@ -35,21 +53,21 @@ import os
 import re
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.analysis.callgraph import CallGraph, build_call_graph
 from repro.analysis.findings import Finding, is_allowed, load_allowlist
-from repro.analysis.lock_order import LOCK_ATTRS, level_of_attr
+from repro.analysis.flow import (
+    COMM_BLOCKING_CALLS,
+    Summary,
+    _attr_chain,
+    called_qualnames,
+    check_module,
+    compute_summaries,
+)
+from repro.analysis.protocol import check_protocol
 
 __all__ = ["lint_file", "lint_paths", "COMM_BLOCKING_CALLS"]
 
-#: Comm methods that block or synchronize (R001 targets)
-COMM_BLOCKING_CALLS = frozenset({
-    "send", "send_at", "recv", "sendrecv", "fanout", "barrier",
-    "bcast", "gather", "allgather", "scatter", "alltoall", "allreduce",
-    "reduce",
-})
-
 _SUPPRESS_RE = re.compile(r"#\s*pkvlint:\s*disable=([A-Z0-9, ]+)")
-
-_LOCK_ATTR_SET = frozenset(LOCK_ATTRS)
 
 
 def _suppressions(src: str) -> Dict[int, Set[str]]:
@@ -60,39 +78,6 @@ def _suppressions(src: str) -> Dict[int, Set[str]]:
         if m:
             rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
             out[i] = rules
-    return out
-
-
-def _attr_chain(node: ast.AST) -> str:
-    """Dotted-name text of a Name/Attribute chain (best effort)."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-    return ".".join(reversed(parts))
-
-
-def _call_name(call: ast.Call) -> str:
-    """The called attribute or function name (last path component)."""
-    fn = call.func
-    if isinstance(fn, ast.Attribute):
-        return fn.attr
-    if isinstance(fn, ast.Name):
-        return fn.id
-    return ""
-
-
-def _with_lock_attrs(node: ast.With) -> List[Tuple[str, int]]:
-    """Registered lock attributes acquired by a ``with`` statement."""
-    out: List[Tuple[str, int]] = []
-    for item in node.items:
-        expr = item.context_expr
-        # unwrap `with self._lock:` and `with lock.acquire_ctx():` alike
-        target = expr.func if isinstance(expr, ast.Call) else expr
-        if isinstance(target, ast.Attribute) and target.attr in _LOCK_ATTR_SET:
-            out.append((target.attr, expr.lineno))
     return out
 
 
@@ -139,120 +124,13 @@ def _swallows_corruption(handler: ast.ExceptHandler) -> bool:
     return True
 
 
-class _FunctionChecker(ast.NodeVisitor):
-    """Per-function R001/R002/R004 walker tracking lexical lock scope."""
-
-    def __init__(self, path: str, func_name: str,
-                 findings: List[Finding]) -> None:
-        self.path = path
-        self.func = func_name
-        self.findings = findings
-        #: stack of (lock attr, level, with-lineno) currently held
-        self.held: List[Tuple[str, Optional[int], int]] = []
-        self.fsync_lines: List[int] = []
-
-    # nested defs get their own checker: a closure body does not run
-    # under the enclosing with-block (e.g. deferred background jobs)
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        sub = _FunctionChecker(self.path, f"{self.func}.{node.name}",
-                               self.findings)
-        for stmt in node.body:
-            sub.visit(stmt)
-
-    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self.visit_FunctionDef(node)  # type: ignore[arg-type]
-
-    def visit_Lambda(self, node: ast.Lambda) -> None:
-        sub = _FunctionChecker(self.path, f"{self.func}.<lambda>",
-                               self.findings)
-        sub.visit(node.body)
-
-    def visit_With(self, node: ast.With) -> None:
-        acquired = _with_lock_attrs(node)
-        for attr, lineno in acquired:
-            level = level_of_attr(attr)
-            for held_attr, held_level, held_line in self.held:
-                if (level is not None and held_level is not None
-                        and level < held_level):
-                    self.findings.append(Finding(
-                        tool="pkvlint",
-                        rule="R004",
-                        message=(
-                            f"lock `{attr}` (level {level}) acquired "
-                            f"inside `{held_attr}` (level {held_level})"
-                            " — violates the canonical lock order"
-                        ),
-                        path=self.path,
-                        line=lineno,
-                        function=self.func,
-                        details=(
-                            f"`{held_attr}` taken at line {held_line}",
-                        ),
-                    ))
-            self.held.append((attr, level, lineno))
-        for stmt in node.body:
-            self.visit(stmt)
-        for _ in acquired:
-            self.held.pop()
-
-    def visit_Call(self, node: ast.Call) -> None:
-        name = _call_name(node)
-        if "fsync" in name:
-            self.fsync_lines.append(node.lineno)
-        if self.held and name in COMM_BLOCKING_CALLS:
-            chain = _attr_chain(node.func).lower()
-            if "comm" in chain:
-                held_attr, _lvl, held_line = self.held[-1]
-                self.findings.append(Finding(
-                    tool="pkvlint",
-                    rule="R001",
-                    message=(
-                        f"blocking comm call `{name}` while holding "
-                        f"lock `{held_attr}` — a blocked peer deadlocks"
-                        " this rank"
-                    ),
-                    path=self.path,
-                    line=node.lineno,
-                    function=self.func,
-                    details=(f"`{held_attr}` taken at line {held_line}",),
-                ))
-        if name in ("rename", "replace", "move"):
-            chain = _attr_chain(node.func)
-            root = chain.split(".", 1)[0].lower()
-            is_fs = chain in ("os.rename", "os.replace", "shutil.move") or (
-                name == "rename" and "path" in root)
-            if is_fs:
-                if not any(fl < node.lineno for fl in self.fsync_lines):
-                    self.findings.append(Finding(
-                        tool="pkvlint",
-                        rule="R002",
-                        message=(
-                            f"`{chain or name}` publishes a file with no"
-                            " earlier fsync in this function — rename"
-                            " of non-durable bytes breaks crash"
-                            " consistency"
-                        ),
-                        path=self.path,
-                        line=node.lineno,
-                        function=self.func,
-                    ))
-        self.generic_visit(node)
-
-    def visit_Try(self, node: ast.Try) -> None:
-        _check_try(self.path, self.func, node, self.findings)
-        self.generic_visit(node)
-
-
-class _ModuleChecker(ast.NodeVisitor):
-    """Walks a module, running the function checker and R005."""
+class _HygieneChecker(ast.NodeVisitor):
+    """Walks a whole module for R005 (function bodies included)."""
 
     def __init__(self, path: str, findings: List[Finding]) -> None:
         self.path = path
         self.findings = findings
         self._scope: List[str] = []
-
-    def _qualname(self, name: str) -> str:
-        return ".".join(self._scope + [name]) if self._scope else name
 
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
         self._scope.append(node.name)
@@ -260,10 +138,9 @@ class _ModuleChecker(ast.NodeVisitor):
         self._scope.pop()
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        qual = self._qualname(node.name)
-        checker = _FunctionChecker(self.path, qual, self.findings)
-        for stmt in node.body:
-            checker.visit(stmt)
+        self._scope.append(node.name)
+        self.generic_visit(node)
+        self._scope.pop()
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self.visit_FunctionDef(node)  # type: ignore[arg-type]
@@ -304,34 +181,13 @@ def _check_wire_tags(path: str, tree: ast.Module,
                 consts[tgt.id] = node.value.value
             elif tgt.id == "WIRE_TAGS" and isinstance(node.value, ast.Dict):
                 wire_line = node.lineno
-                wire_tags = {}
-                for k, v in zip(node.value.keys, node.value.values):
-                    if not (isinstance(k, ast.Constant)
-                            and isinstance(k.value, str)):
-                        continue
-                    if (isinstance(v, ast.Constant)
-                            and isinstance(v.value, int)):
-                        wire_tags[k.value] = v.value
-                    elif isinstance(v, ast.Name):
-                        wire_tags[k.value] = ("name", v.id)
-                    else:
-                        wire_tags[k.value] = ("opaque", ast.dump(v))
+                wire_tags = _parse_wire_dict(node.value)
         elif (isinstance(node, ast.AnnAssign)
                 and isinstance(node.target, ast.Name)
                 and node.target.id == "WIRE_TAGS"
                 and isinstance(node.value, ast.Dict)):
             wire_line = node.lineno
-            wire_tags = {}
-            for k, v in zip(node.value.keys, node.value.values):
-                if not (isinstance(k, ast.Constant)
-                        and isinstance(k.value, str)):
-                    continue
-                if isinstance(v, ast.Constant) and isinstance(v.value, int):
-                    wire_tags[k.value] = v.value
-                elif isinstance(v, ast.Name):
-                    wire_tags[k.value] = ("name", v.id)
-                else:
-                    wire_tags[k.value] = ("opaque", ast.dump(v))
+            wire_tags = _parse_wire_dict(node.value)
     if not classes:
         return
     if wire_tags is None:
@@ -384,14 +240,7 @@ def _check_wire_tags(path: str, tree: ast.Module,
     handler_path = os.path.join(os.path.dirname(path), "handler.py")
     if not os.path.exists(handler_path):
         return
-    with open(handler_path, encoding="utf-8") as f:
-        handler_src = f.read()
-    handler_names: Set[str] = set()
-    for node in ast.walk(ast.parse(handler_src)):
-        if isinstance(node, ast.Name):
-            handler_names.add(node.id)
-        elif isinstance(node, ast.Attribute):
-            handler_names.add(node.attr)
+    handler_names = _referenced_names(handler_path)
     for cls, line in sorted(classes.items(), key=lambda kv: kv[1]):
         if cls.endswith("Msg") and cls not in handler_names:
             findings.append(Finding(
@@ -406,13 +255,7 @@ def _check_wire_tags(path: str, tree: ast.Module,
     db_path = os.path.join(os.path.dirname(path), "db.py")
     db_names: Set[str] = set()
     if os.path.exists(db_path):
-        with open(db_path, encoding="utf-8") as f:
-            db_src = f.read()
-        for node in ast.walk(ast.parse(db_src)):
-            if isinstance(node, ast.Name):
-                db_names.add(node.id)
-            elif isinstance(node, ast.Attribute):
-                db_names.add(node.attr)
+        db_names = _referenced_names(db_path)
     for cls, line in sorted(classes.items(), key=lambda kv: kv[1]):
         if (cls.endswith("Reply") and cls not in handler_names
                 and cls not in db_names):
@@ -425,24 +268,59 @@ def _check_wire_tags(path: str, tree: ast.Module,
             ))
 
 
-# ---------------------------------------------------------- entry points
-def lint_file(path: str, src: Optional[str] = None) -> List[Finding]:
-    """Lint one file; returns findings after inline suppressions."""
-    if src is None:
-        with open(path, encoding="utf-8") as f:
-            src = f.read()
+def _parse_wire_dict(node: ast.Dict) -> Dict[str, object]:
+    out: Dict[str, object] = {}
+    for k, v in zip(node.keys, node.values):
+        if not (isinstance(k, ast.Constant) and isinstance(k.value, str)):
+            continue
+        if isinstance(v, ast.Constant) and isinstance(v.value, int):
+            out[k.value] = v.value
+        elif isinstance(v, ast.Name):
+            out[k.value] = ("name", v.id)
+        else:
+            out[k.value] = ("opaque", ast.dump(v))
+    return out
+
+
+def _referenced_names(path: str) -> Set[str]:
+    with open(path, encoding="utf-8") as f:
+        src = f.read()
+    names: Set[str] = set()
     try:
-        tree = ast.parse(src, filename=path)
+        tree = ast.parse(src)
+    except SyntaxError:
+        return names
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return names
+
+
+# ---------------------------------------------------------- entry points
+def _parse(path: str, src: str) -> Tuple[Optional[ast.Module],
+                                         List[Finding]]:
+    try:
+        return ast.parse(src, filename=path), []
     except SyntaxError as exc:
-        return [Finding(
+        return None, [Finding(
             tool="pkvlint", rule="SYNTAX",
             message=f"cannot parse: {exc.msg}",
             path=path, line=exc.lineno or 0, function="<module>",
         )]
-    findings: List[Finding] = []
-    _ModuleChecker(path, findings).visit(tree)
+
+
+def _lint_tree(path: str, src: str, tree: ast.Module,
+               graph: Optional[CallGraph],
+               summaries: Dict[str, Summary],
+               called: Set[str]) -> List[Finding]:
+    """All rules over one parsed module, inline suppressions applied."""
+    findings = check_module(path, tree, graph, summaries, called)
+    _HygieneChecker(path, findings).visit(tree)
     if os.path.basename(path) == "messages.py":
         _check_wire_tags(path, tree, findings)
+        findings.extend(check_protocol(path, tree))
     sup = _suppressions(src)
     if sup:
         findings = [
@@ -451,6 +329,30 @@ def lint_file(path: str, src: Optional[str] = None) -> List[Finding]:
         ]
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
+
+
+def lint_file(path: str, src: Optional[str] = None,
+              interprocedural: bool = True) -> List[Finding]:
+    """Lint one file; returns findings after inline suppressions.
+
+    With ``interprocedural=True`` (the default) a single-file call
+    graph is built, so same-file helper chains still resolve;
+    ``interprocedural=False`` is the PR-4 lexical behaviour.
+    """
+    if src is None:
+        with open(path, encoding="utf-8") as f:
+            src = f.read()
+    tree, errs = _parse(path, src)
+    if tree is None:
+        return errs
+    graph: Optional[CallGraph] = None
+    summaries: Dict[str, Summary] = {}
+    called: Set[str] = set()
+    if interprocedural:
+        graph = build_call_graph([(path, tree)])
+        summaries = compute_summaries(graph)
+        called = called_qualnames(graph)
+    return _lint_tree(path, src, tree, graph, summaries, called)
 
 
 def _iter_py(paths: Sequence[str]) -> List[str]:
@@ -471,15 +373,43 @@ def _iter_py(paths: Sequence[str]) -> List[str]:
 
 
 def lint_paths(paths: Sequence[str],
-               allowlist: Optional[str] = None) -> List[Finding]:
-    """Lint files/directories; drop findings covered by the allowlist."""
+               allowlist: Optional[str] = None,
+               interprocedural: bool = True) -> List[Finding]:
+    """Lint files/directories as one program.
+
+    Every file is parsed once, the project-wide call graph and
+    summaries are computed over the whole set, and each module is then
+    checked against them — a helper chain crossing module boundaries
+    (``handler.py`` → ``db.py``) resolves like a local call.  Findings
+    covered by the allowlist are dropped.
+    """
     entries: List[Tuple[str, str]] = []
     if allowlist and os.path.exists(allowlist):
         entries = load_allowlist(allowlist)
+    parsed: List[Tuple[str, str, Optional[ast.Module]]] = []
     findings: List[Finding] = []
     for path in _iter_py(paths):
-        for f in lint_file(path):
-            if entries and is_allowed(f, entries):
-                continue
-            findings.append(f)
+        with open(path, encoding="utf-8") as f:
+            src = f.read()
+        tree, errs = _parse(path, src)
+        findings.extend(errs)
+        parsed.append((path, src, tree))
+    graph: Optional[CallGraph] = None
+    summaries: Dict[str, Summary] = {}
+    called: Set[str] = set()
+    if interprocedural:
+        graph = build_call_graph(
+            [(p, t) for p, _s, t in parsed if t is not None]
+        )
+        summaries = compute_summaries(graph)
+        called = called_qualnames(graph)
+    for path, src, tree in parsed:
+        if tree is None:
+            continue
+        findings.extend(
+            _lint_tree(path, src, tree, graph, summaries, called)
+        )
+    if entries:
+        findings = [f for f in findings if not is_allowed(f, entries)]
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings

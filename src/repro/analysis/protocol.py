@@ -1,0 +1,381 @@
+"""R006 — static wire-protocol state-machine verification.
+
+PapyrusKV's liveness depends on per-message invariants that no single
+file shows: a retried mutation must be deduplicated or fences double
+apply (paper §2.4), a replication/index message without a membership
+stamp can revive a dead epoch's view, a request without a reply path
+hangs its sender forever, and a handler that *sends* on the request
+comm can rendezvous-deadlock against a peer's handler doing the same.
+
+This checker extracts the actual state machine from the source —
+``WIRE_TAGS`` in ``messages.py``, the per-class dataclass fields, and
+the ``isinstance`` dispatch arms in the sibling ``handler.py`` — and
+verifies it against a checked-in spec (``protocol.py`` next to
+``messages.py``, see :mod:`repro.core.protocol`).  The spec is parsed
+with :mod:`ast` rather than imported, so fixtures and partially broken
+trees can still be linted and no import cycle through
+``repro.core.__init__`` exists.
+
+Per-entry checks (all findings carry rule ``R006``):
+
+* every ``WIRE_TAGS`` entry has a spec entry and vice versa — the
+  extracted machine must cover the wire surface completely;
+* ``retryable: True`` → the class carries a ``seq`` field *and* its
+  dispatch arm applies it under the seq-dedup gate
+  (``_already_applied``);
+* ``epoch_stamped: True`` → the class carries ``epoch`` and ``dead``
+  fields; every ``Replica*``/``Index*`` class must be declared
+  ``epoch_stamped`` (the spec cannot quietly opt a family out);
+* every request (``kind: "request"``) has a dispatch arm, and its
+  declared ``reply`` class (when not ``None``) exists in ``WIRE_TAGS``
+  and is actually constructed by the arm's serve path;
+* no call in ``handler.py`` sends on the request comm
+  (``REQUEST_COMM`` in the spec): the handler answers on the response
+  and ack comms only.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+
+__all__ = ["check_protocol", "spec_path_for"]
+
+#: comm methods that put a message on the wire (handler send check)
+_SEND_CALLS = frozenset({
+    "send", "send_at", "fanout", "bcast", "scatter", "sendrecv",
+    "alltoall",
+})
+
+
+def spec_path_for(messages_path: str) -> str:
+    """The protocol spec expected next to a messages module."""
+    return os.path.join(os.path.dirname(messages_path), "protocol.py")
+
+
+def _attr_or_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _chain(node: ast.AST) -> str:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _load_spec(spec_path: str) -> Tuple[
+    Optional[Dict[str, Dict[str, Any]]], Optional[str], List[str]
+]:
+    """Parse ``MESSAGE_SPECS`` and ``REQUEST_COMM`` from the spec file.
+
+    Returns ``(specs, request_comm, parse_errors)``; a malformed spec
+    yields errors instead of silently passing the checks.
+    """
+    errors: List[str] = []
+    try:
+        with open(spec_path, encoding="utf-8") as f:
+            tree = ast.parse(f.read(), filename=spec_path)
+    except (OSError, SyntaxError) as exc:
+        return None, None, [f"cannot parse protocol spec: {exc}"]
+    specs: Optional[Dict[str, Dict[str, Any]]] = None
+    request_comm: Optional[str] = None
+    for node in tree.body:
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)):
+            continue
+        name = node.targets[0].id
+        if name == "REQUEST_COMM":
+            if (isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, str)):
+                request_comm = node.value.value
+            else:
+                errors.append("REQUEST_COMM must be a string literal")
+        elif name == "MESSAGE_SPECS":
+            try:
+                raw = ast.literal_eval(node.value)
+            except ValueError:
+                errors.append("MESSAGE_SPECS must be a literal dict")
+                continue
+            if not isinstance(raw, dict):
+                errors.append("MESSAGE_SPECS must be a dict")
+                continue
+            specs = {}
+            for key, val in raw.items():
+                if not (isinstance(key, str) and isinstance(val, dict)):
+                    errors.append(
+                        f"MESSAGE_SPECS entry {key!r} must map a class"
+                        " name to a dict"
+                    )
+                    continue
+                specs[key] = val
+    if specs is None:
+        errors.append("protocol spec defines no MESSAGE_SPECS dict")
+    return specs, request_comm, errors
+
+
+def _wire_tag_classes(tree: ast.Module) -> List[str]:
+    """Class-name keys of the WIRE_TAGS literal (order preserved)."""
+    for node in tree.body:
+        value: Optional[ast.expr] = None
+        if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == "WIRE_TAGS"):
+            value = node.value
+        elif (isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and node.target.id == "WIRE_TAGS"):
+            value = node.value
+        if isinstance(value, ast.Dict):
+            return [k.value for k in value.keys
+                    if isinstance(k, ast.Constant)
+                    and isinstance(k.value, str)]
+    return []
+
+
+def _class_fields(tree: ast.Module) -> Dict[str, Set[str]]:
+    """Per message class: the set of declared (annotated) field names."""
+    out: Dict[str, Set[str]] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        fields: Set[str] = set()
+        for sub in node.body:
+            if (isinstance(sub, ast.AnnAssign)
+                    and isinstance(sub.target, ast.Name)):
+                fields.add(sub.target.id)
+            elif isinstance(sub, ast.Assign):
+                for tgt in sub.targets:
+                    if isinstance(tgt, ast.Name):
+                        fields.add(tgt.id)
+        out[node.name] = fields
+    return out
+
+
+def _class_lines(tree: ast.Module) -> Dict[str, int]:
+    return {node.name: node.lineno for node in tree.body
+            if isinstance(node, ast.ClassDef)}
+
+
+def _handler_functions(tree: ast.Module) -> Dict[str, ast.AST]:
+    return {node.name: node for node in tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))}
+
+
+def _names_in(node: ast.AST) -> Set[str]:
+    out: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            out.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            out.add(sub.attr)
+    return out
+
+
+def _dispatch_arms(tree: ast.Module) -> Dict[str, Tuple[int, List[ast.stmt]]]:
+    """message class -> (line, body stmts) of its ``isinstance`` arm."""
+    arms: Dict[str, Tuple[int, List[ast.stmt]]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        if not (isinstance(test, ast.Call)
+                and _attr_or_name(test.func) == "isinstance"
+                and len(test.args) == 2):
+            continue
+        targets = test.args[1]
+        classes = (targets.elts if isinstance(targets, ast.Tuple)
+                   else [targets])
+        for cls_node in classes:
+            cls = _attr_or_name(cls_node)
+            if cls and cls not in arms:
+                arms[cls] = (node.lineno, node.body)
+    return arms
+
+
+def _arm_effective_names(body: List[ast.stmt],
+                         handler_funcs: Dict[str, ast.AST]) -> Set[str]:
+    """Names visible from a dispatch arm: its body plus the bodies of
+    handler-module functions it calls (the ``_serve_*`` indirection)."""
+    names: Set[str] = set()
+    for stmt in body:
+        names |= _names_in(stmt)
+    for called in list(names):
+        fn = handler_funcs.get(called)
+        if fn is not None:
+            names |= _names_in(fn)
+    return names
+
+
+def check_protocol(messages_path: str, tree: ast.Module,
+                   handler_path: Optional[str] = None,
+                   spec_path: Optional[str] = None) -> List[Finding]:
+    """Run R006 over one messages module and its siblings.
+
+    ``handler_path``/``spec_path`` default to ``handler.py`` /
+    ``protocol.py`` next to the messages file.  Returns no findings
+    when the spec file does not exist (protocol verification is opted
+    into by checking in a spec).
+    """
+    spec_path = spec_path or spec_path_for(messages_path)
+    if not os.path.exists(spec_path):
+        return []
+    findings: List[Finding] = []
+
+    def flag(message: str, path: str = messages_path, line: int = 1,
+             function: str = "<module>") -> None:
+        findings.append(Finding(
+            tool="pkvlint", rule="R006", message=message,
+            path=path, line=line, function=function,
+        ))
+
+    specs, request_comm, errors = _load_spec(spec_path)
+    for err in errors:
+        flag(err, path=spec_path)
+    if specs is None:
+        return findings
+
+    wire_classes = _wire_tag_classes(tree)
+    fields = _class_fields(tree)
+    lines = _class_lines(tree)
+
+    # -------- coverage: the spec and the wire surface must be identical
+    for cls in wire_classes:
+        if cls not in specs:
+            flag(
+                f"WIRE_TAGS entry `{cls}` has no protocol spec entry —"
+                " the state machine does not cover it",
+                line=lines.get(cls, 1), function=cls,
+            )
+    for cls in specs:
+        if cls not in wire_classes:
+            flag(
+                f"protocol spec entry `{cls}` has no WIRE_TAGS entry —"
+                " the spec describes a message that is not on the wire",
+                path=spec_path,
+            )
+
+    # ---------------------------------------- handler dispatch extraction
+    handler_path = handler_path or os.path.join(
+        os.path.dirname(messages_path), "handler.py"
+    )
+    arms: Dict[str, Tuple[int, List[ast.stmt]]] = {}
+    handler_funcs: Dict[str, ast.AST] = {}
+    handler_tree: Optional[ast.Module] = None
+    if os.path.exists(handler_path):
+        with open(handler_path, encoding="utf-8") as f:
+            try:
+                handler_tree = ast.parse(f.read(), filename=handler_path)
+            except SyntaxError:
+                handler_tree = None
+        if handler_tree is not None:
+            arms = _dispatch_arms(handler_tree)
+            handler_funcs = _handler_functions(handler_tree)
+
+    # ------------------------------------------------- per-entry checks
+    for cls, spec in sorted(specs.items()):
+        if cls not in wire_classes:
+            continue
+        line = lines.get(cls, 1)
+        cls_fields = fields.get(cls, set())
+        kind = spec.get("kind")
+        retryable = bool(spec.get("retryable", False))
+        epoch_stamped = bool(spec.get("epoch_stamped", False))
+        if (cls.startswith("Replica") or cls.startswith("Index")) \
+                and not epoch_stamped:
+            flag(
+                f"`{cls}` is a replication/index message but the spec"
+                " does not declare it epoch_stamped — membership stamps"
+                " are what keep dead epochs dead",
+                path=spec_path,
+            )
+            epoch_stamped = True  # still verify the fields below
+        if epoch_stamped:
+            missing = {"epoch", "dead"} - cls_fields
+            if missing:
+                flag(
+                    f"`{cls}` is declared epoch_stamped but lacks"
+                    f" field(s) {sorted(missing)} — a receiver cannot"
+                    " reject stale-epoch traffic it cannot see",
+                    line=line, function=cls,
+                )
+        if retryable and "seq" not in cls_fields:
+            flag(
+                f"`{cls}` is declared retryable but carries no `seq`"
+                " field — a retransmitted message cannot be"
+                " deduplicated",
+                line=line, function=cls,
+            )
+        if kind == "request" and handler_tree is not None:
+            arm = arms.get(cls)
+            if arm is None:
+                flag(
+                    f"request `{cls}` has no isinstance dispatch arm in"
+                    " the handler — its sender hangs forever",
+                    line=line, function=cls,
+                )
+                continue
+            arm_line, arm_body = arm
+            names = _arm_effective_names(arm_body, handler_funcs)
+            if retryable and "_already_applied" not in names:
+                flag(
+                    f"request `{cls}` is retryable but its dispatch arm"
+                    " never consults the seq-dedup gate"
+                    " (`_already_applied`) — a retransmit re-applies"
+                    " the mutation",
+                    path=handler_path, line=arm_line, function=cls,
+                )
+            reply = spec.get("reply", None)
+            if reply is not None:
+                if reply not in wire_classes:
+                    flag(
+                        f"request `{cls}` declares reply `{reply}`"
+                        " which has no WIRE_TAGS entry",
+                        path=spec_path,
+                    )
+                elif reply not in names:
+                    flag(
+                        f"request `{cls}`'s dispatch arm never"
+                        f" constructs its declared reply `{reply}` —"
+                        " the sender's wait never completes",
+                        path=handler_path, line=arm_line, function=cls,
+                    )
+    # a handler arm dispatching a class the wire surface does not know
+    for cls, (arm_line, _body) in sorted(arms.items()):
+        if (cls.endswith("Msg") or cls.endswith("Reply")) \
+                and cls not in wire_classes:
+            flag(
+                f"handler dispatches `{cls}` which has no WIRE_TAGS"
+                " entry — untagged messages cannot be on the wire",
+                path=handler_path, line=arm_line, function=cls,
+            )
+
+    # ----------------------------- no handler send on the request comm
+    if handler_tree is not None and request_comm:
+        for node in ast.walk(handler_tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _attr_or_name(node.func)
+            if name in _SEND_CALLS and isinstance(node.func, ast.Attribute):
+                chain = _chain(node.func.value)
+                if request_comm in chain.split("."):
+                    flag(
+                        f"handler sends on the request comm"
+                        f" (`{chain}.{name}`) — the request comm"
+                        " must stay one-directional or two handlers"
+                        " can rendezvous-deadlock",
+                        path=handler_path, line=node.lineno,
+                        function="<handler>",
+                    )
+    findings.sort(key=lambda f: (f.path, f.line, f.message))
+    return findings

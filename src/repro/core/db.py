@@ -2186,7 +2186,9 @@ class Database:
             ))
         seq = self._next_seq
         self._next_seq += self.nranks
-        payload = msg.IndexPullMsg(have, seq)
+        mv = self.membership
+        epoch, dead = mv.wire() if mv is not None else (0, ())
+        payload = msg.IndexPullMsg(have, seq, epoch, dead)
         self.srv_comm.send(payload, owner, tag=0)
         try:
             reply = self._await_reply(owner, payload, seq)

@@ -334,6 +334,11 @@ def _serve_index_pull(db: Database, m: msg.IndexPullMsg, source: int,
     """
     from repro.errors import StorageError
 
+    mv = db.membership
+    if mv is not None:
+        # the pull carries the requester's membership stamp: merge it so
+        # epoch news travels on every index exchange, not just puts
+        mv.merge(m.epoch, m.dead)
     have = set(m.have)
     t = hclock.now
     for _attempt in range(2):
@@ -357,7 +362,6 @@ def _serve_index_pull(db: Database, m: msg.IndexPullMsg, source: int,
         mem_clean = False  # unusable view: force the handler path
         quarantine_free = True
     hclock.advance_to(t)
-    mv = db.membership
     epoch, dead = mv.wire() if mv is not None else (0, ())
     db.rsp_comm.send(
         msg.IndexPullReply(

@@ -12,7 +12,7 @@ to the application (paper §2.4):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 # message types on the srv comm
 MIGRATE = 1       # bulk key-value chunk from a remote MemTable
@@ -180,7 +180,7 @@ class FetchTableMsg:
 class FetchTableReply:
     """The shipped SSTable files, or ``None`` if the peer failed too."""
 
-    blobs: Optional[dict]  # filename -> bytes
+    blobs: Optional[Dict[str, bytes]]
     seq: int
 
     def wire_nbytes(self) -> int:
@@ -282,15 +282,19 @@ class IndexPullMsg:
 
     ``have`` lists the ssids whose bundles the requester already caches
     for this owner, so an unchanged bundle is never re-shipped — after a
-    flush only the new table's metadata travels.
+    flush only the new table's metadata travels.  Carries the puller's
+    ``(epoch, dead)`` membership stamp like every other index-plane
+    message, so epoch news reaches the owner on every pull.
     """
 
     have: Tuple[int, ...]
     seq: int
+    epoch: int = 0
+    dead: Tuple[int, ...] = ()
 
     def wire_nbytes(self) -> int:
-        """Wire size of a pull request (ssid list + header)."""
-        return 16 + 4 * len(self.have)
+        """Wire size of a pull request (ssid list + stamp + header)."""
+        return 24 + 4 * len(self.have) + 4 * len(self.dead)
 
 
 @dataclass
@@ -310,7 +314,7 @@ class IndexPullReply:
     owner_dir: str
     newest_ssid: int
     ssids: Tuple[int, ...]
-    bundles: dict  # ssid -> encoded bundle bytes
+    bundles: Dict[int, bytes]
     mem_clean: bool
     quarantine_free: bool
     seq: int
@@ -337,7 +341,7 @@ class IndexPublishMsg:
     owner_dir: str
     newest_ssid: int
     ssids: Tuple[int, ...]
-    bundles: dict  # ssid -> encoded bundle bytes
+    bundles: Dict[int, bytes]
     mem_clean: bool
     quarantine_free: bool
     seq: int
@@ -364,7 +368,7 @@ class StopMsg:
 #: reuse their dispatch constants; replies get the 100+ block.  A tag,
 #: once assigned, must never change or be reused: checkpoint manifests
 #: and fault plans written by old runs identify messages by these.
-WIRE_TAGS = {
+WIRE_TAGS: Dict[str, int] = {
     "MigrateMsg": MIGRATE,
     "PutSyncMsg": PUT_SYNC,
     "PutSyncBatchMsg": PUT_SYNC_BATCH,

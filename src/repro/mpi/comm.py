@@ -15,7 +15,8 @@ from __future__ import annotations
 import math
 import threading
 from typing import (
-    Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple,
+    TYPE_CHECKING, Any, Callable, Dict, List, Mapping, Optional,
+    Sequence, Set, Tuple,
 )
 
 from repro.analysis.runtime import get_detector, make_lock
@@ -23,6 +24,9 @@ from repro.faults import RankKilledError
 from repro.mpi.message import Envelope, payload_nbytes
 from repro.simtime.clock import VirtualClock
 from repro.simtime.profiles import NetworkProfile
+
+if TYPE_CHECKING:
+    from repro.faults import FaultPlan
 
 ANY_SOURCE = -1
 ANY_TAG = -1
@@ -101,7 +105,8 @@ class _CollectiveState:
     def __init__(self, size: int) -> None:
         self.barrier = threading.Barrier(size)
         self.lock = make_lock("comm.collective")
-        self.slots: Dict[int, Any] = {}
+        # keyed by ("t", rank) / ("a2a", src, dst)-style tuples
+        self.slots: Dict[Tuple[Any, ...], Any] = {}
         self.scratch: Any = None
 
 
@@ -143,9 +148,9 @@ class World:
         self._mbx_lock = make_lock("world.mailboxes")
         self.abort_event = threading.Event()
         self._coll_states: List[_CollectiveState] = []
-        self.faults = None  # Optional[repro.faults.FaultPlan]
+        self.faults: Optional["FaultPlan"] = None
         #: ranks killed by the fault plane; guarded by ``_mbx_lock``
-        self._dead_ranks: set = set()
+        self._dead_ranks: Set[int] = set()
 
     def register_coll(self, coll: "_CollectiveState") -> "_CollectiveState":
         """Track a collective state so abort() can break its barrier."""
@@ -414,7 +419,7 @@ class Comm:
         source: int = ANY_SOURCE,
         tag: int = ANY_TAG,
         timeout: Optional[float] = None,
-        status: Optional[dict] = None,
+        status: Optional[Dict[str, Any]] = None,
     ) -> Any:
         """Blocking receive; advances the clock to the message arrival."""
         clock = self._my_clock()

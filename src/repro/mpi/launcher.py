@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.faults import RankKilledError
 from repro.mpi.comm import Comm, World
@@ -36,7 +36,7 @@ class RankContext:
     machine: Any = None  # repro.nvm.storage.Machine (set by the launcher)
     faults: Any = None  # repro.faults.FaultPlan (set by the launcher)
     #: scratch dict for application use (e.g. returning results)
-    user: dict = field(default_factory=dict)
+    user: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def node(self) -> int:
@@ -45,7 +45,7 @@ class RankContext:
 
 def current_rank_context() -> RankContext:
     """Return the context bound to the calling thread."""
-    ctx = getattr(_tls, "ctx", None)
+    ctx: Optional[RankContext] = getattr(_tls, "ctx", None)
     if ctx is None:
         raise RuntimeError(
             "no RankContext bound to this thread; run inside spmd_run() or "
@@ -63,7 +63,7 @@ def bind_context(ctx: Optional[RankContext]) -> None:
 class RankFailure(RuntimeError):
     """One or more ranks raised; carries the per-rank exceptions."""
 
-    def __init__(self, failures: List[tuple]) -> None:
+    def __init__(self, failures: List[Tuple[int, BaseException]]) -> None:
         self.failures = failures
         lines = ", ".join(f"rank {r}: {e!r}" for r, e in failures[:4])
         extra = "" if len(failures) <= 4 else f" (+{len(failures) - 4} more)"
@@ -116,7 +116,7 @@ def spmd_run(
         machine.set_faults(faults)
 
     results: List[Any] = [None] * nranks
-    failures: List[tuple] = []
+    failures: List[Tuple[int, BaseException]] = []
     failures_lock = threading.Lock()
 
     def runner(rank: int) -> None:

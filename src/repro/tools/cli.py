@@ -8,7 +8,8 @@
     python -m repro.tools.cli fsck <repository-root>
     python -m repro.tools.cli demo [--ranks N] [--system NAME] [--stats]
     python -m repro.tools.cli systems
-    python -m repro.tools.cli lint <paths...> [--json] [--allowlist F]
+    python -m repro.tools.cli lint <paths...> [--format text|json|sarif]
+                                   [--lexical] [--allowlist F] [--output F]
     python -m repro.tools.cli race-report [--ranks N] [--ops N] [--json]
 """
 
@@ -185,18 +186,29 @@ def _cmd_systems(args) -> int:
 def _cmd_lint(args) -> int:
     import os
 
-    from repro.analysis import findings_to_json, lint_paths
+    from repro.analysis import findings_to_json, findings_to_sarif, lint_paths
 
     allowlist = args.allowlist
     if allowlist is None and os.path.exists(".pkvlint-allow"):
         allowlist = ".pkvlint-allow"
-    findings = lint_paths(args.paths, allowlist=allowlist)
-    if args.json:
-        print(findings_to_json(findings))
+    findings = lint_paths(
+        args.paths, allowlist=allowlist,
+        interprocedural=not args.lexical,
+    )
+    fmt = "json" if args.json else args.format
+    if fmt == "json":
+        text = findings_to_json(findings, version=args.schema_version)
+    elif fmt == "sarif":
+        text = findings_to_sarif(findings)
     else:
-        for f in findings:
-            print(f.render())
-        print(f"pkvlint: {len(findings)} finding(s)")
+        lines = [f.render() for f in findings]
+        lines.append(f"pkvlint: {len(findings)} finding(s)")
+        text = "\n".join(lines)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    else:
+        print(text)
     return 1 if findings else 0
 
 
@@ -277,8 +289,19 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="run pkvlint (project-specific static rules)"
     )
     p.add_argument("paths", nargs="+", help="files or directories")
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text",
+                   help="output format (json = findings schema, sarif = "
+                        "SARIF 2.1.0 for CI annotations)")
     p.add_argument("--json", action="store_true",
-                   help="machine-readable findings (schema v1)")
+                   help="alias for --format json (back-compat)")
+    p.add_argument("--schema-version", type=int, choices=(1, 2), default=2,
+                   help="findings JSON schema version (v1 drops call_path)")
+    p.add_argument("--output", default=None,
+                   help="write the report to a file instead of stdout")
+    p.add_argument("--lexical", action="store_true",
+                   help="PR-4 per-function rules only: no call graph, no "
+                        "interprocedural propagation (diagnostic mode)")
     p.add_argument("--allowlist", default=None,
                    help="allowlist file (default: .pkvlint-allow if present)")
     p.set_defaults(fn=_cmd_lint)

@@ -1,0 +1,155 @@
+"""Call-graph construction and resolution (repro.analysis.callgraph)."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.callgraph import build_call_graph, module_name_for
+
+
+def _graph(**files):
+    trees = []
+    for path, src in files.items():
+        trees.append((path, ast.parse(textwrap.dedent(src), filename=path)))
+    return build_call_graph(trees), {p: t for p, t in trees}
+
+
+def _resolve(graph, caller_qual, tree):
+    caller = graph.functions[caller_qual]
+    calls = [n for n in ast.walk(caller.node) if isinstance(n, ast.Call)]
+    out = []
+    for c in calls:
+        out.extend(f.qualname for f in graph.resolve_call(caller, c))
+    return out
+
+
+class TestModuleNames:
+    def test_src_layout(self):
+        assert module_name_for("src/repro/core/db.py") == "repro.core.db"
+
+    def test_package_init(self):
+        assert module_name_for("src/repro/core/__init__.py") == "repro.core"
+
+    def test_fixture_fallback(self):
+        assert module_name_for("/tmp/x/helper.py") == "helper"
+
+
+class TestResolution:
+    def test_self_method(self):
+        g, trees = _graph(**{"src/repro/core/a.py": """
+            class D:
+                def outer(self):
+                    self.inner()
+                def inner(self):
+                    pass
+        """})
+        assert _resolve(g, "repro.core.a:D.outer", None) == [
+            "repro.core.a:D.inner"
+        ]
+
+    def test_base_class_method(self):
+        g, _ = _graph(**{"src/repro/core/a.py": """
+            class Base:
+                def helper(self):
+                    pass
+            class D(Base):
+                def outer(self):
+                    self.helper()
+        """})
+        assert _resolve(g, "repro.core.a:D.outer", None) == [
+            "repro.core.a:Base.helper"
+        ]
+
+    def test_module_function(self):
+        g, _ = _graph(**{"src/repro/core/a.py": """
+            def helper():
+                pass
+            def outer():
+                helper()
+        """})
+        assert _resolve(g, "repro.core.a:outer", None) == [
+            "repro.core.a:helper"
+        ]
+
+    def test_from_import_across_modules(self):
+        g, _ = _graph(**{
+            "src/repro/core/a.py": """
+                from repro.core.b import helper
+                def outer():
+                    helper()
+            """,
+            "src/repro/core/b.py": """
+                def helper():
+                    pass
+            """,
+        })
+        assert _resolve(g, "repro.core.a:outer", None) == [
+            "repro.core.b:helper"
+        ]
+
+    def test_module_alias(self):
+        g, _ = _graph(**{
+            "src/repro/core/a.py": """
+                import repro.core.b as b
+                def outer():
+                    b.helper()
+            """,
+            "src/repro/core/b.py": """
+                def helper():
+                    pass
+            """,
+        })
+        assert _resolve(g, "repro.core.a:outer", None) == [
+            "repro.core.b:helper"
+        ]
+
+    def test_annotated_param_cross_module(self):
+        # the handler.py pattern: def _serve(db: Database) -> db.m()
+        g, _ = _graph(**{
+            "src/repro/core/db.py": """
+                class Database:
+                    def _retire(self):
+                        pass
+            """,
+            "src/repro/core/handler.py": """
+                from repro.core.db import Database
+                def serve(db: Database):
+                    db._retire()
+            """,
+        })
+        assert _resolve(g, "repro.core.handler:serve", None) == [
+            "repro.core.db:Database._retire"
+        ]
+
+    def test_unannotated_receiver_stays_unresolved(self):
+        # dynamic dispatch is the documented blind spot: never guess
+        g, _ = _graph(**{"src/repro/core/a.py": """
+            class D:
+                def outer(self, worker):
+                    worker.schedule(1)
+        """})
+        assert _resolve(g, "repro.core.a:D.outer", None) == []
+
+    def test_attr_name_collision_not_resolved_by_name(self):
+        # a VirtualClock._lock-style collision: obj.advance() must not
+        # resolve just because SOME class defines advance()
+        g, _ = _graph(**{"src/repro/core/a.py": """
+            class Clock:
+                def advance(self):
+                    pass
+            class D:
+                def outer(self):
+                    self.clock.advance()
+        """})
+        assert _resolve(g, "repro.core.a:D.outer", None) == []
+
+    def test_cyclic_bases_terminate(self):
+        g, _ = _graph(**{"src/repro/core/a.py": """
+            class A(B):
+                def outer(self):
+                    self.ghost()
+            class B(A):
+                pass
+        """})
+        assert _resolve(g, "repro.core.a:A.outer", None) == []
