@@ -1,0 +1,273 @@
+"""Scan-path regression bench: streamed pruned scans vs. read-all.
+
+A 4-rank YCSB-E-style workload: each rank loads its own shard in
+key-prefixed phases — one flushed SSTable per disjoint prefix range, so
+the footer fences can prune — then times a Zipfian-start short-scan
+phase (the workload-E op: "the next n records from a start key", n
+drawn uniformly) twice:
+
+* **baseline** — the seed-era scan shape (``reference_scan`` with
+  ``block_cache_enabled=False, fence_pruning=False``): every table read
+  in full and every tier materialized, per scan;
+* **optimized** — the streamed snapshot-pinned iterator over the
+  defaults: table selection gated by the footer fences, only the
+  overlapping SSData blocks read, through the shared block cache at low
+  priority.
+
+A second experiment exercises the collective plane: a full
+``scan_global`` drain must keep its peak merge buffer within the
+``O(nranks × chunk)`` window (never a shard materialization), and a
+``limit``-bounded global scan must ship only the chunks a top-K needs.
+
+Emits ``BENCH_SCAN.json`` at the repo root — the checked-in copy is the
+regression reference.  Quick mode (``PKV_BENCH_QUICK=1``, CI's
+bench-smoke job) shrinks the workload and skips the speedup gate but
+still fails if fence pruning, block-bracketed reads, or chunked
+shipping stop being exercised (a zero counter = a wiring regression).
+"""
+
+from __future__ import annotations
+
+import os
+from itertools import islice
+
+from benchmarks.harness import KB, MB, Report, run_once, write_json
+from repro.config import Options, SSTABLE
+from repro.core.env import Papyrus
+from repro.core.scan import reference_scan
+from repro.mpi.launcher import spmd_run
+from repro.simtime.profiles import SUMMITDEV
+from repro.util.hashing import owner_rank
+from repro.workloads.generators import value_of_size
+from repro.workloads.ycsb import ZipfianGenerator
+
+RANKS = 4
+VALLEN = 1 * KB
+ZIPF_THETA = 0.99
+
+QUICK = os.environ.get("PKV_BENCH_QUICK", "") not in ("", "0")
+PHASES = 4 if QUICK else 6
+KEYS_PER_PHASE = 16 if QUICK else 40
+SCANS = 30 if QUICK else 200
+MAX_SCAN_LEN = 10 if QUICK else 25
+GLOBAL_CHUNK = 16
+GLOBAL_LIMIT = 12
+
+
+def _shard_keys(rank: int, nranks: int) -> list:
+    """This rank's keys, grouped into ``PHASES`` disjoint prefix ranges.
+
+    Phase ``p``'s keys all start with ``b"p%02d-"``; each flushed
+    SSTable covers one prefix range, so a scan window inside one phase
+    fence-prunes every other phase's table.
+    """
+    keys = []
+    for p in range(PHASES):
+        got, i = 0, 0
+        while got < KEYS_PER_PHASE:
+            cand = f"{p:02d}-{i:06d}".encode()
+            i += 1
+            if owner_rank(cand, nranks, None) == rank:
+                keys.append(cand)
+                got += 1
+    return keys
+
+
+def _phase_end(start: bytes) -> bytes:
+    """Exclusive upper bound of the start key's prefix phase
+    (``b"~" > b"-"``, so this caps the window at the phase)."""
+    return start[:2] + b"~"
+
+
+def _options(optimized: bool) -> Options:
+    return Options(
+        memtable_capacity=1 * MB,
+        cache_local_enabled=False,  # measure the SSTable path itself
+        compaction_interval=0,      # keep one table per load phase
+        group_size=1,
+        block_cache_enabled=optimized,
+        fence_pruning=optimized,
+    )
+
+
+def _scan_app_factory(optimized: bool):
+    def app(ctx):
+        env = Papyrus(ctx)
+        db = env.open("scanpath", _options(optimized))
+        keys = _shard_keys(ctx.world_rank, ctx.nranks)
+        value = value_of_size(VALLEN)
+        per_phase = len(keys) // PHASES
+        for p in range(PHASES):
+            for k in keys[p * per_phase:(p + 1) * per_phase]:
+                db.put(k, value)
+            db.barrier(SSTABLE)  # one SSTable per prefix range
+
+        db._invalidate_readers()  # cold reader/block state both ways
+        pruned0 = db.stats.scan_tables_pruned
+        blocks0 = db.stats.scan_blocks_read
+
+        zipf = ZipfianGenerator(len(keys), ZIPF_THETA,
+                                seed=41 + ctx.world_rank)
+        import random
+
+        rng = random.Random(43 + ctx.world_rank)
+        pairs_seen = 0
+        t0 = ctx.clock.now
+        for _ in range(SCANS):
+            start = keys[zipf.next()]
+            n = rng.randrange(1, MAX_SCAN_LEN + 1)
+            if optimized:
+                with db.scan(start, _phase_end(start)) as it:
+                    pairs_seen += sum(1 for _ in islice(it, n))
+            else:
+                # the pre-overhaul shape: materialize the whole merged
+                # window (read_all on every table), then slice
+                pairs_seen += len(
+                    reference_scan(db, start, _phase_end(start))[:n]
+                )
+        elapsed = ctx.clock.now - t0
+
+        out = {
+            "elapsed": elapsed,
+            "pairs": pairs_seen,
+            "scan_tables_pruned": db.stats.scan_tables_pruned - pruned0,
+            "scan_blocks_read": db.stats.scan_blocks_read - blocks0,
+        }
+        db.barrier()
+        db.close()
+        env.finalize()
+        return out
+
+    return app
+
+
+def _run_scan_config(optimized: bool) -> dict:
+    results = spmd_run(
+        RANKS, _scan_app_factory(optimized), system=SUMMITDEV, timeout=300,
+    )
+    elapsed = max(r["elapsed"] for r in results)
+    return {
+        "scans_per_sec": RANKS * SCANS / elapsed,
+        "elapsed_virtual_s": elapsed,
+        "pairs_returned": sum(r["pairs"] for r in results),
+        "scan_tables_pruned": sum(r["scan_tables_pruned"] for r in results),
+        "scan_blocks_read": sum(r["scan_blocks_read"] for r in results),
+    }
+
+
+def test_scan_path_regression(benchmark):
+    def run():
+        baseline = _run_scan_config(optimized=False)
+        optimized = _run_scan_config(optimized=True)
+        speedup = (baseline["elapsed_virtual_s"]
+                   / optimized["elapsed_virtual_s"])
+
+        rep = Report(
+            "scan_path — 4-rank YCSB-E short scans, prefix-phased shards",
+            ["config", "scans/s", "tables_pruned", "blocks_read"],
+        )
+        for name, r in (("baseline", baseline), ("optimized", optimized)):
+            rep.add(name, r["scans_per_sec"], r["scan_tables_pruned"],
+                    r["scan_blocks_read"])
+        rep.emit()
+
+        payload = {
+            "bench": "scan_path",
+            "ranks": RANKS,
+            "phases": PHASES,
+            "keys_per_rank": PHASES * KEYS_PER_PHASE,
+            "value_bytes": VALLEN,
+            "scans_per_rank": SCANS,
+            "max_scan_len": MAX_SCAN_LEN,
+            "zipf_theta": ZIPF_THETA,
+            "quick": QUICK,
+            "baseline": baseline,
+            "optimized": optimized,
+            "speedup": round(speedup, 3),
+        }
+        payload["global_scan"] = _run_global_experiment()
+        write_json("BENCH_SCAN.json", payload)
+        return payload
+
+    payload = run_once(benchmark, run)
+
+    opt = payload["optimized"]
+    # wiring guards: the fences and the block bracketing must actually
+    # carry the scan phase, and both configs must return the same data
+    assert opt["scan_tables_pruned"] > 0, "fences never pruned a table"
+    assert opt["scan_blocks_read"] > 0, "no block-bracketed reads"
+    assert opt["pairs_returned"] == payload["baseline"]["pairs_returned"]
+    g = payload["global_scan"]
+    assert g["chunks_shipped"] > 0, "global scan shipped no chunks"
+    assert g["peak_buffered"] <= g["peak_bound"], (
+        f"global-scan merge buffered {g['peak_buffered']} pairs, "
+        f"over the O(nranks x chunk) bound {g['peak_bound']}"
+    )
+    assert g["limited_chunks_shipped"] < g["chunks_shipped"], (
+        "a limit-bounded scan shipped as many chunks as the full drain"
+    )
+    assert g["limited_chunks_shipped"] <= 2 * RANKS, (
+        "a top-K needed more than two rounds of chunks"
+    )
+    if not QUICK:
+        # the perf gate proper: narrow-window streamed scans must be an
+        # order of magnitude faster than the read-all baseline
+        assert payload["speedup"] >= 10.0, (
+            f"scan-path speedup {payload['speedup']}x < 10x"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Collective plane: the windowed owner-ordered global merge.
+# ---------------------------------------------------------------------------
+
+
+def _global_app(ctx):
+    env = Papyrus(ctx)
+    db = env.open("scanglobal", _options(True))
+    keys = _shard_keys(ctx.world_rank, ctx.nranks)
+    value = value_of_size(VALLEN)
+    per_phase = len(keys) // PHASES
+    for p in range(PHASES):
+        for k in keys[p * per_phase:(p + 1) * per_phase]:
+            db.put(k, value)
+        db.barrier(SSTABLE)
+
+    chunks0 = db.stats.scan_chunks_shipped
+    full = list(db.scan_global(chunk=GLOBAL_CHUNK))
+    full_chunks = db.stats.scan_chunks_shipped - chunks0
+    peak = db.stats.scan_peak_buffered
+
+    chunks1 = db.stats.scan_chunks_shipped
+    limited = list(db.scan_global(limit=GLOBAL_LIMIT, chunk=GLOBAL_CHUNK))
+    limited_chunks = db.stats.scan_chunks_shipped - chunks1
+    assert limited == full[:GLOBAL_LIMIT]
+
+    out = {
+        "pairs": len(full),
+        "peak_buffered": peak,
+        "chunks_shipped": full_chunks,
+        "limited_chunks_shipped": limited_chunks,
+    }
+    db.barrier()
+    db.close()
+    env.finalize()
+    return out
+
+
+def _run_global_experiment() -> dict:
+    results = spmd_run(RANKS, _global_app, system=SUMMITDEV, timeout=300)
+    total_keys = RANKS * PHASES * KEYS_PER_PHASE
+    assert all(r["pairs"] == total_keys for r in results)
+    return {
+        "chunk": GLOBAL_CHUNK,
+        "limit": GLOBAL_LIMIT,
+        "pairs": total_keys,
+        # worst rank: the memory bound must hold everywhere
+        "peak_buffered": max(r["peak_buffered"] for r in results),
+        "peak_bound": RANKS * GLOBAL_CHUNK + GLOBAL_CHUNK,
+        # chunk counters are per-shipping-rank; sum = cluster traffic
+        "chunks_shipped": sum(r["chunks_shipped"] for r in results),
+        "limited_chunks_shipped":
+            sum(r["limited_chunks_shipped"] for r in results),
+    }

@@ -49,6 +49,14 @@ LOCK_ORDER: Tuple[LockClass, ...] = (
         guards="MemTables, caches, ssids, inflight, quarantine list",
     ),
     LockClass(
+        name="db.scan_pins",
+        level=12,
+        attrs=("_scan_lock",),
+        holder="core.db.Database",
+        guards="scan snapshot pins (ssid -> open-iterator count) and the "
+               "deferred-unlink map compaction parks pinned tables in",
+    ),
+    LockClass(
         name="db.membership",
         level=15,
         attrs=("_mv_lock",),
@@ -158,6 +166,8 @@ def render_threads_map() -> str:
         "Threads and the locks they take, in acquisition order:",
         "",
         "* **rank main** — `db.state` (every put/get/scan/fence), "
+        "`db.scan_pins` (pinning a scan's SSID horizon at open, "
+        "releasing it at iterator close), "
         "`db.membership` (replica-group routing and failure "
         "declarations when `replicas > 1`), "
         "`db.readers` (SSTable lookups), `db.index_cache` (replicated "

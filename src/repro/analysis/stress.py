@@ -13,7 +13,10 @@ The workload is chosen to force the historically racy interleavings:
 * a cross-rank get storm so message handlers hit the SSTable-reader
   cache while their rank-main threads scan it;
 * same-group gets so the §2.7 NOT_IN_MEMORY shortcut reads the
-  quarantine list concurrently with verify.
+  quarantine list concurrently with verify;
+* open scan iterators consumed with writes interleaved (and a
+  collective ``scan_global`` with a limit short-circuit), so scan pins
+  and compaction's deferred unlinks race against flush/retire.
 """
 
 from __future__ import annotations
@@ -62,7 +65,18 @@ def _stress_main(ops_per_rank: int, seed: int):
                 elif op < 0.9:
                     db.delete(key)
                 else:
-                    served += sum(1 for _ in db.scan_local())
+                    # scan-while-writing: consume a pinned lazy iterator
+                    # with puts interleaved mid-stream, so flushes and
+                    # compactions retire tables under an open scan (the
+                    # snapshot-pin / deferred-unlink path)
+                    with db.scan() as it:
+                        for j, _pair in enumerate(it):
+                            served += 1
+                            if j % 8 == 0:
+                                db.put(
+                                    f"s{ctx.world_rank}:{i}:{j}".encode(),
+                                    b"x" * rng.randrange(1, 32),
+                                )
                 if i % 17 == 0:
                     db.fence()
                 if i % 29 == 0:
@@ -75,6 +89,10 @@ def _stress_main(ops_per_rank: int, seed: int):
                 key = f"k{(i * 7) % (ops_per_rank * nranks):05d}".encode()
                 if db.get_or_none(key) is not None:
                     served += 1
+            # collective windowed scan with a limit short-circuit: the
+            # chunked bcast rounds run while handlers still serve the
+            # tail of the get storm's reader-cache traffic
+            served += sum(1 for _ in db.scan_global(limit=25, chunk=8))
             db.checkpoint("race_stress_snap").wait(ctx.clock)
             db.verify()
             db.barrier()

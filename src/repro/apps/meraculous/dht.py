@@ -75,6 +75,17 @@ class PapyrusDHT:
         """Rank owning this k-mer under the shared hash function."""
         return self._db.owner_of(key)
 
+    def scan(self, start: Optional[bytes] = None,
+             end: Optional[bytes] = None):
+        """Lazy sorted (kmer, record) pairs of this rank's graph shard.
+
+        A streamed range scan over the underlying database — the
+        traversal uses it to enumerate its seed k-mers straight off the
+        store (no second in-memory copy of the UFX share) after the
+        construction barrier has migrated everything to its owner.
+        """
+        return self._db.scan(start, end)
+
     @property
     def stats(self):
         return self._db.stats

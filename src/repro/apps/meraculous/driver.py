@@ -74,11 +74,19 @@ def run_meraculous(
         if protect_readonly and isinstance(dht, PapyrusDHT):
             dht.protect_readonly(True)
 
-        # seeds: the entries whose start k-mer this rank owns
-        owned = [
-            (km, code) for km, code in sorted(ufx.items())
-            if dht.owner_of(km) == ctx.world_rank
-        ]
+        # seeds: the entries whose start k-mer this rank owns.  The
+        # PapyrusKV backend enumerates them straight off the store with
+        # a streamed range scan (construction's barrier has migrated
+        # every k-mer to its owner, so the local shard IS the owned
+        # set); the UPC baseline has no scan surface and filters the
+        # full UFX table by ownership instead.
+        if isinstance(dht, PapyrusDHT):
+            owned = list(dht.scan())
+        else:
+            owned = [
+                (km, code) for km, code in sorted(ufx.items())
+                if dht.owner_of(km) == ctx.world_rank
+            ]
         t0 = ctx.clock.now
         contigs = traverse(dht, owned, ctx.world_rank, ctx.nranks)
         dht.barrier()

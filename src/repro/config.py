@@ -128,6 +128,10 @@ class Options:
     #: key, before the bloom is even consulted (v1 tables fall back to
     #: bloom-only)
     fence_pruning: bool = True
+    #: pairs per broadcast chunk in the windowed global scan merge
+    #: (``db.scan_global``): the in-flight buffer is bounded by
+    #: ``nranks * scan_chunk`` pairs, whatever the shard sizes
+    scan_chunk: int = 1024
     #: repository selector: "nvm" or "lustre"; None inherits the
     #: environment's repository (``papyruskv_init`` argument)
     repository: Optional[str] = None
@@ -233,6 +237,8 @@ class Options:
             )
         if self.index_cache_capacity <= 0:
             raise InvalidOptionError("index_cache_capacity must be positive")
+        if self.scan_chunk <= 0:
+            raise InvalidOptionError("scan_chunk must be positive")
 
     def with_(self, **kw) -> "Options":
         """Return a copy with the given fields replaced."""
@@ -251,6 +257,7 @@ def options_from_env(env: Optional[Mapping[str, str]] = None,
     parallel file system), ``PAPYRUSKV_BLOCK_CACHE`` (0 disables the
     shared SSData block cache, any other value is its byte budget),
     ``PAPYRUSKV_FENCE_PRUNING`` (0 disables footer key-fence pruning),
+    ``PAPYRUSKV_SCAN_CHUNK`` (pairs per global-scan broadcast chunk),
     ``PAPYRUSKV_GROUP_COMMIT`` (0 disables write-side group commit, any
     other value is the commit window's byte budget),
     ``PAPYRUSKV_FLUSH_PIPELINE`` (0 restores the monolithic flush),
@@ -288,6 +295,8 @@ def options_from_env(env: Optional[Mapping[str, str]] = None,
                             block_cache_capacity=val)
     if "PAPYRUSKV_FENCE_PRUNING" in env:
         opt = opt.with_(fence_pruning=int(env["PAPYRUSKV_FENCE_PRUNING"]) != 0)
+    if "PAPYRUSKV_SCAN_CHUNK" in env:
+        opt = opt.with_(scan_chunk=int(env["PAPYRUSKV_SCAN_CHUNK"]))
     if "PAPYRUSKV_GROUP_COMMIT" in env:
         # 0 disables; any other value is the window's byte budget
         val = int(env["PAPYRUSKV_GROUP_COMMIT"])

@@ -23,7 +23,11 @@ import json
 import threading
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from itertools import islice
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.scan import ScanIterator
 
 from repro import config
 from repro.analysis.runtime import (
@@ -238,6 +242,17 @@ class DbStats:
     index_repl_fallbacks: int = 0
     index_pulls: int = 0
     index_publishes: int = 0
+    #: scan-path counters: iterators opened, tables pruned at scan open
+    #: (fences outside the window, or empty), distinct SSData blocks the
+    #: scan cursors actually read, non-empty chunks this rank shipped
+    #: into scan_global's windowed merge, and the high-water pair count
+    #: of the global merge buffer (the O(nranks x chunk) memory bound,
+    #: made observable)
+    scans: int = 0
+    scan_tables_pruned: int = 0
+    scan_blocks_read: int = 0
+    scan_chunks_shipped: int = 0
+    scan_peak_buffered: int = 0
     get_tiers: Dict[str, int] = field(default_factory=dict)
 
     def hit(self, tier: str) -> None:
@@ -450,6 +465,16 @@ class Database:
         self._readers_lock = make_lock("db.readers")
         #: damaged tables pulled from the search order (poisoned ranges)
         self._quarantined: List[QuarantinedTable] = []
+        #: scan snapshot pins: ssid -> count of open iterators reading
+        #: it.  A pinned table's files survive flush/compaction retire
+        #: (the unlink is deferred to _deferred_unlinks) so in-progress
+        #: scans keep a consistent horizon.  db.scan_pins (level 12)
+        #: guards both dicts: nested inside db.state at snapshot/retire
+        #: time, taken alone at iterator close.
+        self._scan_lock = make_lock("db.scan_pins")
+        self._scan_pins: Dict[int, int] = {}
+        #: ssid -> file paths whose unlink compaction deferred to unpin
+        self._deferred_unlinks: Dict[int, List[str]] = {}
         #: newest checkpoint target (recovery ladder's last rung)
         self._last_checkpoint_path: Optional[str] = None
         #: cached view of group peers' SSTable sets: owner -> (newest, ssids)
@@ -910,6 +935,57 @@ class Database:
         while self.flushing and self.flushing[0][1] <= now:
             self.flushing.pop(0)
 
+    # -------------------------------------------------- scan snapshot pins
+    def _pin_scan_tables(self, ssids: List[int]) -> None:
+        """Pin a scan's SSID horizon (called under db.state at open).
+
+        While pinned, compaction may retire a table from the search
+        order but must not unlink its files — the open iterator still
+        reads them.
+        """
+        if not ssids:
+            return
+        with self._scan_lock:
+            for s in ssids:
+                self._scan_pins[s] = self._scan_pins.get(s, 0) + 1
+
+    def _unpin_scan_tables(self, ssids: List[int]) -> None:
+        """Release one scan's pins; run the unlinks compaction deferred."""
+        due: List[str] = []
+        with self._scan_lock:
+            for s in ssids:
+                n = self._scan_pins.get(s, 0) - 1
+                if n > 0:
+                    self._scan_pins[s] = n
+                else:
+                    self._scan_pins.pop(s, None)
+                    due.extend(self._deferred_unlinks.pop(s, ()))
+        if due:
+
+            def unlink_job(start: float) -> float:
+                return self.store.delete_many(due, start)
+
+            self.compaction_worker.schedule(self.clock.now, unlink_job)
+
+    def _retire_table_files(self, by_ssid: Dict[int, List[str]],
+                            start: float) -> float:
+        """Unlink retired tables' files, deferring any a scan has pinned.
+
+        Compaction's delete stage routes through here: unpinned inputs
+        go in one batched unlink commit, pinned ones park their paths
+        in ``_deferred_unlinks`` until the last reading scan closes.
+        """
+        paths: List[str] = []
+        with self._scan_lock:
+            for s, ps in by_ssid.items():
+                if self._scan_pins.get(s, 0) > 0:
+                    self._deferred_unlinks.setdefault(s, []).extend(ps)
+                else:
+                    paths.extend(ps)
+        if not paths:
+            return start
+        return self.store.delete_many(paths, start)
+
     def _schedule_compaction(self, t_enqueue: float) -> None:
         """Compact this rank's SSTable set (§2.5, partitioned here).
 
@@ -1021,13 +1097,15 @@ class Database:
         )
 
         def delete_job(start: float) -> float:
-            # retire the round's inputs with one batched unlink commit
+            # retire the round's inputs with one batched unlink commit;
+            # inputs an open scan has pinned defer their unlink to the
+            # iterator's close instead
             keep = set(new_ssids)
-            paths: List[str] = []
+            by_ssid: Dict[int, List[str]] = {}
             for rd in holder["readers"]:  # type: ignore[union-attr]
                 if rd.ssid not in keep:
-                    paths.extend(rd.file_paths())
-            return self.store.delete_many(paths, start)
+                    by_ssid[rd.ssid] = list(rd.file_paths())
+            return self._retire_table_files(by_ssid, start)
 
         self.compaction_worker.schedule(
             self.compaction_worker.available, delete_job
@@ -1074,8 +1152,15 @@ class Database:
             _, end = compact(
                 self.store, self.rank_dir, inputs, new_ssid, start,
                 drop_tombstones=True, fp_rate=self.options.bloom_fp_rate,
-                block_cache=self.block_cache,
+                block_cache=self.block_cache, delete_inputs=False,
             )
+            # pin-aware retire: inputs an open scan reads stay on disk
+            by_ssid: Dict[int, List[str]] = {}
+            for s in inputs:
+                if s != new_ssid:
+                    names = sstable_filenames(s)
+                    by_ssid[s] = [f"{self.rank_dir}/{n}" for n in names]
+            end = self._retire_table_files(by_ssid, end)
             self._trace(
                 f"compact {len(inputs)}->ssid={new_ssid}", "compaction",
                 start, end,
@@ -2866,78 +2951,170 @@ class Database:
         self.coll_comm.barrier()
 
     # =================================================================== SCAN
+    def scan(self, start: Optional[bytes] = None,
+             end: Optional[bytes] = None,
+             include_replicas: bool = False,
+             keys_only: bool = False) -> "ScanIterator":
+        """Lazy snapshot-consistent iterator over this rank's shard.
+
+        Yields sorted live ``(key, value)`` pairs with ``start <= key <
+        end``, merging the MemTable tiers and SSTables newest-first
+        with tombstone shadowing — an LSM iterator, extension beyond
+        the paper's Table 1.  SSTable selection is gated quarantine →
+        footer fences → SSIndex bracketing, and only the overlapping
+        SSData blocks are read (through the shared block cache, at low
+        priority), so a narrow window costs O(window), not O(shard).
+
+        The iterator pins its SSID horizon at open: flush/compaction
+        retiring a table mid-iteration defers the file unlink until the
+        scan closes, so writes may continue while iterating (they land
+        after the snapshot).  Exhaustion closes it automatically;
+        abandon one early under ``with`` or via ``.close()``.
+
+        ``keys_only=True`` yields ``(key, b"")`` without reading value
+        bytes.  Under replication only acting-primary keys are yielded
+        unless ``include_replicas=True``.
+        """
+        self._check_open()
+        if self.protection == config.WRONLY:
+            raise ProtectionError("database is write-only (PAPYRUSKV_WRONLY)")
+        from repro.core.scan import ScanIterator
+
+        return ScanIterator(self, start, end,
+                            include_replicas=include_replicas,
+                            keys_only=keys_only)
+
     def scan_local(self, start: Optional[bytes] = None,
                    end: Optional[bytes] = None,
                    include_replicas: bool = False
                    ) -> List[Tuple[bytes, bytes]]:
         """Sorted live pairs of this rank's shard within ``[start, end)``.
 
-        Extension beyond the paper's Table 1 — an LSM merge over the
-        MemTable tiers and SSTables.  See :mod:`repro.core.scan`.
-        Under replication only keys this rank is acting primary for are
+        Materializing wrapper over :meth:`scan` (which is the lazy,
+        streaming form).  See :mod:`repro.core.scan`.  Under
+        replication only keys this rank is acting primary for are
         returned (each key appears on exactly one rank's scan);
         ``include_replicas=True`` returns every pair physically held.
         """
-        self._check_open()
-        if self.protection == config.WRONLY:
-            raise ProtectionError("database is write-only (PAPYRUSKV_WRONLY)")
-        from repro.core.scan import local_scan
+        with self.scan(start, end, include_replicas=include_replicas) as it:
+            return list(it)
 
-        return local_scan(self, start, end, include_replicas)
+    def scan_global(self, start: Optional[bytes] = None,
+                    end: Optional[bytes] = None,
+                    chunk: Optional[int] = None,
+                    limit: Optional[int] = None
+                    ) -> Iterator[Tuple[bytes, bytes]]:
+        """Collective: stream globally sorted live pairs across ranks.
+
+        A windowed owner-ordered merge: each rank walks its own lazy
+        :meth:`scan` and broadcasts in-range chunks of ``chunk`` pairs
+        (default ``Options.scan_chunk``) on demand; every rank merges
+        behind a *watermark* — a pair is emitted once its key is ≤ the
+        smallest last-received key over the streams that still have
+        data, which is exactly when no later chunk can precede it.
+        Each round pulls only from the stream(s) *at* the watermark
+        (streams already ahead of it would only grow the buffer), and
+        a drained stream drops out entirely, so peak extra memory is
+        O(in-flight result + nranks × chunk) pairs regardless of how
+        keys skew across owners — never a shard materialization
+        (``stats.scan_peak_buffered`` records the high-water mark).
+
+        ``limit`` short-circuits after that many pairs (YCSB-E "next N
+        keys"): no further chunks are pulled from any rank once the
+        limit is met.  All ranks see the identical stream and must
+        consume it identically — like any collective, stopping early on
+        a subset of ranks (other than via a shared ``limit``) is a
+        protocol error.  Call a barrier (or use sequential consistency)
+        first if writes are in flight.
+        """
+        self._check_open()
+        if chunk is None:
+            chunk = self.options.scan_chunk
+        if chunk <= 0:
+            raise InvalidOptionError(f"scan chunk must be positive: {chunk}")
+        if limit is not None and limit <= 0:
+            return iter(())  # nothing to pull; symmetric on every rank
+        return self._scan_global_gen(start, end, chunk, limit)
+
+    def _scan_global_gen(self, start: Optional[bytes], end: Optional[bytes],
+                         chunk: int, limit: Optional[int]
+                         ) -> Iterator[Tuple[bytes, bytes]]:
+        it = self.scan(start, end)
+        try:
+            done = [False] * self.nranks
+            last_key: List[Optional[bytes]] = [None] * self.nranks
+            pending: List[Tuple[bytes, bytes]] = []  # min-heap on key
+            emitted = 0
+            while not all(done):
+                # pull only from the stream(s) constraining the
+                # watermark (plus any not yet primed): streams already
+                # ahead of it would only grow the merge buffer, and
+                # skipping them is what makes the peak O(nranks x
+                # chunk) regardless of how keys skew across owners.
+                # Replicated state, so every rank picks the same roots.
+                alive = [r for r in range(self.nranks) if not done[r]]
+                need = [r for r in alive if last_key[r] is None]
+                if not need:
+                    lowest = min(last_key[r] for r in alive)  # type: ignore
+                    need = [r for r in alive if last_key[r] == lowest]
+                for r in need:
+                    if r == self.rank:
+                        part = list(islice(it, chunk))
+                        payload: Optional[Tuple[List[Tuple[bytes, bytes]],
+                                                bool]] = (
+                            part, len(part) < chunk
+                        )
+                        if part:
+                            self.stats.scan_chunks_shipped += 1
+                    else:
+                        payload = None
+                    got = self.coll_comm.bcast(payload, root=r)
+                    part, exhausted = got  # type: ignore[misc]
+                    if exhausted:
+                        done[r] = True
+                    if part:
+                        last_key[r] = part[-1][0]
+                        for kv in part:
+                            heapq.heappush(pending, kv)
+                if len(pending) > self.stats.scan_peak_buffered:
+                    self.stats.scan_peak_buffered = len(pending)
+                unfinished = [
+                    r for r in range(self.nranks) if not done[r]
+                ]
+                if unfinished:
+                    # keys within a stream strictly ascend, so no future
+                    # chunk can deliver a key ≤ this watermark
+                    wm = min(last_key[r] for r in unfinished)  # type: ignore
+                    while pending and pending[0][0] <= wm:
+                        yield heapq.heappop(pending)
+                        emitted += 1
+                        if limit is not None and emitted >= limit:
+                            return
+                else:
+                    while pending:
+                        yield heapq.heappop(pending)
+                        emitted += 1
+                        if limit is not None and emitted >= limit:
+                            return
+        finally:
+            it.close()
 
     def scan_collect(self, start: Optional[bytes] = None,
                      end: Optional[bytes] = None,
                      chunk: int = 1024) -> List[Tuple[bytes, bytes]]:
         """Collective: globally sorted live pairs across all ranks.
 
-        Streaming merge: each rank broadcasts its (already sorted) shard
-        in owner-ordered chunks of ``chunk`` pairs, round by round, and
-        every rank merges behind a *watermark* — a pair is emitted once
-        its key is ≤ the smallest last-received key over the streams
-        that still have data, which is exactly when no later chunk can
-        precede it.  Unlike the old single-shot allgather (whose
-        transient footprint was ``nranks × full shard`` on every rank),
-        peak extra memory is the result plus ``nranks × chunk`` pairs of
-        in-flight buffer.  All ranks receive the same list.  Call a
-        barrier (or use sequential consistency) first if writes are in
-        flight.
+        Thin materializing wrapper over :meth:`scan_global` — all ranks
+        receive the same list.
         """
-        self._check_open()
-        mine = self.scan_local(start, end)
-        counts = self.coll_comm.allgather(len(mine))
-        if not any(counts):
-            return []
-        rounds = max((c + chunk - 1) // chunk for c in counts)
-        received = [0] * self.nranks
-        last_key: List[Optional[bytes]] = [None] * self.nranks
-        pending: List[Tuple[bytes, bytes]] = []  # min-heap on key
-        merged: List[Tuple[bytes, bytes]] = []
-        for rnd in range(rounds):
-            lo = rnd * chunk
-            for r in range(self.nranks):
-                part = mine[lo:lo + chunk] if r == self.rank else None
-                got = self.coll_comm.bcast(part, root=r)
-                if got:
-                    received[r] += len(got)
-                    last_key[r] = got[-1][0]
-                    for kv in got:
-                        heapq.heappush(pending, kv)
-            unfinished = [
-                r for r in range(self.nranks) if received[r] < counts[r]
-            ]
-            if not unfinished:
-                while pending:
-                    merged.append(heapq.heappop(pending))
-            else:
-                # keys within a stream strictly ascend, so no future
-                # chunk can deliver a key ≤ this watermark
-                wm = min(last_key[r] for r in unfinished)  # type: ignore
-                while pending and pending[0][0] <= wm:
-                    merged.append(heapq.heappop(pending))
-        return merged
+        return list(self.scan_global(start, end, chunk=chunk))
 
     def count_local(self) -> int:
-        """Number of live keys in this rank's shard."""
+        """Number of live keys in this rank's shard.
+
+        Streams a keys-only scan: tombstones are resolved without
+        copying a single value byte or materializing the merge.
+        """
         from repro.core.scan import count_live
 
         return count_live(self)

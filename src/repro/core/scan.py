@@ -4,8 +4,21 @@ PapyrusKV's Table 1 has no iterator, but an LSM store gets one almost
 for free: MemTables iterate in key order and SSTables are key-sorted,
 so a scan is a k-way merge with newest-tier-wins semantics.  The scan
 covers the *local shard* — the keys this rank owns — which is the
-natural unit in an SPMD program (a global scan is an allgather of local
-scans, see :func:`repro.core.db.Database.scan_collect`).
+natural unit in an SPMD program (for the global form see
+:meth:`repro.core.db.Database.scan_global`).
+
+The merge is **streamed**: :class:`ScanIterator` holds one lazy cursor
+per tier and :func:`merge_scan` is a generator over them, so a one-key
+window costs a handful of block reads, not a shard materialization.
+SSTable selection is gated the same way as the get path — quarantine →
+v2 footer key fences → SSIndex block-range bracketing — and the data
+blocks stream through the shared block cache at low priority.
+
+Snapshot consistency: the iterator pins its SSID horizon at open
+(:meth:`Database._pin_scan_tables`), so a flush or compaction that
+retires a pinned table defers the file unlink until the scan closes.
+The live MemTable is snapshotted in-range under the state lock; frozen
+(flushing) MemTables are immutable and iterated lazily in place.
 
 Tombstones shadow older tiers and are skipped in the output.
 """
@@ -13,30 +26,43 @@ Tombstones shadow older tiers and are skipped in the output.
 from __future__ import annotations
 
 import heapq
-from typing import Iterator, List, Optional, Tuple
+from bisect import bisect_left
+from typing import Iterable, Iterator, List, Optional, Tuple
 
+from repro.errors import CorruptionError
 from repro.sstable.format import Record
+
+#: one tier item: (key, value, tombstone)
+Triple = Tuple[bytes, bytes, bool]
 
 
 def merge_scan(
-    tiers: List[List[Tuple[bytes, bytes, bool]]],
+    tiers: Iterable[Iterable[Triple]],
     start: Optional[bytes] = None,
     end: Optional[bytes] = None,
 ) -> Iterator[Tuple[bytes, bytes]]:
     """Merge sorted (key, value, tombstone) runs; ``tiers[0]`` is newest.
 
-    Yields live (key, value) pairs with ``start <= key < end``.
+    Yields live (key, value) pairs with ``start <= key < end``.  Each
+    tier may be a list or any lazy sorted iterable — the merge pulls
+    one item per tier ahead of the emit point, so a window scan over
+    lazy cursors reads O(window) records, not O(shard).
     """
-    heap: List[Tuple[bytes, int, int]] = []
-    for ti, run in enumerate(tiers):
-        if run:
-            heapq.heappush(heap, (run[0][0], ti, 0))
+    iters = [iter(run) for run in tiers]
+    heap: List[Tuple[bytes, int, Triple]] = []
+    for ti, it in enumerate(iters):
+        item = next(it, None)
+        if item is not None:
+            heap.append((item[0], ti, item))
+    heapq.heapify(heap)
     last_key: Optional[bytes] = None
     while heap:
-        key, ti, pos = heapq.heappop(heap)
-        item = tiers[ti][pos]
-        if pos + 1 < len(tiers[ti]):
-            heapq.heappush(heap, (tiers[ti][pos + 1][0], ti, pos + 1))
+        key, ti, item = heap[0]
+        nxt = next(iters[ti], None)
+        if nxt is None:
+            heapq.heappop(heap)
+        else:
+            heapq.heapreplace(heap, (nxt[0], ti, nxt))
         if key == last_key:
             continue  # an older tier's version of an emitted/shadowed key
         last_key = key
@@ -45,9 +71,8 @@ def merge_scan(
         if end is not None and key >= end:
             # sorted merge: nothing further can be in range
             return
-        _, value, tombstone = item
-        if not tombstone:
-            yield key, value
+        if not item[2]:
+            yield key, item[1]
 
 
 def _in_range(key: bytes, start: Optional[bytes], end: Optional[bytes]) -> bool:
@@ -58,13 +83,222 @@ def _in_range(key: bytes, start: Optional[bytes], end: Optional[bytes]) -> bool:
     return True
 
 
+def _window_overlaps(mn: Optional[bytes], mx: Optional[bytes],
+                     start: Optional[bytes], end: Optional[bytes]) -> bool:
+    """Whether a table covering ``[mn, mx]`` may intersect ``[start, end)``.
+
+    Unknown fences (None) overlap everything — the conservative answer
+    quarantine entries need.
+    """
+    if mn is None or mx is None:
+        return True
+    if start is not None and mx < start:
+        return False
+    if end is not None and mn >= end:
+        return False
+    return True
+
+
+def _frozen_cursor(imm, start: Optional[bytes],
+                   end: Optional[bytes]) -> Iterator[Triple]:
+    """Lazy in-range walk of a frozen MemTable's cached record list."""
+    records = imm.records()
+    i = 0
+    if start is not None:
+        i = bisect_left(records, start, key=lambda r: r.key)
+    n = len(records)
+    while i < n:
+        r = records[i]
+        if end is not None and r.key >= end:
+            return
+        yield r.key, r.value, r.tombstone
+        i += 1
+
+
+def _sstable_cursor(db, reader, start: Optional[bytes],
+                    end: Optional[bytes],
+                    keys_only: bool) -> Iterator[Triple]:
+    """Lazy in-range records of one SSTable.
+
+    With a block cache attached (v2 tables) the SSIndex brackets the
+    overlapping entry range — a binary search on key probes finds the
+    first in-range entry — and only the 64KB SSData blocks those
+    entries touch are read, at low cache priority.  Without a cache the
+    cursor degrades to the seed-era shape: one sequential whole-table
+    read, sliced.  ``keys_only`` skips the value bytes entirely
+    (:func:`count_live`).  Device time lands on the consuming rank's
+    clock as records are pulled.
+    """
+    t = db.clock.now
+    index, t = reader.load_index(t)
+    if not reader.block_cached():
+        # v1 table or no cache: one big sequential read (the paper's
+        # natural scan access pattern), then slice in memory
+        records, t = reader.read_all(t)
+        footer, t = reader.footer(t)
+        db.clock.advance_to(t)
+        if footer is not None and records:
+            db.stats.scan_blocks_read += len(footer.block_crcs)
+        i = 0
+        if start is not None:
+            i = bisect_left(records, start, key=lambda r: r.key)
+        for r in records[i:]:
+            if end is not None and r.key >= end:
+                return
+            yield r.key, r.value, r.tombstone
+        return
+
+    lo, t = reader.find_ge(start, t)
+    bs = reader.data_block_size()
+    seen_blocks: set = set()
+
+    def charge_blocks(offset: int, length: int) -> None:
+        if not bs or length <= 0:
+            return
+        for blk in range(offset // bs, (offset + length - 1) // bs + 1):
+            if blk not in seen_blocks:
+                seen_blocks.add(blk)
+                db.stats.scan_blocks_read += 1
+
+    i, n = lo, len(index)
+    while i < n:
+        entry = index[i]
+        key, t = reader.read_span(entry.key_offset, entry.keylen, t)
+        if end is not None and key >= end:
+            break
+        if keys_only:
+            value = b""
+            charge_blocks(entry.key_offset, entry.keylen)
+        else:
+            value, t = reader.read_span(entry.value_offset, entry.vallen, t)
+            charge_blocks(entry.offset, entry.record_len)
+        db.clock.advance_to(t)
+        yield key, value, entry.tombstone
+        t = db.clock.now
+        i += 1
+    db.clock.advance_to(t)
+
+
+class ScanIterator:
+    """A lazy, snapshot-pinned merged scan of one rank's shard.
+
+    Yields sorted live ``(key, value)`` pairs with ``start <= key <
+    end``.  Construction (under the state lock) snapshots the in-range
+    live MemTable entries, takes references to the frozen flushing
+    tiers, and pins the current SSID set, so a flush or compaction
+    retiring mid-iteration cannot invalidate the scan — retired files'
+    unlinks are deferred until :meth:`close`.
+
+    The iterator closes itself on exhaustion; use ``with`` (or call
+    :meth:`close`) when abandoning one early, or the pinned tables'
+    disk space is held until the iterator is garbage collected.
+
+    ``keys_only=True`` yields ``(key, b"")`` without reading any value
+    bytes — the streamed-count path.  A scan window overlapping a
+    quarantined table's poisoned range raises
+    :class:`~repro.errors.CorruptionError` at open, mirroring the get
+    path's refusal to silently serve older versions.
+    """
+
+    def __init__(self, db, start: Optional[bytes] = None,
+                 end: Optional[bytes] = None,
+                 include_replicas: bool = False,
+                 keys_only: bool = False) -> None:
+        self._db = db
+        self._closed = False
+        self._pinned: List[int] = []
+        db.stats.scans += 1
+        with db._lock:
+            db._retire_flushed(db.clock.now)
+            for q in db._quarantined:
+                if _window_overlaps(q.min_key, q.max_key, start, end):
+                    raise CorruptionError(
+                        f"scan window overlaps quarantined sstable "
+                        f"{q.ssid}: {q.reason}"
+                    )
+            live: List[Triple] = [
+                (k, e.value, e.tombstone) for k, e in db.local_mt.items()
+                if _in_range(k, start, end)
+            ]
+            frozen = [imm for imm, _end_t in reversed(db.flushing)]
+            ssids = sorted(db.ssids, reverse=True)  # newest first
+            db._pin_scan_tables(ssids)
+            self._pinned = list(ssids)
+            # reader handles are grabbed inside the lock: compaction
+            # (which also runs under db.state) cannot have invalidated
+            # them yet, and the pin keeps their files on disk after
+            readers = [db._reader(s) for s in ssids]
+
+        # fence gate: prune tables whose [min,max] cannot intersect the
+        # window (empty v2 tables have fences (b"", b"") and always
+        # prune); v1 tables have no fences and are always read
+        selected = []
+        t = db.clock.now
+        for reader in readers:
+            rng, t = reader.key_range(t)
+            if rng is not None and db.options.fence_pruning:
+                mn, mx = rng
+                if not mx or not _window_overlaps(mn, mx, start, end):
+                    db.stats.scan_tables_pruned += 1
+                    continue
+            selected.append(reader)
+        db.clock.advance_to(t)
+
+        tiers: List[Iterable[Triple]] = [live]
+        for imm in frozen:
+            tiers.append(_frozen_cursor(imm, start, end))
+        for reader in selected:
+            tiers.append(_sstable_cursor(db, reader, start, end, keys_only))
+        merged = merge_scan(tiers, start, end)
+        if db.membership is not None and not include_replicas:
+            merged = (
+                kv for kv in merged if db._is_acting_primary(kv[0])
+            )
+        self._gen: Iterator[Tuple[bytes, bytes]] = merged
+
+    def __iter__(self) -> "ScanIterator":
+        return self
+
+    def __next__(self) -> Tuple[bytes, bytes]:
+        if self._closed:
+            raise StopIteration
+        try:
+            return next(self._gen)
+        except BaseException:
+            # exhausted or failed: either way the snapshot is released
+            self.close()
+            raise
+
+    def close(self) -> None:
+        """Release the pins (idempotent); deferred unlinks run now."""
+        if self._closed:
+            return
+        self._closed = True
+        pinned, self._pinned = self._pinned, []
+        self._gen.close()
+        if pinned:
+            self._db._unpin_scan_tables(pinned)
+
+    def __enter__(self) -> "ScanIterator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
 def local_scan(db, start: Optional[bytes] = None,
                end: Optional[bytes] = None,
                include_replicas: bool = False) -> List[Tuple[bytes, bytes]]:
     """Sorted live pairs of this rank's shard within [start, end).
 
-    Charges the caller's clock for the SSTable reads (sequential whole-
-    table reads, the natural scan access pattern).
+    Materializing wrapper over :class:`ScanIterator` (the lazy form is
+    :meth:`repro.core.db.Database.scan`).
 
     Under replication a rank also stores copies of other ranks' shards;
     by default those are filtered out — only keys this rank is the
@@ -72,9 +306,25 @@ def local_scan(db, start: Optional[bytes] = None,
     key exactly once.  ``include_replicas=True`` returns everything this
     rank physically holds (diagnostics, replication tests).
     """
+    with ScanIterator(db, start, end,
+                      include_replicas=include_replicas) as it:
+        return list(it)
+
+
+def reference_scan(db, start: Optional[bytes] = None,
+                   end: Optional[bytes] = None,
+                   include_replicas: bool = False
+                   ) -> List[Tuple[bytes, bytes]]:
+    """The seed-era scan: ``read_all`` every table, materialize every tier.
+
+    Kept verbatim as (a) the oracle the property tests compare the
+    streamed path against and (b) the read-all baseline
+    ``benchmarks/bench_scan.py`` measures the overhaul's speedup
+    against.  No pruning, no pinning, full materialization.
+    """
     with db._lock:
         db._retire_flushed(db.clock.now)
-        tiers: List[List[Tuple[bytes, bytes, bool]]] = []
+        tiers: List[List[Triple]] = []
         tiers.append([
             (k, e.value, e.tombstone) for k, e in db.local_mt.items()
             if _in_range(k, start, end)
@@ -101,8 +351,13 @@ def local_scan(db, start: Optional[bytes] = None,
 
 
 def count_live(db) -> int:
-    """Number of live keys in this rank's shard (scan-based)."""
-    return len(local_scan(db))
+    """Number of live keys in this rank's shard.
+
+    Streams a keys-only scan — tombstone resolution without copying a
+    single value byte or materializing the merge.
+    """
+    with ScanIterator(db, keys_only=True) as it:
+        return sum(1 for _ in it)
 
 
 def as_records(pairs: List[Tuple[bytes, bytes]]) -> List[Record]:

@@ -78,6 +78,11 @@ def database_metrics(db) -> Dict[str, Any]:
         "index_repl_fallbacks": stats.index_repl_fallbacks,
         "index_pulls": stats.index_pulls,
         "index_publishes": stats.index_publishes,
+        "scans": stats.scans,
+        "scan_tables_pruned": stats.scan_tables_pruned,
+        "scan_blocks_read": stats.scan_blocks_read,
+        "scan_chunks_shipped": stats.scan_chunks_shipped,
+        "scan_peak_buffered": stats.scan_peak_buffered,
         "get_tiers": dict(stats.get_tiers),
         "sstables": len(db.ssids),
         "memtable_bytes": db.local_mt.size_bytes,
@@ -201,6 +206,14 @@ def format_report(db_metrics: Dict[str, Any]) -> str:
         lines.append(
             f"  read path: {m['fence_skips']} fence skips, "
             f"{m['bloom_skips']} bloom skips"
+        )
+    if m.get("scans"):
+        lines.append(
+            f"  scan path: {m['scans']} scans, "
+            f"{m.get('scan_tables_pruned', 0)} tables pruned, "
+            f"{m.get('scan_blocks_read', 0)} blocks read, "
+            f"{m.get('scan_chunks_shipped', 0)} chunks shipped "
+            f"(peak {m.get('scan_peak_buffered', 0)} pairs buffered)"
         )
     if "block_cache" in m:
         b = m["block_cache"]

@@ -106,17 +106,27 @@ class BlockCache:
         key = (directory, ssid, blk)
         with self._blocks_lock:
             annotate_write(self, "block_cache")
-            old = self._data.pop(key, None)
+            old = self._data.get(key)
             if old is not None:
-                self._bytes -= len(old)
-            self._data[key] = data
-            self._bytes += len(data)
-            self._by_table.setdefault((directory, ssid), set()).add(blk)
-            if low_priority:
-                self.low_priority_inserts += 1
-                self._data.move_to_end(key, last=False)
+                # refresh in place: a streaming re-fill must not demote
+                # a block the foreground heated up, so the entry keeps
+                # its recency unless the insert itself is hot
+                self._bytes += len(data) - len(old)
+                self._data[key] = data
+                if low_priority:
+                    self.low_priority_inserts += 1
+                else:
+                    self.inserts += 1
+                    self._data.move_to_end(key)
             else:
-                self.inserts += 1
+                self._data[key] = data
+                self._bytes += len(data)
+                self._by_table.setdefault((directory, ssid), set()).add(blk)
+                if low_priority:
+                    self.low_priority_inserts += 1
+                    self._data.move_to_end(key, last=False)
+                else:
+                    self.inserts += 1
             while self._bytes > self.capacity_bytes and self._data:
                 (d, s, b), blob = self._data.popitem(last=False)
                 self._bytes -= len(blob)

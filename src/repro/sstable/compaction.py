@@ -121,13 +121,16 @@ def compact(
     drop_tombstones: bool = False,
     fp_rate: float = 0.01,
     block_cache: Optional[BlockCache] = None,
+    delete_inputs: bool = True,
 ) -> Tuple[int, float]:
     """Merge the tables ``ssids`` into one table ``new_ssid``.
 
     The paper's monolithic merge (and the ``compaction_partitions<=1``
     fallback).  Returns ``(merged_record_count, completion_time)``.
     The inputs are deleted after the merged table is durably written,
-    so a reader never observes a state with data missing.
+    so a reader never observes a state with data missing;
+    ``delete_inputs=False`` leaves retirement to the caller (the
+    database defers unlinks of tables an open scan has pinned).
     """
     if not ssids:
         return 0, t
@@ -136,7 +139,8 @@ def compact(
         drop_tombstones=drop_tombstones, block_cache=block_cache,
     )
     _, t = write_sstable(store, directory, new_ssid, merged, t, fp_rate)
-    for rd in readers:
-        if rd.ssid != new_ssid:  # reusing an input SSID replaces its files
-            t = rd.delete(t)
+    if delete_inputs:
+        for rd in readers:
+            if rd.ssid != new_ssid:  # reusing an input SSID replaces its files
+                t = rd.delete(t)
     return len(merged), t

@@ -214,20 +214,24 @@ class SSTableReader:
         fills against; v1 tables always take the direct path."""
         return self._cache is not None and self._footer is not None
 
-    def _read_at(self, offset: int, length: int,
-                 t: float) -> Tuple[bytes, float]:
+    def _read_at(self, offset: int, length: int, t: float,
+                 low_priority: bool = False) -> Tuple[bytes, float]:
         """Read ``[offset, offset+length)`` through the block cache.
 
         Cached blocks cost no device time (they were verified at fill);
         the missing blocks of the span are fetched as one vectored read
         and CRC-checked before insertion, so the cache only ever holds
         verified bytes.  Only callable when :meth:`_cache_active`.
+        ``low_priority=True`` (scan cursors) makes this one call behave
+        like a ``cache_priority="low"`` reader: hits do not promote and
+        fills land at the cold end, whatever the reader's own priority.
         """
         footer, cache = self._footer, self._cache
         assert footer is not None and cache is not None
         self._check_data_size()
         if length <= 0:
             return b"", t
+        promote = self._cache_promote and not low_priority
         bs = footer.block_size
         first, last = offset // bs, (offset + length - 1) // bs
         blocks: Dict[int, bytes] = {}
@@ -236,7 +240,7 @@ class SSTableReader:
             if blk >= len(footer.block_crcs):
                 raise self._corrupt(f"index entry points past block {blk}")
             data = cache.get(self.directory, self.ssid, blk,
-                             promote=self._cache_promote)
+                             promote=promote)
             if data is None:
                 missing.append(blk)
             else:
@@ -250,11 +254,66 @@ class SSTableReader:
                     raise self._corrupt(f"SSData block {blk} checksum mismatch")
                 self._verified_blocks.add(blk)
                 cache.put(self.directory, self.ssid, blk, blob,
-                          low_priority=not self._cache_promote)
+                          low_priority=not promote)
                 blocks[blk] = blob
         buf = b"".join(blocks[blk] for blk in range(first, last + 1))
         start = offset - first * bs
         return buf[start:start + length], t
+
+    # ------------------------------------------------------------ scan support
+    def block_cached(self) -> bool:
+        """Whether SSData reads route through a shared block cache.
+
+        Meaningful once the index is loaded (the footer decides: v1
+        tables have no block CRCs to verify fills against).  Scan
+        cursors use this to choose between block-bracketed streaming
+        and the one-big-read fallback.
+        """
+        return self._cache_active()
+
+    def data_block_size(self) -> Optional[int]:
+        """The v2 SSData block size, or None for v1 (index must be loaded)."""
+        return None if self._footer is None else self._footer.block_size
+
+    def read_span(self, offset: int, length: int, t: float,
+                  low_priority: bool = True) -> Tuple[bytes, float]:
+        """Read ``[offset, offset+length)`` of SSData (scan cursors).
+
+        Routes through the shared block cache when one is attached and
+        the table is v2 — by default at *low* priority, so a scan's
+        streaming reads fill free budget without evicting the point-get
+        working set — and falls back to a direct verified device read
+        otherwise.  Call :meth:`load_index` first: the footer gates both
+        the cache path and span verification.
+        """
+        if self._cache_active():
+            return self._read_at(offset, length, t, low_priority=low_priority)
+        t = self._verify_span(offset, offset + length, t)
+        return self.store.read(self._data_path, t, offset, length)
+
+    def find_ge(self, key: Optional[bytes], t: float) -> Tuple[int, float]:
+        """Index position of the first entry with ``entry.key >= key``.
+
+        Binary search probing only the key bytes of O(log n) entries —
+        the scan cursor's bracketing step.  ``key=None`` (open start)
+        returns 0 for free; a result of ``len(index)`` means no entry
+        qualifies.
+        """
+        index, t = self.load_index(t)
+        if key is None:
+            return 0, t
+        lo, hi = 0, len(index)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            entry = index[mid]
+            if not self._entry_bounds_ok(entry):
+                raise self._corrupt(f"index entry {mid} overruns SSData")
+            probe, t = self.read_span(entry.key_offset, entry.keylen, t)
+            if probe < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo, t
 
     # ---------------------------------------------------------------- lookup
     def get(self, key: bytes, t: float,

@@ -9,13 +9,20 @@ insert-heavy churn that the paper's uniform workloads do not.
 * B — read mostly: 95% reads / 5% updates, Zipfian
 * C — read only: 100% reads, Zipfian
 * D — read latest: 95% reads / 5% inserts, reads skewed to recent keys
+* E — scan heavy: 95% short range scans / 5% inserts, Zipfian start keys
 * F — read-modify-write: 50% reads / 50% RMW, Zipfian
+
+Workload E's scans are *local* streamed scans (``db.scan`` bounded by a
+drawn length): per-rank operation streams diverge, so a collective scan
+would deadlock — and the YCSB-E contract ("next N records from a start
+key") is exactly the iterator's ``islice`` shape.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from itertools import islice
 from typing import Dict, List, Optional
 
 from repro.config import Options, SEQUENTIAL
@@ -72,22 +79,32 @@ class YcsbWorkload:
     rmw_pct: int
     #: "zipfian" or "latest"
     distribution: str = "zipfian"
+    #: short range scans (workload E); scan lengths are drawn uniformly
+    #: from [1, max_scan_len] as in the YCSB core definition
+    scan_pct: int = 0
+    max_scan_len: int = 100
 
     def __post_init__(self):
-        total = self.read_pct + self.update_pct + self.insert_pct + self.rmw_pct
+        total = (self.read_pct + self.update_pct + self.insert_pct
+                 + self.rmw_pct + self.scan_pct)
         if total != 100:
             raise ValueError(f"workload {self.name}: mix sums to {total}")
+        if self.scan_pct and self.max_scan_len <= 0:
+            raise ValueError(
+                f"workload {self.name}: max_scan_len must be positive"
+            )
 
 
 WORKLOAD_A = YcsbWorkload("A", 50, 50, 0, 0)
 WORKLOAD_B = YcsbWorkload("B", 95, 5, 0, 0)
 WORKLOAD_C = YcsbWorkload("C", 100, 0, 0, 0)
 WORKLOAD_D = YcsbWorkload("D", 95, 0, 5, 0, distribution="latest")
+WORKLOAD_E = YcsbWorkload("E", 0, 0, 5, 0, scan_pct=95)
 WORKLOAD_F = YcsbWorkload("F", 50, 0, 0, 50)
 
 CORE_WORKLOADS: Dict[str, YcsbWorkload] = {
     w.name: w for w in (WORKLOAD_A, WORKLOAD_B, WORKLOAD_C,
-                        WORKLOAD_D, WORKLOAD_F)
+                        WORKLOAD_D, WORKLOAD_E, WORKLOAD_F)
 }
 
 
@@ -102,6 +119,9 @@ class YcsbResult:
     updates: int
     inserts: int
     rmws: int
+    scans: int = 0
+    #: total pairs returned by the scan ops (scan lengths vary)
+    scanned_pairs: int = 0
 
     def krps(self) -> float:
         """Run-phase kilo-requests/second on this rank."""
@@ -148,7 +168,7 @@ def run_ycsb(
     rng = random.Random(rank_seed(seed, me))
     zipf = ZipfianGenerator(record_count, seed=rank_seed(seed + 1, me))
     inserted = record_count
-    reads = updates = inserts = rmws = 0
+    reads = updates = inserts = rmws = scans = scanned = 0
     t0 = ctx.clock.now
     for _ in range(op_count):
         # pick a key: zipfian over the keyspace, or skewed to latest
@@ -174,16 +194,26 @@ def run_ycsb(
             db.put(key_of(me, inserted), value)
             inserted += 1
             inserts += 1
-        else:
+        elif roll < (workload.read_pct + workload.update_pct
+                     + workload.insert_pct + workload.rmw_pct):
             got = db.get_or_none(key) or b""
             db.put(key, (got + b"!")[:value_size])
             rmws += 1
+        else:
+            # YCSB-E scan: the next n records of this rank's shard from
+            # the drawn start key — a bounded walk of the lazy iterator
+            n = rng.randrange(1, workload.max_scan_len + 1)
+            with db.scan(start=key) as it:
+                got_pairs = sum(1 for _ in islice(it, n))
+            scanned += got_pairs
+            scans += 1
     run_time = ctx.clock.now - t0
 
     result = YcsbResult(
         rank=me, workload=workload.name, ops=op_count,
         load_time=load_time, run_time=run_time,
         reads=reads, updates=updates, inserts=inserts, rmws=rmws,
+        scans=scans, scanned_pairs=scanned,
     )
     db.close()
     env.finalize()

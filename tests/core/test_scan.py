@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+from itertools import islice
+
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro import Papyrus, SSTABLE, WRONLY, RDWR, ProtectionError, spmd_run
-from repro.core.scan import merge_scan
+from repro.core.scan import merge_scan, reference_scan
 from tests.conftest import small_options
 
 
@@ -136,6 +138,213 @@ class TestScanLocal:
         spmd_run(3, app)
 
 
+class TestStreamedScan:
+    """The lazy iterator: snapshot pinning, pruning, counters."""
+
+    def test_matches_reference_across_tiers(self):
+        """Streamed scan == the seed-era materializing oracle with
+        overwrites and deletes spread across SSTables, the flushing
+        queue, and the live MemTable."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("stream", small_options())
+                for i in range(60):
+                    db.put(f"m{i:03d}".encode(), b"gen1")
+                db.barrier(SSTABLE)
+                for i in range(0, 60, 3):
+                    db.put(f"m{i:03d}".encode(), b"gen2")
+                for i in range(1, 60, 5):
+                    db.delete(f"m{i:03d}".encode())
+                db.barrier(SSTABLE)
+                for i in range(60, 75):
+                    db.put(f"m{i:03d}".encode(), b"mem")
+                db.barrier()
+                for window in [(None, None), (b"m010", b"m050"),
+                               (b"m070", None), (None, b"m005")]:
+                    got = db.scan_local(*window)
+                    assert got == reference_scan(db, *window)
+                db.close()
+
+        spmd_run(2, app)
+
+    def test_snapshot_survives_flush_and_compaction(self):
+        """Writes, flushes, and compactions landing mid-iteration do not
+        disturb an open scan: it yields exactly its open-time snapshot,
+        and the retired tables' files are unlinked only after close."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("pin", small_options(compaction_interval=2))
+                for i in range(80):
+                    db.put(f"p{i:03d}".encode(), b"old")
+                db.barrier(SSTABLE)
+                before = reference_scan(db)
+                it = db.scan()
+                got = list(islice(it, 5))  # partially consumed
+                # churn hard enough to flush and compact several times,
+                # retiring the tables the open scan has pinned.  Only
+                # locally-owned keys: remote puts would migrate into the
+                # peer's MemTable at a nondeterministic moment relative
+                # to its own snapshot open.
+                mine = [
+                    f"p{i:03d}".encode() for i in range(80)
+                    if db.owner_of(f"p{i:03d}".encode()) == ctx.world_rank
+                ]
+                for round_ in range(4):
+                    for key in mine:
+                        db.put(key, f"new{round_}".encode())
+                    db.flush()
+                assert db.stats.compactions >= 1
+                got += list(it)  # iterator finishes over the snapshot
+                assert got == before
+                assert not db._scan_pins  # exhaustion auto-closed it
+                assert not db._deferred_unlinks
+                # a fresh scan sees the post-churn world
+                fresh = dict(db.scan_local())
+                assert sorted(fresh.items()) == reference_scan(db)
+                for key in mine:
+                    assert fresh[key] == b"new3"
+                db.barrier()
+                db.close()
+
+        spmd_run(2, app)
+
+    def test_abandoned_iterator_releases_pins(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("abandon", small_options())
+                for i in range(40):
+                    db.put(f"a{i:02d}".encode(), b"v")
+                db.barrier(SSTABLE)
+                with db.scan() as it:
+                    next(it)
+                    assert db._scan_pins  # held while open
+                assert not db._scan_pins  # context exit released them
+                db.close()
+
+        spmd_run(1, app)
+
+    def test_keys_only_skips_values(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("keysonly", small_options())
+                for i in range(50):
+                    db.put(f"k{i:02d}".encode(), b"payload" * 8)
+                db.barrier(SSTABLE)
+                with db.scan(keys_only=True) as it:
+                    pairs = list(it)
+                assert all(v == b"" for _, v in pairs)
+                assert [k for k, _ in pairs] == [
+                    k for k, _ in db.scan_local()
+                ]
+                db.close()
+
+        spmd_run(1, app)
+
+    def test_fence_pruning_and_counters(self):
+        """Prefix-phased loading gives disjoint per-table fences; a
+        narrow window must prune the other tables and count it."""
+
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("prune", small_options())
+                for prefix in b"abcd":
+                    for i in range(30):
+                        db.put(bytes([prefix]) + f"{i:03d}".encode(), b"v")
+                    db.barrier(SSTABLE)
+                pairs = db.scan_local(b"c", b"d")
+                assert len(pairs) == 30
+                s = db.stats
+                assert s.scans >= 1
+                assert s.scan_tables_pruned > 0
+                assert s.scan_blocks_read > 0
+                m = db.metrics()
+                for key in ("scans", "scan_tables_pruned",
+                            "scan_blocks_read", "scan_chunks_shipped",
+                            "scan_peak_buffered"):
+                    assert key in m
+                from repro.metrics import format_report
+
+                assert "scan path:" in format_report(m)
+                db.barrier()
+                db.close()
+
+        spmd_run(1, app)
+
+
+class TestScanGlobal:
+    """The collective windowed streaming merge."""
+
+    def test_streams_sorted_and_chunked(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("glob", small_options())
+                for i in range(90):
+                    db.put(f"g{i:03d}".encode(), str(i).encode())
+                db.barrier(SSTABLE)
+                got = list(db.scan_global(chunk=8))
+                assert got == [
+                    (f"g{i:03d}".encode(), str(i).encode())
+                    for i in range(90)
+                ]
+                assert db.stats.scan_chunks_shipped > 1
+                db.close()
+
+        spmd_run(3, app)
+
+    def test_limit_is_a_prefix_and_ships_less(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("lim", small_options())
+                for i in range(120):
+                    db.put(f"l{i:03d}".encode(), b"v")
+                db.barrier(SSTABLE)
+                full = db.scan_collect(chunk=8)
+                full_chunks = db.stats.scan_chunks_shipped
+                limited = list(db.scan_global(limit=10, chunk=8))
+                assert limited == full[:10]
+                top_chunks = db.stats.scan_chunks_shipped - full_chunks
+                # a top-10 needs about one chunk per rank, not the drain
+                assert 0 < top_chunks < full_chunks
+                db.close()
+
+        spmd_run(3, app)
+
+    def test_peak_buffer_bounded_by_window(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("peak", small_options())
+                for i in range(100):
+                    db.put(f"b{ctx.world_rank}:{i:03d}".encode(), b"v")
+                db.barrier(SSTABLE)
+                chunk = 8
+                n = len(list(db.scan_global(chunk=chunk)))
+                counts = ctx.comm.allgather(n)
+                assert all(c == 100 * ctx.nranks for c in counts)
+                # O(nranks x chunk), never the full result
+                assert (db.stats.scan_peak_buffered
+                        <= ctx.nranks * chunk + chunk)
+                db.close()
+
+        spmd_run(4, app)
+
+    def test_zero_limit_and_bad_chunk(self):
+        def app(ctx):
+            with Papyrus(ctx) as env:
+                db = env.open("edge", small_options())
+                db.put(b"k", b"v")
+                db.barrier()
+                assert list(db.scan_global(limit=0)) == []
+                from repro.errors import InvalidOptionError
+
+                with pytest.raises(InvalidOptionError):
+                    db.scan_global(chunk=0)
+                db.close()
+
+        spmd_run(1, app)
+
+
 @settings(max_examples=15, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(st.dictionaries(
@@ -168,3 +377,91 @@ def test_scan_collect_matches_dict_model(final_state):
             db.close()
 
     spmd_run(2, app, timeout=120)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.dictionaries(
+        st.integers(min_value=0, max_value=60).map(
+            lambda i: f"{i:02d}".encode()
+        ),
+        st.one_of(st.none(), st.binary(min_size=1, max_size=12)),
+        max_size=40,
+    ),
+    st.tuples(
+        st.one_of(st.none(), st.integers(0, 60).map(
+            lambda i: f"{i:02d}".encode())),
+        st.one_of(st.none(), st.integers(0, 60).map(
+            lambda i: f"{i:02d}".encode())),
+    ),
+)
+def test_streamed_scan_matches_oracle_under_churn(final_state, window):
+    """The streamed iterator equals the seed-era materializing oracle on
+    any window, and an iterator opened *before* a storm of overwrites,
+    flushes, and compactions still yields its open-time snapshot."""
+    start, end = window
+    if start is not None and end is not None and start > end:
+        start, end = end, start
+
+    def app(ctx):
+        with Papyrus(ctx) as env:
+            db = env.open("churnprop",
+                          small_options(compaction_interval=2))
+            items = sorted(final_state.items())
+            for i, (key, value) in enumerate(items):
+                if i % ctx.nranks != ctx.world_rank:
+                    continue
+                db.put(key, b"seed")
+                if i % 3 == 0:
+                    db.flush()  # spread the state across tiers
+                if value is None:
+                    db.delete(key)
+                else:
+                    db.put(key, value)
+            db.barrier(SSTABLE)
+            want = reference_scan(db, start, end)
+            it = db.scan(start, end)
+            head = list(islice(it, 3))
+            # mid-iteration churn: overwrites + flush + compaction.
+            # Locally-owned keys only — remote puts would migrate into
+            # the peer's MemTable at a nondeterministic moment relative
+            # to its own snapshot open.
+            for key, _value in items:
+                if db.owner_of(key) == ctx.world_rank:
+                    db.put(key, b"churn")
+            db.flush()
+            assert head + list(it) == want  # the pinned snapshot
+            assert db.scan_local(start, end) == reference_scan(
+                db, start, end)  # the fresh view agrees too
+            db.barrier()
+            db.close()
+
+    spmd_run(2, app, timeout=120)
+
+
+def test_replica_scan_filtering_matches_oracle():
+    """Under replication the streamed scan and the oracle agree for
+    both the primary-filtered and the physical (include_replicas)
+    views, and the primary views partition the keyspace."""
+
+    def app(ctx):
+        with Papyrus(ctx) as env:
+            db = env.open("replscan", small_options(
+                replicas=2, write_quorum=1, remote_timeout=0.2))
+            for i in range(30):
+                db.put(f"r{ctx.world_rank}-{i:02d}".encode(), b"v")
+            db.fence()
+            db.barrier(SSTABLE)
+            primary = db.scan_local()
+            physical = db.scan_local(include_replicas=True)
+            assert primary == reference_scan(db)
+            assert physical == reference_scan(db, include_replicas=True)
+            assert len(physical) >= len(primary)
+            totals = ctx.comm.allgather(len(primary))
+            assert sum(totals) == 30 * ctx.nranks
+            helds = ctx.comm.allgather(len(physical))
+            assert sum(helds) == 30 * ctx.nranks * 2
+            db.close()
+
+    spmd_run(4, app, timeout=240)

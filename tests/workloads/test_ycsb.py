@@ -42,19 +42,28 @@ class TestZipfian:
 
 class TestWorkloadDefinitions:
     def test_core_set(self):
-        assert set(CORE_WORKLOADS) == {"A", "B", "C", "D", "F"}
+        assert set(CORE_WORKLOADS) == {"A", "B", "C", "D", "E", "F"}
 
     def test_mixes_sum_to_100(self):
         for w in CORE_WORKLOADS.values():
             assert (w.read_pct + w.update_pct + w.insert_pct
-                    + w.rmw_pct) == 100
+                    + w.rmw_pct + w.scan_pct) == 100
 
     def test_invalid_mix_rejected(self):
         with pytest.raises(ValueError):
             YcsbWorkload("bad", 50, 10, 0, 0)
+        with pytest.raises(ValueError):
+            YcsbWorkload("bad", 0, 0, 5, 0, scan_pct=95, max_scan_len=0)
 
     def test_d_reads_latest(self):
         assert WORKLOAD_D.distribution == "latest"
+
+    def test_e_is_scan_heavy(self):
+        from repro.workloads.ycsb import WORKLOAD_E
+
+        assert WORKLOAD_E.scan_pct == 95
+        assert WORKLOAD_E.insert_pct == 5
+        assert WORKLOAD_E.max_scan_len > 0
 
 
 class TestRunYcsb:
